@@ -1,0 +1,102 @@
+package twsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// SearchBatch runs many whole-matching queries concurrently (the DB is safe
+// for concurrent readers) and returns one Result per query, in input order.
+// parallelism <= 0 selects GOMAXPROCS. The first error aborts the batch.
+func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error) {
+	if epsilon < 0 {
+		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([]*Result, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
+			for i := range work {
+				res, err := m.Search(seq.Sequence(queries[i]), epsilon)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("twsim: query %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = res
+			}
+		}()
+	}
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// CompactTo rewrites the live (non-deleted) sequences into a fresh database
+// at dir, rebuilding the index with a bulk load. Sequence IDs are
+// reassigned densely in the new database; the returned map carries
+// old-ID → new-ID for every surviving sequence. The source database is not
+// modified.
+func (db *DB) CompactTo(dir string, opts Options) (*DB, map[ID]ID, error) {
+	dst, err := Create(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	mapping := make(map[ID]ID, db.store.Len())
+	var values [][]float64
+	var oldIDs []ID
+	err = db.store.Scan(func(id seq.ID, s seq.Sequence) error {
+		oldIDs = append(oldIDs, id)
+		values = append(values, append([]float64(nil), s...))
+		return nil
+	})
+	if err != nil {
+		dst.Close()
+		return nil, nil, err
+	}
+	if len(values) > 0 {
+		first, err := dst.AddAll(values)
+		if err != nil {
+			dst.Close()
+			return nil, nil, err
+		}
+		for i, old := range oldIDs {
+			mapping[old] = first + ID(i)
+		}
+	}
+	if err := dst.Flush(); err != nil {
+		dst.Close()
+		return nil, nil, err
+	}
+	return dst, mapping, nil
+}

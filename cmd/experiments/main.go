@@ -1,0 +1,166 @@
+// Command experiments regenerates the paper's evaluation section.
+//
+// Usage:
+//
+//	experiments -exp 1          # Figure 2: candidate ratio vs tolerance (stock)
+//	experiments -exp 2          # Figure 3: elapsed time vs tolerance (stock)
+//	experiments -exp 3          # Figure 4: elapsed time vs #sequences (synthetic)
+//	experiments -exp 4          # Figure 5: elapsed time vs sequence length
+//	experiments -exp 5          # §3.3: FastMap false-dismissal demonstration
+//	experiments -exp all        # everything
+//
+// Default grids are scaled to finish on a laptop in minutes; -full selects
+// the paper's original grid (expect hours for the scan baselines — see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment to run: 1-5, 6 (base ablation), 7 (category ablation), or all")
+		seed       = flag.Int64("seed", 42, "random seed for data and queries")
+		queries    = flag.Int("queries", 100, "queries per measurement point (paper: 100)")
+		full       = flag.Bool("full", false, "use the paper's full-scale grids (slow)")
+		noST       = flag.Bool("nost", false, "skip the ST-Filter baseline (large builds)")
+		categories = flag.Int("categories", 100, "ST-Filter category count (paper: 100)")
+		base       = flag.String("base", "linf", "DTW base distance: linf or l1")
+		pool       = flag.Int("pool", 64, "buffer pool pages per file")
+		csvDir     = flag.String("csv", "", "also write machine-readable CSV files into this directory")
+		plot       = flag.Bool("plot", false, "render ASCII charts of the elapsed-time figures")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:         *seed,
+		NumQueries:   *queries,
+		Categories:   *categories,
+		WithSTFilter: !*noST,
+		PoolPages:    *pool,
+	}
+	switch strings.ToLower(*base) {
+	case "linf", "":
+		cfg.Base = seq.LInf
+	case "l1":
+		cfg.Base = seq.L1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown base %q\n", *base)
+		os.Exit(2)
+	}
+
+	run := func(n int) bool { return *exp == "all" || *exp == strconv.Itoa(n) }
+	cm := core.DefaultCostModel
+	writeCSV := func(name, xlabel string, cells []experiments.Cell) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			die(err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		die(err)
+		die(experiments.WriteCSV(f, xlabel, cells, cm))
+		die(f.Close())
+		fmt.Printf("(csv written to %s)\n", filepath.Join(*csvDir, name))
+	}
+
+	var stockCells []experiments.Cell
+	if run(1) || run(2) {
+		tolerances := []float64{0.25, 0.5, 1, 2, 4, 8}
+		stock := synth.DefaultStockOptions
+		fmt.Printf("== building stock fixture (%d sequences, avg len %d) ==\n",
+			stock.Count, stock.MeanLen)
+		var err error
+		stockCells, err = experiments.StockSweep(cfg, stock, tolerances)
+		die(err)
+	}
+	if run(1) {
+		fmt.Println("\n== Experiment 1 (Figure 2): candidate ratio vs tolerance, stock data ==")
+		experiments.PrintCandidateRatioTable(os.Stdout, stockCells)
+		writeCSV("exp1_candidate_ratio.csv", "tolerance", stockCells)
+	}
+	if run(2) {
+		fmt.Println("\n== Experiment 2 (Figure 3): elapsed time vs tolerance, stock data ==")
+		experiments.PrintElapsedTable(os.Stdout, "tolerance", stockCells, cm)
+		if *plot {
+			experiments.Plot(os.Stdout, "tolerance", stockCells, cm)
+		}
+		writeCSV("exp2_elapsed_vs_tolerance.csv", "tolerance", stockCells)
+	}
+	if run(3) {
+		counts := []int{500, 2000, 8000}
+		length := 100
+		if *full {
+			counts = []int{1000, 10000, 100000}
+			length = 1000
+		}
+		fmt.Printf("\n== Experiment 3 (Figure 4): elapsed time vs #sequences "+
+			"(len %d, eps 0.1) ==\n", length)
+		cells, err := experiments.ScaleSweep(cfg, counts, length, 0.1)
+		die(err)
+		experiments.PrintElapsedTable(os.Stdout, "#sequences", cells, cm)
+		if *plot {
+			experiments.Plot(os.Stdout, "#sequences", cells, cm)
+		}
+		writeCSV("exp3_elapsed_vs_count.csv", "num_sequences", cells)
+	}
+	if run(4) {
+		lengths := []int{50, 100, 200, 400}
+		count := 1000
+		if *full {
+			lengths = []int{100, 500, 1000, 5000}
+			count = 10000
+		}
+		fmt.Printf("\n== Experiment 4 (Figure 5): elapsed time vs sequence length "+
+			"(%d sequences, eps 0.1) ==\n", count)
+		cells, err := experiments.LengthSweep(cfg, lengths, count, 0.1)
+		die(err)
+		experiments.PrintElapsedTable(os.Stdout, "length", cells, cm)
+		if *plot {
+			experiments.Plot(os.Stdout, "length", cells, cm)
+		}
+		writeCSV("exp4_elapsed_vs_length.csv", "length", cells)
+	}
+	if run(6) {
+		fmt.Println("\n== Ablation A (§4.1 / footnote 3): L∞ vs L1 base distance ==")
+		rows, err := experiments.BaseAblation(cfg, 1.0, 40.0)
+		die(err)
+		experiments.PrintBaseAblation(os.Stdout, rows, cm)
+	}
+	if run(7) {
+		fmt.Println("\n== Ablation B (§3.4): ST-Filter category granularity (eps 0.1) ==")
+		rows, err := experiments.CategoryAblation(cfg, []int{10, 50, 100, 500}, 0.1)
+		die(err)
+		experiments.PrintCategoryAblation(os.Stdout, rows, cm)
+	}
+	if run(5) {
+		fmt.Println("\n== Experiment 5 (§3.3): FastMap false dismissal ==")
+		for _, eps := range []float64{0.5, 1, 2} {
+			rep, err := experiments.FalseDismissal(cfg, 4, eps)
+			die(err)
+			fmt.Printf("eps %4.1f: %4d true answers over %d queries, FastMap found %4d "+
+				"(dismissed %d, %.1f%%)\n",
+				eps, rep.TrueAnswers, rep.Queries, rep.FastMapAnswers, rep.Dismissed,
+				100*float64(rep.Dismissed)/float64(max(rep.TrueAnswers, 1)))
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,171 @@
+// Command twsim queries an on-disk sequence database built with datagen (or
+// any program using the twsim library).
+//
+// Usage:
+//
+//	twsim -db /tmp/walkdb stats
+//	twsim -db /tmp/walkdb search -eps 0.5 -q "1.0,1.1,1.2,1.1"
+//	twsim -db /tmp/walkdb search -eps 0.5 -id 17          # query by stored id
+//	twsim -db /tmp/walkdb knn -k 5 -id 17
+//	twsim -db /tmp/walkdb get -id 3
+//	twsim -db /tmp/walkdb bench -eps 0.5 -id 17           # all methods side by side
+//	twsim -db /tmp/walkdb subseq -eps 0.3 -q "1,2,3" -winlens 3,5,7
+//	twsim -db /tmp/walkdb remove -id 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	twsim "repro"
+)
+
+func main() {
+	var (
+		dbDir = flag.String("db", "", "database directory (required)")
+		eps   = flag.Float64("eps", 0.1, "search tolerance")
+		k     = flag.Int("k", 5, "neighbors for knn")
+		qStr  = flag.String("q", "", "query sequence as comma-separated values")
+		qID   = flag.Int("id", -1, "use stored sequence <id> as the query")
+		cats  = flag.Int("categories", 100, "ST-Filter categories for bench")
+		wins  = flag.String("winlens", "8,16", "comma-separated window lengths for subseq")
+		step  = flag.Int("step", 1, "window step for subseq")
+	)
+	flag.Parse()
+	if *dbDir == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: twsim -db <dir> [flags] {stats|search|knn|get|bench|subseq|remove}")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	db, err := twsim.Open(*dbDir, twsim.Options{})
+	die(err)
+	defer db.Close()
+
+	query := func() []float64 {
+		if *qStr != "" {
+			return parseSeq(*qStr)
+		}
+		if *qID >= 0 {
+			s, err := db.Get(twsim.ID(*qID))
+			die(err)
+			return s
+		}
+		fmt.Fprintln(os.Stderr, "twsim: provide a query with -q or -id")
+		os.Exit(2)
+		return nil
+	}
+
+	switch flag.Arg(0) {
+	case "stats":
+		fmt.Printf("sequences:   %d\n", db.Len())
+		fmt.Printf("data bytes:  %d\n", db.DataBytes())
+		fmt.Printf("index pages: %d (%.2f%% of data)\n", db.IndexPages(),
+			100*float64(db.IndexPages()*1024)/float64(db.DataBytes()))
+		die(db.Verify())
+		fmt.Println("integrity check (heap + index): ok")
+	case "get":
+		if *qID < 0 {
+			die(fmt.Errorf("get needs -id"))
+		}
+		s, err := db.Get(twsim.ID(*qID))
+		die(err)
+		fmt.Println(formatSeq(s))
+	case "search":
+		q := query()
+		res, err := db.Search(q, *eps)
+		die(err)
+		fmt.Printf("%d matches (of %d candidates) in %v\n",
+			len(res.Matches), res.Stats.Candidates, res.Stats.Wall.Round(time.Microsecond))
+		for _, m := range res.Matches {
+			fmt.Printf("  id %-8d dist %.6f\n", m.ID, m.Dist)
+		}
+	case "knn":
+		q := query()
+		matches, err := db.NearestK(q, *k)
+		die(err)
+		for i, m := range matches {
+			fmt.Printf("%2d. id %-8d dist %.6f\n", i+1, m.ID, m.Dist)
+		}
+	case "bench":
+		q := query()
+		stf, err := db.BaselineSTFilter(*cats)
+		die(err)
+		methods := []twsim.Searcher{
+			db.BaselineNaiveScan(),
+			db.BaselineLBScan(),
+			stf,
+			db.TWSimSearcher(),
+		}
+		fmt.Printf("%-14s %10s %10s %12s %10s\n", "method", "matches", "cands", "wall", "dtw-calls")
+		for _, m := range methods {
+			res, err := m.Search(q, *eps)
+			die(err)
+			fmt.Printf("%-14s %10d %10d %12v %10d\n",
+				m.Name(), len(res.Matches), res.Stats.Candidates,
+				res.Stats.Wall.Round(time.Microsecond), res.Stats.DTWCalls)
+		}
+	case "subseq":
+		q := query()
+		var lens []int
+		for _, part := range strings.Split(*wins, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			die(err)
+			lens = append(lens, n)
+		}
+		idx, err := db.BuildSubseqIndex(lens, *step)
+		die(err)
+		defer idx.Close()
+		res, err := idx.Search(q, *eps)
+		die(err)
+		fmt.Printf("%d matching windows (of %d candidates, %d indexed) in %v\n",
+			len(res.Matches), res.Stats.Candidates, idx.NumWindows(),
+			res.Stats.Wall.Round(time.Microsecond))
+		for _, m := range res.Matches {
+			fmt.Printf("  id %-8d offset %-6d len %-4d dist %.6f\n", m.ID, m.Offset, m.Len, m.Dist)
+		}
+	case "remove":
+		if *qID < 0 {
+			die(fmt.Errorf("remove needs -id"))
+		}
+		ok, err := db.Remove(twsim.ID(*qID))
+		die(err)
+		if !ok {
+			fmt.Printf("id %d was not present\n", *qID)
+		} else {
+			die(db.Flush())
+			fmt.Printf("removed id %d (%d sequences remain)\n", *qID, db.Len())
+		}
+	default:
+		die(fmt.Errorf("unknown command %q", flag.Arg(0)))
+	}
+}
+
+func parseSeq(s string) []float64 {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		die(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func formatSeq(s []float64) string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command twsimd serves a twsim sequence database over HTTP (see
+// internal/server for the API).
+//
+// Usage:
+//
+//	twsimd -db /var/lib/twsim -addr :7474          # open existing database
+//	twsimd -db /var/lib/twsim -create -addr :7474  # create a fresh one
+//	twsimd -mem -addr :7474                        # ephemeral in-memory db
+//
+// Shut down with SIGINT/SIGTERM; the database is flushed on exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	twsim "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dbDir  = flag.String("db", "", "database directory")
+		addr   = flag.String("addr", ":7474", "listen address")
+		create = flag.Bool("create", false, "create the database if it does not exist")
+		mem    = flag.Bool("mem", false, "serve an ephemeral in-memory database")
+	)
+	flag.Parse()
+
+	var db *twsim.DB
+	var err error
+	switch {
+	case *mem:
+		db, err = twsim.OpenMem(twsim.Options{})
+	case *dbDir == "":
+		fmt.Fprintln(os.Stderr, "twsimd: provide -db <dir> or -mem")
+		os.Exit(2)
+	case *create:
+		db, err = twsim.Create(*dbDir, twsim.Options{})
+	default:
+		db, err = twsim.Open(*dbDir, twsim.Options{})
+	}
+	if err != nil {
+		log.Fatalf("twsimd: opening database: %v", err)
+	}
+
+	srv := server.New(db)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-done
+		log.Println("twsimd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("twsimd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("twsimd: serving %d sequences on %s", db.Len(), *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("twsimd: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("twsimd: closing server state: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Fatalf("twsimd: closing database: %v", err)
+	}
+	log.Println("twsimd: database closed cleanly")
+}

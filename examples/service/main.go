@@ -1,0 +1,99 @@
+// Service: run the sequence database as an HTTP service in-process and use
+// the Go client against it — the deployment shape of cmd/twsimd, condensed
+// into one runnable example.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+
+	twsim "repro"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+func main() {
+	db, err := twsim.OpenMem(twsim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	srv := server.New(db)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("twsim service listening at %s\n", ts.URL)
+
+	client := server.NewClient(ts.URL, ts.Client())
+	if err := client.Health(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a workload through the API.
+	rng := rand.New(rand.NewSource(5))
+	walks := synth.RandomWalkSetVaryLen(rng, 200, 30, 80)
+	batch := make([][]float64, len(walks))
+	for i, s := range walks {
+		batch[i] = s
+	}
+	if _, err := client.AddBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	n, bytes, pages, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d sequences (%d bytes of data, %d index pages)\n", n, bytes, pages)
+
+	// Query: a perturbed copy of a stored sequence.
+	query := synth.Query(rng, walks)
+	res, err := client.Search(query, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search eps=0.2: %d matches from %d candidates (%d µs server-side)\n",
+		len(res.Matches), res.Stats.Candidates, res.Stats.WallMicros)
+	for i, m := range res.Matches {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(res.Matches)-5)
+			break
+		}
+		fmt.Printf("  id %-5d dist %.4f\n", m.ID, m.Dist)
+	}
+
+	// k-NN over HTTP.
+	nn, err := client.NearestK(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3 nearest under time warping:")
+	for _, m := range nn {
+		fmt.Printf("  id %-5d dist %.4f\n", m.ID, m.Dist)
+	}
+
+	// Subsequence matching through the service.
+	if _, err := client.BuildSubseqIndex([]int{12}, 2); err != nil {
+		log.Fatal(err)
+	}
+	sub, err := client.SearchSubsequences(walks[0][10:22], 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subsequence search: %d windows matched; best at id %d offset %d\n",
+		len(sub), sub[0].ID, sub[0].Offset)
+
+	// Delete a sequence and confirm it disappears from results.
+	if _, err := client.Remove(uint32(res.Matches[0].ID)); err != nil {
+		log.Fatal(err)
+	}
+	res2, err := client.Search(query, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after deleting the best match: %d matches remain\n", len(res2.Matches))
+}

@@ -1,0 +1,95 @@
+package twsim_test
+
+import (
+	"math"
+	"testing"
+
+	twsim "repro"
+)
+
+func TestItakuraDistancePublic(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	q := []float64{1, 2, 3, 4, 5}
+	if d := twsim.ItakuraDistance(s, q, twsim.BaseLInf); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+	// The constraint can only increase the distance.
+	data := randomWalks(93, 20, 8, 16)
+	for i := 0; i+1 < len(data); i += 2 {
+		full := twsim.Distance(data[i], data[i+1], twsim.BaseLInf)
+		it := twsim.ItakuraDistance(data[i], data[i+1], twsim.BaseLInf)
+		if it < full-1e-9 {
+			t.Fatalf("Itakura %g < unconstrained %g", it, full)
+		}
+	}
+	// Extreme length ratios are infeasible.
+	if d := twsim.ItakuraDistance([]float64{1}, []float64{1, 1, 1, 1, 1}, twsim.BaseLInf); !math.IsInf(d, 1) {
+		t.Errorf("1v5 = %g, want +Inf", d)
+	}
+}
+
+func TestSTFilterSubsequencePublic(t *testing.T) {
+	db, err := twsim.OpenMem(twsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Recordings with a shared motif at known places.
+	motif := []float64{4, 9, 4}
+	recs := [][]float64{
+		{1, 1, 4, 9, 4, 1, 1},
+		{2, 2, 2, 2, 4, 9, 4},
+		{5, 5, 5, 5, 5, 5, 5},
+	}
+	if _, err := db.AddAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	stf, err := db.NewSTFilter(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stf.Name() != "ST-Filter" {
+		t.Errorf("Name = %q", stf.Name())
+	}
+	res, err := stf.SearchSubsequences(motif, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[[2]int]bool{}
+	for _, m := range res.Matches {
+		if m.Len == 3 && m.Dist <= 0.05 {
+			found[[2]int{int(m.ID), m.Offset}] = true
+		}
+	}
+	for _, want := range [][2]int{{0, 2}, {1, 4}} {
+		if !found[want] {
+			t.Errorf("motif occurrence %v missing (found %v)", want, found)
+		}
+	}
+	for k := range found {
+		if k[0] == 2 {
+			t.Errorf("motif reported in flat recording: %v", k)
+		}
+	}
+	// Whole matching through the same object agrees with the index.
+	whole, err := stf.Search(recs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole.Matches) != 1 || whole.Matches[0].ID != 0 {
+		t.Errorf("whole matching via STFilter: %+v", whole.Matches)
+	}
+}
+
+func TestNormalizedDistancePublic(t *testing.T) {
+	s := []float64{1, 1, 1, 1}
+	q := []float64{2, 2}
+	raw := twsim.Distance(s, q, twsim.BaseL1)
+	norm := twsim.NormalizedDistance(s, q, twsim.BaseL1)
+	if norm >= raw {
+		t.Errorf("normalized %g not below raw %g", norm, raw)
+	}
+	if got := twsim.NormalizedDistance(s, s, twsim.BaseLInf); got != 0 {
+		t.Errorf("self = %g", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package categorize converts numeric sequences into symbol (category)
+// sequences, the preprocessing step of the ST-Filter baseline (Park et al.,
+// summarized in the paper's §3.4). Each category is a value interval; the
+// paper's experiments use the equal-length-interval method with 100
+// categories (§5.1).
+package categorize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/seq"
+)
+
+// Symbol is a category identifier in [0, NumCategories).
+type Symbol int32
+
+// Categorizer maps values to categories and back to value intervals.
+type Categorizer struct {
+	min, max float64
+	width    float64
+	n        int
+}
+
+// NewEqualWidth builds an equal-length-interval categorizer with n
+// categories over the closed value range [min, max].
+func NewEqualWidth(min, max float64, n int) (*Categorizer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("categorize: need at least 1 category, got %d", n)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("categorize: invalid range [%g, %g]", min, max)
+	}
+	return &Categorizer{min: min, max: max, width: (max - min) / float64(n), n: n}, nil
+}
+
+// FromData builds an equal-width categorizer spanning the value range
+// observed across the given sequences.
+func FromData(data []seq.Sequence, n int) (*Categorizer, error) {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range data {
+		if s.Empty() {
+			continue
+		}
+		lo, hi := s.MinMax()
+		if lo < min {
+			min = lo
+		}
+		if hi > max {
+			max = hi
+		}
+	}
+	if math.IsInf(min, 1) {
+		return nil, fmt.Errorf("categorize: no data")
+	}
+	if min == max {
+		// Degenerate constant data: widen to a tiny interval.
+		max = min + 1e-9
+	}
+	return NewEqualWidth(min, max, n)
+}
+
+// NumCategories returns the category count.
+func (c *Categorizer) NumCategories() int { return c.n }
+
+// Symbol maps a value to its category. Values outside the construction
+// range clamp to the boundary categories.
+func (c *Categorizer) Symbol(v float64) Symbol {
+	if v <= c.min {
+		return 0
+	}
+	if v >= c.max {
+		return Symbol(c.n - 1)
+	}
+	k := int((v - c.min) / c.width)
+	if k >= c.n {
+		k = c.n - 1
+	}
+	return Symbol(k)
+}
+
+// Interval returns the value interval [lo, hi] covered by category sym.
+func (c *Categorizer) Interval(sym Symbol) (lo, hi float64) {
+	lo = c.min + float64(sym)*c.width
+	hi = lo + c.width
+	if int(sym) == c.n-1 {
+		hi = c.max
+	}
+	return lo, hi
+}
+
+// Encode converts a numeric sequence into its category sequence.
+func (c *Categorizer) Encode(s seq.Sequence) []Symbol {
+	out := make([]Symbol, len(s))
+	for i, v := range s {
+		out[i] = c.Symbol(v)
+	}
+	return out
+}
+
+// MinDistToValue returns a lower bound on |v - x| over all x inside
+// category sym's interval: zero when v falls inside.
+func (c *Categorizer) MinDistToValue(sym Symbol, v float64) float64 {
+	lo, hi := c.Interval(sym)
+	return seq.DistToRange(v, lo, hi)
+}

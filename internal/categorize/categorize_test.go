@@ -1,0 +1,168 @@
+package categorize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func TestNewEqualWidthValidation(t *testing.T) {
+	if _, err := NewEqualWidth(0, 10, 0); err == nil {
+		t.Error("0 categories accepted")
+	}
+	if _, err := NewEqualWidth(5, 5, 10); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewEqualWidth(7, 3, 10); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestSymbolMapping(t *testing.T) {
+	c, err := NewEqualWidth(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumCategories() != 10 {
+		t.Errorf("NumCategories = %d", c.NumCategories())
+	}
+	cases := []struct {
+		v    float64
+		want Symbol
+	}{
+		{0, 0}, {5, 0}, {9.99, 0}, {10, 1}, {55, 5}, {99.9, 9}, {100, 9},
+		{-50, 0}, // clamps low
+		{200, 9}, // clamps high
+	}
+	for _, tc := range cases {
+		if got := c.Symbol(tc.v); got != tc.want {
+			t.Errorf("Symbol(%g) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalCoversValue(t *testing.T) {
+	c, _ := NewEqualWidth(-5, 17, 7)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := -5 + 22*rng.Float64()
+		sym := c.Symbol(v)
+		lo, hi := c.Interval(sym)
+		if v < lo-1e-12 || v > hi+1e-12 {
+			t.Fatalf("value %g maps to %d = [%g, %g]", v, sym, lo, hi)
+		}
+		if got := c.MinDistToValue(sym, v); got != 0 {
+			t.Fatalf("MinDistToValue inside interval = %g", got)
+		}
+	}
+}
+
+func TestIntervalsPartitionRange(t *testing.T) {
+	c, _ := NewEqualWidth(0, 10, 4)
+	prevHi := 0.0
+	for s := 0; s < 4; s++ {
+		lo, hi := c.Interval(Symbol(s))
+		if s == 0 && lo != 0 {
+			t.Errorf("first interval starts at %g", lo)
+		}
+		if s > 0 && lo != prevHi {
+			t.Errorf("gap between intervals at symbol %d: %g vs %g", s, prevHi, lo)
+		}
+		prevHi = hi
+	}
+	if prevHi != 10 {
+		t.Errorf("last interval ends at %g", prevHi)
+	}
+}
+
+func TestEncode(t *testing.T) {
+	c, _ := NewEqualWidth(0, 10, 10)
+	s := seq.Sequence{0.5, 9.5, 5}
+	got := c.Encode(s)
+	want := []Symbol{0, 9, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Encode[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFromData(t *testing.T) {
+	data := []seq.Sequence{{1, 5}, {0, 10}, {}}
+	c, err := FromData(data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Symbol(0) != 0 {
+		t.Errorf("min maps to %d", c.Symbol(0))
+	}
+	if c.Symbol(10) != 4 {
+		t.Errorf("max maps to %d", c.Symbol(10))
+	}
+}
+
+func TestFromDataDegenerate(t *testing.T) {
+	if _, err := FromData(nil, 5); err == nil {
+		t.Error("FromData with no data accepted")
+	}
+	if _, err := FromData([]seq.Sequence{{}}, 5); err == nil {
+		t.Error("FromData with only empty sequences accepted")
+	}
+	// Constant data must still work.
+	c, err := FromData([]seq.Sequence{{3, 3, 3}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := c.Symbol(3)
+	lo, hi := c.Interval(sym)
+	if 3 < lo || 3 > hi {
+		t.Errorf("constant value outside its interval [%g, %g]", lo, hi)
+	}
+}
+
+func TestMinDistToValue(t *testing.T) {
+	c, _ := NewEqualWidth(0, 10, 10) // width 1
+	// Interval of symbol 5 is [5, 6].
+	if got := c.MinDistToValue(5, 4); got != 1 {
+		t.Errorf("below: %g", got)
+	}
+	if got := c.MinDistToValue(5, 8); got != 2 {
+		t.Errorf("above: %g", got)
+	}
+}
+
+// Property: the categorize-then-interval distance never exceeds the true
+// distance to any value in the category (the lower-bound property the
+// ST-Filter traversal depends on).
+func TestMinDistLowerBoundsQuick(t *testing.T) {
+	c, _ := NewEqualWidth(-100, 100, 37)
+	f := func(x, q float64) bool {
+		if x != x || q != q { // NaN
+			return true
+		}
+		if x < -100 {
+			x = -100
+		}
+		if x > 100 {
+			x = 100
+		}
+		if q < -1000 {
+			q = -1000
+		}
+		if q > 1000 {
+			q = 1000
+		}
+		sym := c.Symbol(x)
+		d := c.MinDistToValue(sym, q)
+		true1 := q - x
+		if true1 < 0 {
+			true1 = -true1
+		}
+		return d <= true1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package categorize
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Quantile is an equal-frequency (quantile) categorizer: category
+// boundaries are chosen so each category covers roughly the same number of
+// observed values. Park et al.'s ST-Filter uses equal-length intervals (the
+// paper's experiments too); equal-frequency intervals adapt to skewed value
+// distributions — narrow categories where data is dense — and are provided
+// as an ablation. It satisfies the same contract as Categorizer: Symbol
+// maps a value to its category and Interval returns a covering range, so
+// the branch-and-bound traversal stays free of false dismissal.
+type Quantile struct {
+	bounds []float64 // ascending interior boundaries; len = categories-1
+	min    float64
+	max    float64
+}
+
+// NewQuantile builds an equal-frequency categorizer with n categories from
+// the values observed across the given sequences.
+func NewQuantile(data []seq.Sequence, n int) (*Quantile, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("categorize: need at least 1 category, got %d", n)
+	}
+	var values []float64
+	for _, s := range data {
+		values = append(values, s...)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("categorize: no data")
+	}
+	sort.Float64s(values)
+	q := &Quantile{min: values[0], max: values[len(values)-1]}
+	if q.min == q.max {
+		q.max = q.min + 1e-9
+	}
+	// Interior boundaries at the k/n quantiles, deduplicated (skewed data
+	// can repeat values; duplicate boundaries would create empty
+	// categories, which is harmless but wasteful).
+	for k := 1; k < n; k++ {
+		idx := k * len(values) / n
+		if idx >= len(values) {
+			idx = len(values) - 1
+		}
+		b := values[idx]
+		if len(q.bounds) == 0 || b > q.bounds[len(q.bounds)-1] {
+			q.bounds = append(q.bounds, b)
+		}
+	}
+	return q, nil
+}
+
+// NumCategories returns the number of (non-empty) categories.
+func (q *Quantile) NumCategories() int { return len(q.bounds) + 1 }
+
+// Symbol maps a value to its category: the index of the first boundary at
+// or above it (values equal to a boundary sit at the top of the category
+// below, which Interval covers).
+func (q *Quantile) Symbol(v float64) Symbol {
+	return Symbol(sort.SearchFloat64s(q.bounds, v))
+}
+
+// Interval returns the value range covered by category sym. The first
+// category extends to the observed minimum, the last to the maximum.
+func (q *Quantile) Interval(sym Symbol) (lo, hi float64) {
+	if int(sym) == 0 {
+		lo = q.min
+	} else {
+		lo = q.bounds[sym-1]
+	}
+	if int(sym) >= len(q.bounds) {
+		hi = q.max
+	} else {
+		hi = q.bounds[sym]
+	}
+	return lo, hi
+}
+
+// Encode converts a numeric sequence into its category sequence.
+func (q *Quantile) Encode(s seq.Sequence) []Symbol {
+	out := make([]Symbol, len(s))
+	for i, v := range s {
+		out[i] = q.Symbol(v)
+	}
+	return out
+}
+
+// MinDistToValue returns a lower bound on |v - x| over x in category sym.
+func (q *Quantile) MinDistToValue(sym Symbol, v float64) float64 {
+	lo, hi := q.Interval(sym)
+	return seq.DistToRange(v, lo, hi)
+}

@@ -1,0 +1,121 @@
+package categorize
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestQuantileValidation(t *testing.T) {
+	if _, err := NewQuantile(nil, 5); err == nil {
+		t.Error("no data accepted")
+	}
+	if _, err := NewQuantile([]seq.Sequence{{1, 2}}, 0); err == nil {
+		t.Error("0 categories accepted")
+	}
+}
+
+func TestQuantileCoversValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := []seq.Sequence{make(seq.Sequence, 500)}
+	for i := range data[0] {
+		// Heavily skewed: mostly small values with a long tail.
+		data[0][i] = rng.ExpFloat64() * 10
+	}
+	q, err := NewQuantile(data, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data[0] {
+		sym := q.Symbol(v)
+		lo, hi := q.Interval(sym)
+		if v < lo-1e-12 || v > hi+1e-12 {
+			t.Fatalf("value %g categorized to %d = [%g, %g]", v, sym, lo, hi)
+		}
+		if d := q.MinDistToValue(sym, v); d != 0 {
+			t.Fatalf("MinDistToValue inside = %g", d)
+		}
+	}
+}
+
+func TestQuantileBalancedOccupancy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := []seq.Sequence{make(seq.Sequence, 10000)}
+	for i := range data[0] {
+		data[0][i] = rng.ExpFloat64() // skewed
+	}
+	const n = 10
+	q, err := NewQuantile(data, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, q.NumCategories())
+	for _, v := range data[0] {
+		counts[q.Symbol(v)]++
+	}
+	// Each category should hold roughly 1/n of the data; allow 2x slack.
+	for sym, c := range counts {
+		if c > 2*len(data[0])/n {
+			t.Errorf("category %d holds %d of %d values", sym, c, len(data[0]))
+		}
+	}
+	// Contrast: equal-width on the same skewed data crams most values
+	// into the first categories.
+	ew, err := FromData(data, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := 0
+	for _, v := range data[0] {
+		if ew.Symbol(v) == 0 {
+			first++
+		}
+	}
+	if first < 3*len(data[0])/n {
+		t.Skip("data not skewed enough to demonstrate the contrast")
+	}
+}
+
+func TestQuantileDegenerateConstantData(t *testing.T) {
+	q, err := NewQuantile([]seq.Sequence{{5, 5, 5, 5}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := q.Symbol(5)
+	lo, hi := q.Interval(sym)
+	if 5 < lo || 5 > hi {
+		t.Errorf("constant value outside its interval [%g, %g]", lo, hi)
+	}
+}
+
+func TestQuantileDeduplicatesBoundaries(t *testing.T) {
+	// Many repeated values would produce duplicate quantile boundaries.
+	data := []seq.Sequence{{1, 1, 1, 1, 1, 1, 1, 1, 2, 3}}
+	q, err := NewQuantile(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumCategories() > 8 {
+		t.Errorf("NumCategories = %d", q.NumCategories())
+	}
+	// Every categorized value must still be covered.
+	for _, v := range data[0] {
+		sym := q.Symbol(v)
+		lo, hi := q.Interval(sym)
+		if v < lo || v > hi {
+			t.Fatalf("value %g outside its interval", v)
+		}
+	}
+}
+
+func TestQuantileEncode(t *testing.T) {
+	q, err := NewQuantile([]seq.Sequence{{1, 2, 3, 4, 5, 6, 7, 8}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := q.Encode(seq.Sequence{1, 8})
+	if syms[0] == syms[1] {
+		t.Errorf("min and max share a category: %v", syms)
+	}
+}

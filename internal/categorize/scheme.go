@@ -1,0 +1,25 @@
+package categorize
+
+import "repro/internal/seq"
+
+// Scheme is the contract the ST-Filter traversal needs from a
+// categorization: a total value→category mapping whose Interval always
+// covers every value the category was assigned — the property that keeps
+// the branch-and-bound DP a lower bound (no false dismissal).
+type Scheme interface {
+	// NumCategories returns the category count.
+	NumCategories() int
+	// Symbol maps a value to its category.
+	Symbol(v float64) Symbol
+	// Interval returns the value range covered by a category.
+	Interval(sym Symbol) (lo, hi float64)
+	// Encode converts a numeric sequence into its category sequence.
+	Encode(s seq.Sequence) []Symbol
+	// MinDistToValue lower-bounds |v - x| over x in the category.
+	MinDistToValue(sym Symbol, v float64) float64
+}
+
+var (
+	_ Scheme = (*Categorizer)(nil)
+	_ Scheme = (*Quantile)(nil)
+)

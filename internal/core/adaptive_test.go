@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+func TestAdaptiveAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	data := synth.RandomWalkSetVaryLen(rng, 100, 10, 30)
+	db, idx := buildFixture(t, data)
+	naive := &NaiveScan{DB: db, Base: seq.LInf}
+	adaptive := &AdaptiveSearch{DB: db, Index: idx, Base: seq.LInf}
+	// Small tolerances (fetch path) and huge ones (sweep path).
+	for _, eps := range []float64{0.05, 0.3, 1, 100} {
+		q := synth.Query(rng, data)
+		truth, err := naive.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := adaptive.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(matchIDs(res), matchIDs(truth)) {
+			t.Fatalf("eps %g: adaptive disagrees with naive", eps)
+		}
+	}
+}
+
+func TestAdaptiveChoosesSweepAtHugeTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	data := synth.RandomWalkSet(rng, 200, 50)
+	db, idx := buildFixture(t, data)
+	adaptive := &AdaptiveSearch{DB: db, Index: idx, Base: seq.LInf}
+	// eps large enough that every sequence is a candidate.
+	if !adaptive.useSweep(200, DefaultCostModel) {
+		t.Error("200/200 candidates should choose the sweep")
+	}
+	if adaptive.useSweep(1, DefaultCostModel) {
+		t.Error("1 candidate should choose the fetch path")
+	}
+	// End-to-end: with all candidates, the sweep path produces sequential
+	// data misses rather than random ones.
+	db.ResetStats()
+	res, err := adaptive.Search(synth.Query(rng, data), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Candidates != 200 {
+		t.Fatalf("candidates = %d", res.Stats.Candidates)
+	}
+	if res.Stats.Results != 200 {
+		t.Fatalf("results = %d", res.Stats.Results)
+	}
+	if res.Stats.DataMisses > 0 && res.Stats.DataSeqMisses == 0 {
+		t.Error("sweep path produced no sequential misses")
+	}
+}
+
+func TestAdaptiveEmptyDatabase(t *testing.T) {
+	db, idx := buildFixture(t, nil)
+	adaptive := &AdaptiveSearch{DB: db, Index: idx, Base: seq.LInf}
+	res, err := adaptive.Search(seq.Sequence{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Error("matches in empty db")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pagefile"
+	"repro/internal/rtree"
+	"repro/internal/seq"
+)
+
+// FeatureIndex is the paper's 4-dimensional index: an R-tree over the
+// time-warping-invariant feature vectors
+// (First(S), Last(S), Greatest(S), Smallest(S)) with Dtw-lb (= L∞ over
+// those vectors) as its distance function (§4.3.1).
+type FeatureIndex struct {
+	tree *rtree.Tree
+}
+
+// IndexOptions configures feature index construction.
+type IndexOptions struct {
+	// PageSize is the index page size (0 = pagefile.DefaultPageSize, the
+	// paper's 1 KB).
+	PageSize int
+	// PoolPages is the index buffer pool capacity (0 = 64).
+	PoolPages int
+	// Split selects the R-tree overflow heuristic.
+	Split rtree.SplitStrategy
+	// OnDiskPath, when non-empty, stores the index in a page file at that
+	// path instead of in memory.
+	OnDiskPath string
+}
+
+func (o IndexOptions) withDefaults() IndexOptions {
+	if o.PageSize == 0 {
+		o.PageSize = pagefile.DefaultPageSize
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = 64
+	}
+	return o
+}
+
+// NewFeatureIndex creates an empty feature index.
+func NewFeatureIndex(opts IndexOptions) (*FeatureIndex, error) {
+	opts = opts.withDefaults()
+	var backend pagefile.Backend
+	if opts.OnDiskPath != "" {
+		fb, err := pagefile.CreateFile(opts.OnDiskPath, opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		backend = fb
+	} else {
+		backend = pagefile.NewMemBackend(opts.PageSize)
+	}
+	pool, err := pagefile.NewPool(backend, opts.PageSize, opts.PoolPages)
+	if err != nil {
+		backend.Close()
+		return nil, err
+	}
+	tree, err := rtree.Create(pool, 4, rtree.Options{Split: opts.Split})
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return &FeatureIndex{tree: tree}, nil
+}
+
+// OpenFeatureIndex opens a previously created on-disk feature index.
+func OpenFeatureIndex(path string, opts IndexOptions) (*FeatureIndex, error) {
+	opts = opts.withDefaults()
+	fb, err := pagefile.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := pagefile.NewPool(fb, fb.PageSize(), opts.PoolPages)
+	if err != nil {
+		fb.Close()
+		return nil, err
+	}
+	tree, err := rtree.Open(pool, rtree.Options{Split: opts.Split})
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	if tree.Dim() != 4 {
+		tree.Close()
+		return nil, fmt.Errorf("core: index at %s has dimension %d, want 4", path, tree.Dim())
+	}
+	return &FeatureIndex{tree: tree}, nil
+}
+
+// Insert adds the entry <Feature(S), ID(S)> for a sequence (§4.3.1).
+func (fi *FeatureIndex) Insert(id seq.ID, s seq.Sequence) error {
+	f, err := seq.ExtractFeature(s)
+	if err != nil {
+		return err
+	}
+	v := f.Vector()
+	return fi.tree.Insert(rtree.NewPoint(v[:]), uint32(id))
+}
+
+// Delete removes a sequence's entry, reporting whether it was present.
+func (fi *FeatureIndex) Delete(id seq.ID, s seq.Sequence) (bool, error) {
+	f, err := seq.ExtractFeature(s)
+	if err != nil {
+		return false, err
+	}
+	v := f.Vector()
+	return fi.tree.Delete(rtree.NewPoint(v[:]), uint32(id))
+}
+
+// BulkLoad builds the index from all (id, feature) pairs at once using STR
+// packing. The index must be empty.
+func (fi *FeatureIndex) BulkLoad(ids []seq.ID, features []seq.Feature) error {
+	if len(ids) != len(features) {
+		return fmt.Errorf("core: %d ids but %d features", len(ids), len(features))
+	}
+	entries := make([]rtree.Entry, len(ids))
+	for i := range ids {
+		v := features[i].Vector()
+		entries[i] = rtree.Entry{Rect: rtree.NewPoint(v[:]), Child: uint32(ids[i])}
+	}
+	return fi.tree.BulkLoad(entries)
+}
+
+// RangeQuery performs the paper's Step-2: a square range query with
+// Feature(Q) as the center and ε as the per-dimension half-extent, returning
+// candidate sequence IDs. Exactly the sequences with
+// Dtw-lb(S,Q) ≤ ε are returned.
+func (fi *FeatureIndex) RangeQuery(fq seq.Feature, epsilon float64) ([]seq.ID, error) {
+	center := fq.Vector()
+	lo := make([]float64, 4)
+	hi := make([]float64, 4)
+	for i := range center {
+		lo[i] = center[i] - epsilon
+		hi[i] = center[i] + epsilon
+	}
+	query, err := rtree.NewRect(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	var ids []seq.ID
+	err = fi.tree.Search(query, func(_ rtree.Rect, id uint32) bool {
+		ids = append(ids, seq.ID(id))
+		return true
+	})
+	return ids, err
+}
+
+// NearestWalk streams sequence IDs in non-decreasing Dtw-lb order from the
+// query feature. The L∞ norm makes the stream order consistent with the
+// lower-bound metric, enabling exact k-NN refinement.
+func (fi *FeatureIndex) NearestWalk(fq seq.Feature, fn func(id seq.ID, lowerBound float64) bool) error {
+	center := fq.Vector()
+	return fi.tree.NearestWalk(center[:], rtree.NormLInf, func(n rtree.Neighbor) bool {
+		return fn(seq.ID(n.Entry.Child), n.Dist)
+	})
+}
+
+// Len returns the number of indexed sequences.
+func (fi *FeatureIndex) Len() int { return fi.tree.Len() }
+
+// Pages returns the number of pages the index occupies.
+func (fi *FeatureIndex) Pages() int { return fi.tree.NodePages() }
+
+// Stats exposes the index buffer pool counters.
+func (fi *FeatureIndex) Stats() pagefile.Stats { return fi.tree.Stats() }
+
+// ResetStats zeroes the index buffer pool counters.
+func (fi *FeatureIndex) ResetStats() { fi.tree.ResetStats() }
+
+// CheckInvariants validates the underlying R-tree structure.
+func (fi *FeatureIndex) CheckInvariants() error { return fi.tree.CheckInvariants() }
+
+// Flush persists the index.
+func (fi *FeatureIndex) Flush() error { return fi.tree.Flush() }
+
+// Close flushes and releases the index.
+func (fi *FeatureIndex) Close() error { return fi.tree.Close() }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/dtw"
+	"repro/internal/seq"
+	"repro/internal/seqdb"
+)
+
+// Searcher is a whole-matching similarity search method: it returns every
+// data sequence S with Dtw(S, Q) ≤ epsilon. All implementations in this
+// package are exact (no false dismissal) except FastMapSearch, which is
+// provided to reproduce the paper's §3.3 false-dismissal argument.
+type Searcher interface {
+	// Name identifies the method in experiment output.
+	Name() string
+	// Search runs one whole-matching similarity query.
+	Search(q seq.Sequence, epsilon float64) (*Result, error)
+}
+
+// refine runs the post-processing of Algorithm 1 (Step-4..7): fetch each
+// candidate sequence and keep it when the exact early-abandoning DTW is
+// within epsilon. Matches are returned sorted by distance then ID.
+func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
+	candidates []seq.ID, stats *QueryStats) ([]Match, error) {
+	var matches []Match
+	for _, id := range candidates {
+		s, err := db.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		stats.DTWCalls++
+		if d, ok := dtw.DistanceWithin(s, q, base, epsilon); ok {
+			matches = append(matches, Match{ID: id, Dist: d})
+		}
+	}
+	sortMatches(matches)
+	return matches, nil
+}
+
+func sortMatches(matches []Match) {
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Dist != matches[j].Dist {
+			return matches[i].Dist < matches[j].Dist
+		}
+		return matches[i].ID < matches[j].ID
+	})
+}
+
+// NaiveScan is the sequential-scan baseline (§3.1): it reads every data
+// sequence and evaluates the (early-abandoning) DTW directly.
+type NaiveScan struct {
+	DB   *seqdb.DB
+	Base seq.Base
+}
+
+// Name implements Searcher.
+func (n *NaiveScan) Name() string { return "Naive-Scan" }
+
+// Search implements Searcher.
+func (n *NaiveScan) Search(q seq.Sequence, epsilon float64) (*Result, error) {
+	start := time.Now()
+	before := n.DB.Stats()
+	res := &Result{}
+	err := n.DB.Scan(func(id seq.ID, s seq.Sequence) error {
+		res.Stats.DTWCalls++
+		if d, ok := dtw.DistanceWithin(s, q, n.Base, epsilon); ok {
+			res.Matches = append(res.Matches, Match{ID: id, Dist: d})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortMatches(res.Matches)
+	after := n.DB.Stats()
+	res.Stats.Results = len(res.Matches)
+	// Naive-Scan has no filtering step; following the paper's Experiment 1
+	// convention, its candidate count equals its result count.
+	res.Stats.Candidates = len(res.Matches)
+	res.Stats.DataReads = after.Reads - before.Reads
+	res.Stats.DataMisses = after.Misses - before.Misses
+	res.Stats.DataSeqMisses = after.SeqMisses - before.SeqMisses
+	res.Stats.Wall = time.Since(start)
+	return res, nil
+}
+
+// LBScan is Yi et al.'s sequential scan with the O(|S|+|Q|) lower bound
+// D_lb used as a cheap filter before the full DTW (§3.2).
+type LBScan struct {
+	DB   *seqdb.DB
+	Base seq.Base
+}
+
+// Name implements Searcher.
+func (l *LBScan) Name() string { return "LB-Scan" }
+
+// Search implements Searcher.
+func (l *LBScan) Search(q seq.Sequence, epsilon float64) (*Result, error) {
+	start := time.Now()
+	before := l.DB.Stats()
+	res := &Result{}
+	err := l.DB.Scan(func(id seq.ID, s seq.Sequence) error {
+		res.Stats.LowerBoundCalls++
+		if dtw.LBYi(s, q, l.Base) > epsilon {
+			return nil
+		}
+		res.Stats.Candidates++
+		res.Stats.DTWCalls++
+		if d, ok := dtw.DistanceWithin(s, q, l.Base, epsilon); ok {
+			res.Matches = append(res.Matches, Match{ID: id, Dist: d})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortMatches(res.Matches)
+	after := l.DB.Stats()
+	res.Stats.Results = len(res.Matches)
+	res.Stats.DataReads = after.Reads - before.Reads
+	res.Stats.DataMisses = after.Misses - before.Misses
+	res.Stats.DataSeqMisses = after.SeqMisses - before.SeqMisses
+	res.Stats.Wall = time.Since(start)
+	return res, nil
+}
+
+// TWSimSearch is the paper's method (Algorithm 1): a square range query on
+// the 4-d feature index with Dtw-lb as the pruning metric, followed by
+// exact DTW refinement. Theorems 1 and 2 guarantee no false dismissal.
+type TWSimSearch struct {
+	DB    *seqdb.DB
+	Index *FeatureIndex
+	Base  seq.Base
+}
+
+// Name implements Searcher.
+func (t *TWSimSearch) Name() string { return "TW-Sim-Search" }
+
+// Search implements Searcher.
+func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
+	start := time.Now()
+	dbBefore := t.DB.Stats()
+	idxBefore := t.Index.Stats()
+	fq, err := seq.ExtractFeature(q)
+	if err != nil {
+		return nil, err
+	}
+	candidates, err := t.Index.RangeQuery(fq, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	res.Stats.Candidates = len(candidates)
+	res.Matches, err = refine(t.DB, t.Base, q, epsilon, candidates, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	dbAfter := t.DB.Stats()
+	idxAfter := t.Index.Stats()
+	res.Stats.Results = len(res.Matches)
+	res.Stats.DataReads = dbAfter.Reads - dbBefore.Reads
+	res.Stats.DataMisses = dbAfter.Misses - dbBefore.Misses
+	res.Stats.DataSeqMisses = dbAfter.SeqMisses - dbBefore.SeqMisses
+	res.Stats.IndexReads = idxAfter.Reads - idxBefore.Reads
+	res.Stats.IndexMisses = idxAfter.Misses - idxBefore.Misses
+	res.Stats.IndexSeqMisses = idxAfter.SeqMisses - idxBefore.SeqMisses
+	res.Stats.Wall = time.Since(start)
+	return res, nil
+}
+
+// NearestK returns the k sequences with the smallest exact DTW distance to
+// q (an extension enabled by Dtw-lb being a true lower bound): candidates
+// stream from the index in lower-bound order and refinement stops once the
+// next lower bound exceeds the current k-th best exact distance.
+func (t *TWSimSearch) NearestK(q seq.Sequence, k int) ([]Match, error) {
+	fq, err := seq.ExtractFeature(q)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	var best []Match // sorted ascending by Dist
+	var walkErr error
+	err = t.Index.NearestWalk(fq, func(id seq.ID, lb float64) bool {
+		if len(best) == k && lb > best[k-1].Dist {
+			return false // every later candidate has Dtw >= lb > k-th best
+		}
+		s, err := t.DB.Get(id)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		var d float64
+		if len(best) == k {
+			var ok bool
+			d, ok = dtw.DistanceWithin(s, q, t.Base, best[k-1].Dist)
+			if !ok {
+				return true
+			}
+		} else {
+			d = dtw.Distance(s, q, t.Base)
+		}
+		best = append(best, Match{ID: id, Dist: d})
+		sortMatches(best)
+		if len(best) > k {
+			best = best[:k]
+		}
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return best, err
+}

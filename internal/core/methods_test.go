@@ -1,0 +1,385 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/dtw"
+	"repro/internal/seq"
+	"repro/internal/seqdb"
+	"repro/internal/synth"
+)
+
+// buildFixture stores data in a fresh in-memory DB with a bulk-loaded
+// feature index.
+func buildFixture(t *testing.T, data []seq.Sequence) (*seqdb.DB, *FeatureIndex) {
+	t.Helper()
+	db, err := seqdb.NewMem(seqdb.Options{PageSize: 256, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	idx, err := NewFeatureIndex(IndexOptions{PageSize: 512, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	ids := make([]seq.ID, len(data))
+	features := make([]seq.Feature, len(data))
+	for i, s := range data {
+		id, err := db.Append(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		features[i] = seq.MustFeature(s)
+	}
+	if err := idx.BulkLoad(ids, features); err != nil {
+		t.Fatal(err)
+	}
+	return db, idx
+}
+
+func matchIDs(r *Result) []seq.ID {
+	ids := append([]seq.ID(nil), r.IDs()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sameIDs(a, b []seq.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// All exact methods must return identical result sets for identical queries.
+func TestExactMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := synth.RandomWalkSetVaryLen(rng, 120, 10, 40)
+	db, idx := buildFixture(t, data)
+	stf, err := BuildSTFilter(db, seq.LInf, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []Searcher{
+		&NaiveScan{DB: db, Base: seq.LInf},
+		&LBScan{DB: db, Base: seq.LInf},
+		stf,
+		&TWSimSearch{DB: db, Index: idx, Base: seq.LInf},
+	}
+	queries := synth.Queries(rng, data, 15)
+	for qi, q := range queries {
+		for _, eps := range []float64{0.05, 0.2, 0.5, 1.5} {
+			var want []seq.ID
+			for mi, m := range methods {
+				res, err := m.Search(q, eps)
+				if err != nil {
+					t.Fatalf("%s: %v", m.Name(), err)
+				}
+				got := matchIDs(res)
+				if mi == 0 {
+					want = got
+					continue
+				}
+				if !sameIDs(got, want) {
+					t.Fatalf("query %d eps %g: %s returned %v, Naive-Scan %v",
+						qi, eps, m.Name(), got, want)
+				}
+				if res.Stats.Results != len(got) {
+					t.Errorf("%s: Results stat %d != %d", m.Name(), res.Stats.Results, len(got))
+				}
+			}
+		}
+	}
+}
+
+// The reported distances must equal the exact DTW.
+func TestReportedDistancesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := synth.RandomWalkSetVaryLen(rng, 60, 10, 30)
+	db, idx := buildFixture(t, data)
+	m := &TWSimSearch{DB: db, Index: idx, Base: seq.LInf}
+	q := synth.Query(rng, data)
+	res, err := m.Search(q, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Skip("no matches at this tolerance")
+	}
+	for _, match := range res.Matches {
+		s, err := db.Get(match.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dtw.Distance(s, q, seq.LInf)
+		if match.Dist != want {
+			t.Errorf("id %d: reported %g, exact %g", match.ID, match.Dist, want)
+		}
+		if match.Dist > 1.0 {
+			t.Errorf("id %d: distance %g exceeds tolerance", match.ID, match.Dist)
+		}
+	}
+	// Matches must be sorted by distance.
+	for i := 1; i < len(res.Matches); i++ {
+		if res.Matches[i].Dist < res.Matches[i-1].Dist {
+			t.Error("matches not sorted by distance")
+		}
+	}
+}
+
+// Candidate sets must be supersets of the answer set (no false dismissal)
+// for every exact method.
+func TestCandidateSupersets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := synth.RandomWalkSetVaryLen(rng, 100, 10, 30)
+	db, idx := buildFixture(t, data)
+	stf, err := BuildSTFilter(db, seq.LInf, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &NaiveScan{DB: db, Base: seq.LInf}
+	filtered := []Searcher{
+		&LBScan{DB: db, Base: seq.LInf},
+		stf,
+		&TWSimSearch{DB: db, Index: idx, Base: seq.LInf},
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := synth.Query(rng, data)
+		eps := 0.1 + rng.Float64()
+		truth, err := naive.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range filtered {
+			res, err := m.Search(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Candidates < len(truth.Matches) {
+				t.Errorf("%s: %d candidates < %d true answers",
+					m.Name(), res.Stats.Candidates, len(truth.Matches))
+			}
+			if !sameIDs(matchIDs(res), matchIDs(truth)) {
+				t.Errorf("%s: false dismissal or false positive", m.Name())
+			}
+		}
+	}
+}
+
+// The paper's Figure 2 ordering: TW-Sim-Search filters at least as well as
+// LB-Scan on paper-style workloads (its candidate set cannot be wildly
+// larger; on average it is smaller).
+func TestTWSimFiltersBetterThanLBScanOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := synth.StockSet(rng, synth.StockOptions{Count: 120, MeanLen: 40, LenSpread: 10})
+	db, idx := buildFixture(t, data)
+	lb := &LBScan{DB: db, Base: seq.LInf}
+	tw := &TWSimSearch{DB: db, Index: idx, Base: seq.LInf}
+	var lbCand, twCand int
+	for trial := 0; trial < 20; trial++ {
+		q := synth.Query(rng, data)
+		eps := 0.5
+		lbRes, err := lb.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twRes, err := tw.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lbCand += lbRes.Stats.Candidates
+		twCand += twRes.Stats.Candidates
+	}
+	if twCand > lbCand {
+		t.Errorf("TW-Sim-Search candidates %d > LB-Scan %d in aggregate", twCand, lbCand)
+	}
+}
+
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := synth.RandomWalkSetVaryLen(rng, 80, 10, 30)
+	db, idx := buildFixture(t, data)
+	tw := &TWSimSearch{DB: db, Index: idx, Base: seq.LInf}
+	for trial := 0; trial < 10; trial++ {
+		q := synth.Query(rng, data)
+		k := 1 + rng.Intn(8)
+		got, err := tw.NearestK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		type pair struct {
+			id seq.ID
+			d  float64
+		}
+		var all []pair
+		for i, s := range data {
+			all = append(all, pair{seq.ID(i), dtw.Distance(s, q, seq.LInf)})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d != all[j].d {
+				return all[i].d < all[j].d
+			}
+			return all[i].id < all[j].id
+		})
+		if len(got) != k {
+			t.Fatalf("NearestK returned %d of %d", len(got), k)
+		}
+		for i := range got {
+			if got[i].Dist != all[i].d {
+				t.Fatalf("trial %d k=%d pos %d: dist %g, want %g (id %d vs %d)",
+					trial, k, i, got[i].Dist, all[i].d, got[i].ID, all[i].id)
+			}
+		}
+	}
+}
+
+func TestNearestKEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := synth.RandomWalkSetVaryLen(rng, 10, 5, 10)
+	db, idx := buildFixture(t, data)
+	tw := &TWSimSearch{DB: db, Index: idx, Base: seq.LInf}
+	q := synth.Query(rng, data)
+	if got, err := tw.NearestK(q, 0); err != nil || got != nil {
+		t.Errorf("k=0: %v, %v", got, err)
+	}
+	got, err := tw.NearestK(q, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("k>n returned %d of 10", len(got))
+	}
+}
+
+// LB-Scan statistics: it must evaluate the lower bound for every sequence
+// but the full DTW only for candidates.
+func TestLBScanStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := synth.RandomWalkSetVaryLen(rng, 50, 10, 20)
+	db, _ := buildFixture(t, data)
+	lb := &LBScan{DB: db, Base: seq.LInf}
+	res, err := lb.Search(synth.Query(rng, data), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LowerBoundCalls != 50 {
+		t.Errorf("LowerBoundCalls = %d, want 50", res.Stats.LowerBoundCalls)
+	}
+	if res.Stats.DTWCalls != res.Stats.Candidates {
+		t.Errorf("DTWCalls %d != Candidates %d", res.Stats.DTWCalls, res.Stats.Candidates)
+	}
+	if res.Stats.DataReads == 0 {
+		t.Error("scan reported no data page reads")
+	}
+}
+
+func TestQueryStatsAggregation(t *testing.T) {
+	a := QueryStats{Candidates: 1, Results: 2, DTWCalls: 3, DataReads: 4, Wall: 5}
+	a.Add(QueryStats{Candidates: 10, Results: 20, DTWCalls: 30, DataReads: 40, Wall: 50})
+	if a.Candidates != 11 || a.Results != 22 || a.DTWCalls != 33 || a.DataReads != 44 || a.Wall != 55 {
+		t.Errorf("Add = %+v", a)
+	}
+	if got := a.CandidateRatio(100); got != 0.11 {
+		t.Errorf("CandidateRatio = %g", got)
+	}
+	if got := (QueryStats{}).CandidateRatio(0); got != 0 {
+		t.Errorf("zero-db ratio = %g", got)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestModeledTime(t *testing.T) {
+	s := QueryStats{
+		DataMisses: 10, DataSeqMisses: 8,
+		IndexMisses: 5, IndexSeqMisses: 0,
+		TreePages: 2,
+		Wall:      1000,
+	}
+	cm := CostModel{Seek: 100, Transfer: 10}
+	// Random misses: (10-8) + 5 + 2 tree pages = 9 seeks; transfers for
+	// all 15 misses + 2 tree pages = 17.
+	want := time.Duration(1000 + 9*100 + 17*10)
+	if got := s.Modeled(cm); got != want {
+		t.Errorf("Modeled = %v, want %v", got, want)
+	}
+	// A purely sequential scan pays no seeks.
+	scan := QueryStats{DataMisses: 100, DataSeqMisses: 100}
+	if got := scan.Modeled(cm); got != time.Duration(100*10) {
+		t.Errorf("sequential Modeled = %v", got)
+	}
+}
+
+func TestSearchEmptyDatabase(t *testing.T) {
+	db, err := seqdb.NewMem(seqdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	idx, err := NewFeatureIndex(IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	for _, m := range []Searcher{
+		&NaiveScan{DB: db, Base: seq.LInf},
+		&LBScan{DB: db, Base: seq.LInf},
+		&TWSimSearch{DB: db, Index: idx, Base: seq.LInf},
+	} {
+		res, err := m.Search(seq.Sequence{1, 2, 3}, 1)
+		if err != nil {
+			t.Fatalf("%s on empty db: %v", m.Name(), err)
+		}
+		if len(res.Matches) != 0 {
+			t.Errorf("%s found matches in empty db", m.Name())
+		}
+	}
+}
+
+// The methods must also agree under the L1 base (the paper's footnote 3
+// reruns everything with L1).
+func TestExactMethodsAgreeL1(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := synth.RandomWalkSetVaryLen(rng, 60, 8, 25)
+	db, idx := buildFixture(t, data)
+	stf, err := BuildSTFilter(db, seq.L1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &NaiveScan{DB: db, Base: seq.L1}
+	// Dtw_L1 >= Dtw_Linf >= Dtw-lb, so the L∞ feature index remains a
+	// valid filter under the L1 base (§4.1's closing remark).
+	others := []Searcher{
+		&LBScan{DB: db, Base: seq.L1},
+		stf,
+		&TWSimSearch{DB: db, Index: idx, Base: seq.L1},
+	}
+	for trial := 0; trial < 8; trial++ {
+		q := synth.Query(rng, data)
+		eps := 1 + rng.Float64()*5
+		truth, err := naive.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range others {
+			res, err := m.Search(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(matchIDs(res), matchIDs(truth)) {
+				t.Fatalf("%s disagrees with Naive-Scan under L1", m.Name())
+			}
+		}
+	}
+}

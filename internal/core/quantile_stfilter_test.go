@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+// The quantile-categorized ST-Filter must remain exact.
+func TestSTFilterQuantileAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	data := synth.RandomWalkSetVaryLen(rng, 60, 10, 30)
+	db, _ := buildFixture(t, data)
+	stf, err := BuildSTFilterQuantile(db, seq.LInf, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &NaiveScan{DB: db, Base: seq.LInf}
+	for trial := 0; trial < 8; trial++ {
+		q := synth.Query(rng, data)
+		eps := 0.1 + rng.Float64()*0.5
+		truth, err := naive.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := stf.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(matchIDs(res), matchIDs(truth)) {
+			t.Fatalf("quantile ST-Filter disagrees with Naive-Scan at eps %g", eps)
+		}
+	}
+}
+
+// On skewed data, quantile categories should filter no worse than
+// equal-width ones on average (they concentrate resolution where values
+// live).
+func TestSTFilterQuantileOnSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Skewed workload: most sequences live in a narrow low band; a few
+	// outliers stretch the global range.
+	var data []seq.Sequence
+	for i := 0; i < 80; i++ {
+		s := synth.RandomWalk(rng, 30)
+		if i%20 == 0 {
+			for j := range s {
+				s[j] *= 50 // outlier band
+			}
+		}
+		data = append(data, s)
+	}
+	db, _ := buildFixture(t, data)
+	ew, err := BuildSTFilter(db, seq.LInf, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := BuildSTFilterQuantile(db, seq.LInf, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ewCand, qtCand int
+	for trial := 0; trial < 10; trial++ {
+		q := synth.Query(rng, data)
+		ewRes, err := ew.Search(q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qtRes, err := qt.Search(q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ewCand += ewRes.Stats.Candidates
+		qtCand += qtRes.Stats.Candidates
+		// Both exact.
+		if ewRes.Stats.Results != qtRes.Stats.Results {
+			t.Fatalf("result counts differ: %d vs %d", ewRes.Stats.Results, qtRes.Stats.Results)
+		}
+	}
+	if qtCand > ewCand {
+		t.Logf("note: quantile candidates %d > equal-width %d on this workload", qtCand, ewCand)
+	}
+}
+
+// Subsequence search also works through the quantile scheme.
+func TestSTFilterQuantileSubsequences(t *testing.T) {
+	data := []seq.Sequence{{1, 2, 3, 4, 5}, {9, 1, 2, 3, 9}}
+	db, _ := buildFixture(t, data)
+	stf, err := BuildSTFilterQuantile(db, seq.LInf, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stf.SearchSubsequences(seq.Sequence{1, 2, 3}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[[2]int]bool{}
+	for _, m := range res.Matches {
+		if m.Len == 3 {
+			found[[2]int{int(m.ID), m.Offset}] = true
+		}
+	}
+	if !found[[2]int{0, 0}] || !found[[2]int{1, 1}] {
+		t.Errorf("occurrences missing: %v", found)
+	}
+}

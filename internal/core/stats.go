@@ -1,0 +1,122 @@
+// Package core implements the paper's primary contribution — the
+// TW-Sim-Search method (a 4-dimensional feature index queried through the
+// lower-bound metric Dtw-lb) — together with the three baselines it is
+// evaluated against (Naive-Scan, LB-Scan, ST-Filter) and the FastMap method
+// it contrasts with, all over the shared storage substrates.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// CostModel converts buffer pool misses into modeled disk time so elapsed
+// time comparisons are independent of the host machine. The default models
+// the paper's platform (§5.1: a 9.5 ms-seek disk). Sequential misses (the
+// next physical page after the previous miss, as a scan produces) are
+// charged transfer cost only; random misses pay a full seek + transfer.
+type CostModel struct {
+	// Seek is charged for every random (non-sequential) page miss.
+	Seek time.Duration
+	// Transfer is charged for every page miss, sequential or not.
+	Transfer time.Duration
+}
+
+// DefaultCostModel mirrors the paper's 9.5 ms-seek disk with a ~10 MB/s
+// transfer rate (≈ 0.1 ms per 1 KB page).
+var DefaultCostModel = CostModel{Seek: 9500 * time.Microsecond, Transfer: 100 * time.Microsecond}
+
+// QueryStats describes the work one similarity search performed.
+type QueryStats struct {
+	// Candidates is the size of the candidate set after the filtering
+	// step (the numerator of the paper's candidate ratio, Experiment 1).
+	Candidates int
+	// Results is the number of qualifying sequences.
+	Results int
+	// DTWCalls counts exact DTW evaluations during refinement
+	// (early-abandoned evaluations included).
+	DTWCalls int
+	// LowerBoundCalls counts scan-time lower-bound evaluations (LB-Scan).
+	LowerBoundCalls int
+	// TreeNodes counts suffix tree nodes visited (ST-Filter).
+	TreeNodes int
+	// TreePages is the modeled number of suffix-tree pages a disk-resident
+	// tree of this size would have touched (the tree itself is memory
+	// resident; the paper's was not, and its size is exactly why ST-Filter
+	// loses on whole matching). Charged as random misses by Modeled.
+	TreePages int64
+	// DataReads/DataMisses/DataSeqMisses are the sequence heap file's
+	// buffer pool counters for this query.
+	DataReads, DataMisses, DataSeqMisses int64
+	// IndexReads/IndexMisses/IndexSeqMisses are the index buffer pool
+	// counters (R-tree based methods).
+	IndexReads, IndexMisses, IndexSeqMisses int64
+	// Wall is the measured wall-clock duration.
+	Wall time.Duration
+}
+
+// Modeled returns the modeled elapsed time: measured wall time plus the
+// cost-model disk charge. Sequential misses pay transfer only; random
+// misses (and modeled suffix-tree pages) pay seek + transfer.
+func (s QueryStats) Modeled(cm CostModel) time.Duration {
+	misses := s.DataMisses + s.IndexMisses
+	seq := s.DataSeqMisses + s.IndexSeqMisses
+	random := misses - seq + s.TreePages
+	return s.Wall + time.Duration(random)*cm.Seek + time.Duration(misses+s.TreePages)*cm.Transfer
+}
+
+// Add accumulates other into s (used to aggregate over query batches).
+func (s *QueryStats) Add(other QueryStats) {
+	s.Candidates += other.Candidates
+	s.Results += other.Results
+	s.DTWCalls += other.DTWCalls
+	s.LowerBoundCalls += other.LowerBoundCalls
+	s.TreeNodes += other.TreeNodes
+	s.TreePages += other.TreePages
+	s.DataReads += other.DataReads
+	s.DataMisses += other.DataMisses
+	s.DataSeqMisses += other.DataSeqMisses
+	s.IndexReads += other.IndexReads
+	s.IndexMisses += other.IndexMisses
+	s.IndexSeqMisses += other.IndexSeqMisses
+	s.Wall += other.Wall
+}
+
+// CandidateRatio returns Candidates divided by the database size n
+// (Experiment 1's metric).
+func (s QueryStats) CandidateRatio(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Candidates) / float64(n)
+}
+
+// String renders a compact summary.
+func (s QueryStats) String() string {
+	return fmt.Sprintf("cand=%d res=%d dtw=%d lb=%d nodes=%d dataIO=%d/%d idxIO=%d/%d wall=%v",
+		s.Candidates, s.Results, s.DTWCalls, s.LowerBoundCalls, s.TreeNodes,
+		s.DataReads, s.DataMisses, s.IndexReads, s.IndexMisses, s.Wall)
+}
+
+// Match is one qualifying sequence with its exact time warping distance.
+type Match struct {
+	ID   seq.ID
+	Dist float64
+}
+
+// Result is the outcome of one similarity search.
+type Result struct {
+	Matches []Match
+	Stats   QueryStats
+}
+
+// IDs returns the matched sequence IDs in result order.
+func (r *Result) IDs() []seq.ID {
+	out := make([]seq.ID, len(r.Matches))
+	for i, m := range r.Matches {
+		out[i] = m.ID
+	}
+	return out
+}

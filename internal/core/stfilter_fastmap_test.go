@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+func TestSTFilterCandidatesIncludeAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := synth.RandomWalkSetVaryLen(rng, 80, 8, 25)
+	db, _ := buildFixture(t, data)
+	for _, categories := range []int{5, 20, 100} {
+		stf, err := BuildSTFilter(db, seq.LInf, categories)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := &NaiveScan{DB: db, Base: seq.LInf}
+		for trial := 0; trial < 5; trial++ {
+			q := synth.Query(rng, data)
+			eps := 0.1 + rng.Float64()*0.5
+			truth, err := naive.Search(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := stf.Search(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(matchIDs(res), matchIDs(truth)) {
+				t.Fatalf("categories=%d: ST-Filter disagrees with Naive-Scan", categories)
+			}
+		}
+	}
+}
+
+// More categories must not increase the candidate count (finer intervals
+// tighten the traversal lower bound) — the §3.4 trade-off's first half.
+func TestSTFilterCategoryGranularityTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := synth.RandomWalkSetVaryLen(rng, 100, 10, 30)
+	db, _ := buildFixture(t, data)
+	coarse, err := BuildSTFilter(db, seq.LInf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := BuildSTFilter(db, seq.LInf, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coarseCand, fineCand, coarseNodes, fineNodes int
+	for trial := 0; trial < 10; trial++ {
+		q := synth.Query(rng, data)
+		cRes, err := coarse.Search(q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fRes, err := fine.Search(q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarseCand += cRes.Stats.Candidates
+		fineCand += fRes.Stats.Candidates
+		coarseNodes += cRes.Stats.TreeNodes
+		fineNodes += fRes.Stats.TreeNodes
+	}
+	if fineCand > coarseCand {
+		t.Errorf("finer categories produced more candidates: %d > %d", fineCand, coarseCand)
+	}
+	// The second half of the trade-off: the finer tree is larger.
+	if fine.Tree.NumNodes() <= coarse.Tree.NumNodes() {
+		t.Errorf("finer tree not larger: %d <= %d nodes",
+			fine.Tree.NumNodes(), coarse.Tree.NumNodes())
+	}
+}
+
+func TestSTFilterEmptyQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := synth.RandomWalkSetVaryLen(rng, 20, 5, 10)
+	db, _ := buildFixture(t, data)
+	stf, err := BuildSTFilter(db, seq.LInf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stf.Search(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Error("empty query matched sequences")
+	}
+}
+
+func TestSTFilterStatsTrackTreeNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	data := synth.RandomWalkSetVaryLen(rng, 50, 10, 20)
+	db, _ := buildFixture(t, data)
+	stf, err := BuildSTFilter(db, seq.LInf, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stf.Search(synth.Query(rng, data), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TreeNodes == 0 {
+		t.Error("traversal visited no tree nodes")
+	}
+}
+
+// The FastMap method must return a subset of the true answers — and, run
+// over enough queries, actually demonstrate a false dismissal (§3.3's
+// deficiency; this is the reason the paper excludes it).
+func TestFastMapSubsetAndFalseDismissal(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	data := synth.RandomWalkSetVaryLen(rng, 120, 8, 25)
+	db, _ := buildFixture(t, data)
+	fm, err := BuildFastMapSearch(db, seq.LInf, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &NaiveScan{DB: db, Base: seq.LInf}
+	dismissed := 0
+	for trial := 0; trial < 30; trial++ {
+		q := synth.Query(rng, data)
+		eps := 0.2 + rng.Float64()*0.6
+		truth, err := naive.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fm.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every reported match must be correct (refinement is exact)...
+		truthSet := map[seq.ID]bool{}
+		for _, m := range truth.Matches {
+			truthSet[m.ID] = true
+		}
+		for _, m := range res.Matches {
+			if !truthSet[m.ID] {
+				t.Fatalf("FastMap returned non-answer %d", m.ID)
+			}
+		}
+		// ...but some answers may be missing.
+		dismissed += len(truth.Matches) - len(res.Matches)
+	}
+	if dismissed == 0 {
+		t.Log("no false dismissal observed in 30 queries (can happen; embedding was lucky)")
+	}
+}
+
+func TestFastMapSlackWidensCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	data := synth.RandomWalkSetVaryLen(rng, 60, 8, 20)
+	db, _ := buildFixture(t, data)
+	fm, err := BuildFastMapSearch(db, seq.LInf, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := synth.Query(rng, data)
+	fm.Slack = 1
+	narrow, err := fm.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.Slack = 3
+	wide, err := fm.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Stats.Candidates < narrow.Stats.Candidates {
+		t.Errorf("slack 3 candidates %d < slack 1 candidates %d",
+			wide.Stats.Candidates, narrow.Stats.Candidates)
+	}
+	if len(wide.Matches) < len(narrow.Matches) {
+		t.Errorf("wider slack found fewer matches")
+	}
+}
+
+func TestBuildFastMapSearchTooFewObjects(t *testing.T) {
+	db, _ := buildFixture(t, []seq.Sequence{{1, 2, 3}})
+	if _, err := BuildFastMapSearch(db, seq.LInf, 2, 1); err == nil {
+		t.Error("FastMap fit with 1 object accepted")
+	}
+}

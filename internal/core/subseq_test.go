@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtw"
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+func TestSubseqIndexAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := synth.RandomWalkSetVaryLen(rng, 40, 15, 40)
+	db, _ := buildFixture(t, data)
+	lens := []int{8, 12}
+	si, err := BuildSubseqIndex(db, seq.LInf, lens, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer si.Close()
+
+	// Brute force over the same window set.
+	type key struct {
+		id      seq.ID
+		off, ln int
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := synth.Query(rng, data)[:10]
+		eps := 0.1 + rng.Float64()*0.3
+		want := map[key]float64{}
+		for i, s := range data {
+			for _, w := range lens {
+				for off := 0; off+w <= len(s); off++ {
+					d := dtw.Distance(s[off:off+w], q, seq.LInf)
+					if d <= eps {
+						want[key{seq.ID(i), off, w}] = d
+					}
+				}
+			}
+		}
+		res, err := si.Search(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != len(want) {
+			t.Fatalf("trial %d eps %g: %d matches, want %d", trial, eps, len(res.Matches), len(want))
+		}
+		for _, m := range res.Matches {
+			d, ok := want[key{m.ID, m.Offset, m.Len}]
+			if !ok {
+				t.Fatalf("unexpected match %+v", m)
+			}
+			if d != m.Dist {
+				t.Fatalf("match %+v: dist %g, want %g", m, m.Dist, d)
+			}
+		}
+		if res.Stats.Candidates < len(want) {
+			t.Fatalf("candidates %d < answers %d", res.Stats.Candidates, len(want))
+		}
+	}
+}
+
+func TestSubseqIndexStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	data := synth.RandomWalkSet(rng, 10, 30)
+	db, _ := buildFixture(t, data)
+	dense, err := BuildSubseqIndex(db, seq.LInf, []int{10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dense.Close()
+	sparse, err := BuildSubseqIndex(db, seq.LInf, []int{10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sparse.Close()
+	// 21 offsets per sequence at step 1, 5 at step 5.
+	if dense.NumWindows() != 10*21 {
+		t.Errorf("dense windows = %d, want 210", dense.NumWindows())
+	}
+	if sparse.NumWindows() != 10*5 {
+		t.Errorf("sparse windows = %d, want 50", sparse.NumWindows())
+	}
+	if got := dense.WindowLengths(); len(got) != 1 || got[0] != 10 {
+		t.Errorf("WindowLengths = %v", got)
+	}
+}
+
+func TestSubseqIndexMatchesAreSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	data := synth.RandomWalkSet(rng, 20, 40)
+	db, _ := buildFixture(t, data)
+	si, err := BuildSubseqIndex(db, seq.LInf, []int{10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer si.Close()
+	q := data[0][5:15]
+	res, err := si.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Matches); i++ {
+		if res.Matches[i].Dist < res.Matches[i-1].Dist {
+			t.Fatal("matches not sorted by distance")
+		}
+	}
+	// The query window itself must be found at distance 0... it was cut at
+	// offset 5 (odd) while step 2 indexes even offsets, so instead check a
+	// step-aligned cut.
+	q2 := data[1][4:14]
+	res2, err := si.Search(q2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res2.Matches {
+		if m.ID == 1 && m.Offset == 4 && m.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("exact window not found at distance 0")
+	}
+}
+
+func TestSubseqIndexValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	data := synth.RandomWalkSet(rng, 5, 20)
+	db, _ := buildFixture(t, data)
+	if _, err := BuildSubseqIndex(db, seq.LInf, nil, 1); err == nil {
+		t.Error("no window lengths accepted")
+	}
+	if _, err := BuildSubseqIndex(db, seq.LInf, []int{0}, 1); err == nil {
+		t.Error("zero window length accepted")
+	}
+	si, err := BuildSubseqIndex(db, seq.LInf, []int{10}, 0) // step 0 -> 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer si.Close()
+	if _, err := si.Search(nil, 1); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestSubseqWindowsLongerThanSequences(t *testing.T) {
+	db, _ := buildFixture(t, []seq.Sequence{{1, 2, 3}})
+	si, err := BuildSubseqIndex(db, seq.LInf, []int{10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer si.Close()
+	if si.NumWindows() != 0 {
+		t.Errorf("NumWindows = %d for too-short data", si.NumWindows())
+	}
+	res, err := si.Search(seq.Sequence{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Error("matches from empty window set")
+	}
+}

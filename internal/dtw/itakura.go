@@ -1,0 +1,80 @@
+package dtw
+
+import (
+	"math"
+
+	"repro/internal/seq"
+)
+
+// ItakuraDistance computes the time warping distance restricted to the
+// Itakura parallelogram: warping paths whose global slope stays within
+// [1/2, 2] relative to the diagonal. Together with the Sakoe–Chiba band
+// (BandDistance) these are the two classical global path constraints from
+// the speech-recognition literature the paper's Definition 1 descends
+// from. A constraint can only remove paths, so the result is ≥ the
+// unconstrained Distance; it is +Inf when no legal path exists (e.g. when
+// one sequence is more than twice the length of the other).
+func ItakuraDistance(s, q seq.Sequence, base seq.Base) float64 {
+	switch {
+	case s.Empty() && q.Empty():
+		return 0
+	case s.Empty() || q.Empty():
+		return Inf
+	}
+	n, m := len(s), len(q)
+	// Cell (i, j) is legal when it is reachable from (0,0) and can reach
+	// (n-1, m-1) under slope limits [1/2, 2]:
+	//   j <= 2i,            j >= i/2            (from the start corner)
+	//   m-1-j <= 2(n-1-i),  m-1-j >= (n-1-i)/2  (to the end corner)
+	legal := func(i, j int) bool {
+		if 2*i < j || 2*j < i {
+			return false
+		}
+		ri, rj := n-1-i, m-1-j
+		if 2*ri < rj || 2*rj < ri {
+			return false
+		}
+		return true
+	}
+	if !legal(0, 0) || !legal(n-1, m-1) {
+		return Inf
+	}
+	prev := make([]float64, m)
+	cur := make([]float64, m)
+	for j := range prev {
+		prev[j] = Inf
+	}
+	for j := 0; j < m && legal(0, j); j++ {
+		e := base.Elem(s[0], q[j])
+		if j == 0 {
+			prev[0] = e
+		} else if !math.IsInf(prev[j-1], 1) {
+			prev[j] = base.Combine(e, prev[j-1])
+		}
+	}
+	for i := 1; i < n; i++ {
+		for j := range cur {
+			cur[j] = Inf
+		}
+		for j := 0; j < m; j++ {
+			if !legal(i, j) {
+				continue
+			}
+			best := prev[j]
+			if j > 0 {
+				if cur[j-1] < best {
+					best = cur[j-1]
+				}
+				if prev[j-1] < best {
+					best = prev[j-1]
+				}
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			cur[j] = base.Combine(base.Elem(s[i], q[j]), best)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m-1]
+}

@@ -1,0 +1,132 @@
+package dtw
+
+import (
+	"math"
+
+	"repro/internal/seq"
+)
+
+// LBKim is the paper's lower-bound distance Dtw-lb (Definition 3): the L∞
+// distance between the two 4-tuple feature vectors
+// (First, Last, Greatest, Smallest). Theorem 1 proves LBKim(s,q) ≤
+// Dtw(s,q) for the L∞ base; Theorem 2 notes it is a metric, which makes it
+// safe as the distance function of a spatial index.
+func LBKim(s, q seq.Sequence) float64 {
+	if s.Empty() || q.Empty() {
+		if s.Empty() && q.Empty() {
+			return 0
+		}
+		return Inf
+	}
+	return seq.MustFeature(s).DistLInf(seq.MustFeature(q))
+}
+
+// LBKimFeatures is LBKim evaluated on pre-extracted feature vectors; the
+// index uses this form so data sequences never need to be fetched during
+// filtering.
+func LBKimFeatures(fs, fq seq.Feature) float64 { return fs.DistLInf(fq) }
+
+// LBYi is the scan-time lower bound of Yi, Jagadish & Faloutsos used by the
+// LB-Scan baseline, adapted to the requested base distance. Every element of
+// S must match at least one element of Q on any warping path, so its base
+// distance to the range [Smallest(Q), Greatest(Q)] lower-bounds its matched
+// cost; symmetrically for elements of Q against the range of S.
+//
+// For the L∞ base the bound is the maximum such element-to-range distance;
+// for additive bases it is the larger of the two one-sided sums (each
+// element contributes to ≥ 1 mapping, so each one-sided sum is a valid
+// bound, but their sum is not). Complexity O(|S|+|Q|) after the O(1) range
+// computation.
+func LBYi(s, q seq.Sequence, base seq.Base) float64 {
+	if s.Empty() || q.Empty() {
+		if s.Empty() && q.Empty() {
+			return 0
+		}
+		return Inf
+	}
+	sMin, sMax := s.MinMax()
+	qMin, qMax := q.MinMax()
+	if base == seq.LInf {
+		max := 0.0
+		for _, v := range s {
+			if d := seq.DistToRange(v, qMin, qMax); d > max {
+				max = d
+			}
+		}
+		for _, v := range q {
+			if d := seq.DistToRange(v, sMin, sMax); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	sumS, sumQ := 0.0, 0.0
+	for _, v := range s {
+		sumS += base.Elem(0, seq.DistToRange(v, qMin, qMax))
+	}
+	for _, v := range q {
+		sumQ += base.Elem(0, seq.DistToRange(v, sMin, sMax))
+	}
+	return math.Max(sumS, sumQ)
+}
+
+// Envelope is the Keogh upper/lower envelope of a query under a Sakoe–Chiba
+// band of half-width r: Upper[i] = max(q[i-r..i+r]), Lower[i] = min(...).
+type Envelope struct {
+	Lower, Upper []float64
+}
+
+// NewEnvelope builds the envelope of q for band half-width r in O(|Q|·r)
+// time (a simple sliding scan; r is small in practice).
+func NewEnvelope(q seq.Sequence, r int) Envelope {
+	n := len(q)
+	env := Envelope{Lower: make([]float64, n), Upper: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		lo, hi := i-r, i+r
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		min, max := q[lo], q[lo]
+		for j := lo + 1; j <= hi; j++ {
+			if q[j] < min {
+				min = q[j]
+			}
+			if q[j] > max {
+				max = q[j]
+			}
+		}
+		env.Lower[i], env.Upper[i] = min, max
+	}
+	return env
+}
+
+// LBKeogh computes Keogh's envelope lower bound of the *banded* time warping
+// distance BandDistance(s, q, base, r), where env must have been built from
+// q with the same r and |S| must equal |Q| (the bound is defined for
+// equal-length sequences). It returns +Inf when the lengths differ, which is
+// trivially a safe answer only for pruning equal-length workloads — callers
+// handle mixed-length data with LBKim/LBYi instead.
+//
+// This is a post-paper extension included for the ablation benches.
+func LBKeogh(s seq.Sequence, env Envelope, base seq.Base) float64 {
+	if len(s) != len(env.Lower) {
+		return Inf
+	}
+	if base == seq.LInf {
+		max := 0.0
+		for i, v := range s {
+			if d := seq.DistToRange(v, env.Lower[i], env.Upper[i]); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	acc := 0.0
+	for i, v := range s {
+		acc += base.Elem(0, seq.DistToRange(v, env.Lower[i], env.Upper[i]))
+	}
+	return acc
+}

@@ -1,0 +1,224 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+// Theorem 1: Dtw(S,Q) >= LBKim(S,Q) for the L∞ base.
+func TestLBKimLowerBoundsTheorem1(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		s := randSeq(rng, 20)
+		q := randSeq(rng, 20)
+		lb := LBKim(s, q)
+		d := Distance(s, q, seq.LInf)
+		if lb > d+1e-9 {
+			t.Fatalf("Theorem 1 violated: LBKim=%g > Dtw=%g for s=%v q=%v", lb, d, s, q)
+		}
+	}
+}
+
+// Theorem 1, property-based over arbitrary generated inputs.
+func TestLBKimTheorem1Quick(t *testing.T) {
+	f := func(sv, qv []float64) bool {
+		if len(sv) == 0 || len(qv) == 0 {
+			return true
+		}
+		if len(sv) > 12 {
+			sv = sv[:12]
+		}
+		if len(qv) > 12 {
+			qv = qv[:12]
+		}
+		for _, v := range append(append([]float64{}, sv...), qv...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		s, q := seq.Sequence(sv), seq.Sequence(qv)
+		return LBKim(s, q) <= Distance(s, q, seq.LInf)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 2: LBKim satisfies the triangular inequality.
+func TestLBKimTriangleTheorem2(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		x := randSeq(rng, 15)
+		y := randSeq(rng, 15)
+		z := randSeq(rng, 15)
+		dxz := LBKim(x, z)
+		dxy := LBKim(x, y)
+		dyz := LBKim(y, z)
+		if dxz > dxy+dyz+1e-9 {
+			t.Fatalf("Theorem 2 violated: d(x,z)=%g > d(x,y)+d(y,z)=%g", dxz, dxy+dyz)
+		}
+	}
+}
+
+// Corollary 1: Dtw <= eps implies LBKim <= eps (the no-false-dismissal
+// condition of the filtering step).
+func TestLBKimCorollary1(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		s := randSeq(rng, 15)
+		q := randSeq(rng, 15)
+		eps := Distance(s, q, seq.LInf) // tightest qualifying tolerance
+		if LBKim(s, q) > eps+1e-9 {
+			t.Fatalf("Corollary 1 violated for s=%v q=%v", s, q)
+		}
+	}
+}
+
+func TestLBKimKnownValue(t *testing.T) {
+	s := seq.Sequence{1, 5, 0, 2} // F=1 L=2 G=5 Sm=0
+	q := seq.Sequence{2, 3, 9}    // F=2 L=9 G=9 Sm=2
+	// |1-2|=1, |2-9|=7, |5-9|=4, |0-2|=2 -> max 7.
+	if got := LBKim(s, q); got != 7 {
+		t.Errorf("LBKim = %g, want 7", got)
+	}
+}
+
+func TestLBKimEmpty(t *testing.T) {
+	if got := LBKim(nil, nil); got != 0 {
+		t.Errorf("LBKim(<>, <>) = %g", got)
+	}
+	if got := LBKim(seq.Sequence{1}, nil); !math.IsInf(got, 1) {
+		t.Errorf("LBKim(S, <>) = %g", got)
+	}
+}
+
+func TestLBKimFeatures(t *testing.T) {
+	s := seq.Sequence{1, 5, 0, 2}
+	q := seq.Sequence{2, 3, 9}
+	direct := LBKim(s, q)
+	viaFeatures := LBKimFeatures(seq.MustFeature(s), seq.MustFeature(q))
+	if direct != viaFeatures {
+		t.Errorf("feature form %g != direct form %g", viaFeatures, direct)
+	}
+}
+
+// LBYi must lower-bound the DTW for every base.
+func TestLBYiLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, base := range []seq.Base{seq.LInf, seq.L1, seq.L2Sq} {
+		for trial := 0; trial < 300; trial++ {
+			s := randSeq(rng, 15)
+			q := randSeq(rng, 15)
+			lb := LBYi(s, q, base)
+			d := Distance(s, q, base)
+			if lb > d+1e-9 {
+				t.Fatalf("base %v: LBYi=%g > Dtw=%g for s=%v q=%v", base, lb, d, s, q)
+			}
+		}
+	}
+}
+
+func TestLBYiEmpty(t *testing.T) {
+	if got := LBYi(nil, nil, seq.LInf); got != 0 {
+		t.Errorf("LBYi(<>, <>) = %g", got)
+	}
+	if got := LBYi(nil, seq.Sequence{1}, seq.L1); !math.IsInf(got, 1) {
+		t.Errorf("LBYi(<>, Q) = %g", got)
+	}
+}
+
+func TestLBYiOverlappingRangesIsZero(t *testing.T) {
+	// When every element of each sequence lies inside the other's range,
+	// the bound is 0 even though the sequences differ.
+	s := seq.Sequence{0, 5, 10}
+	q := seq.Sequence{10, 0}
+	if got := LBYi(q, s, seq.LInf); got != 0 {
+		t.Errorf("LBYi = %g, want 0", got)
+	}
+	// One-sided containment is not enough: q's range [3,7] leaves s's
+	// endpoints 3 away.
+	s2 := seq.Sequence{0, 10}
+	q2 := seq.Sequence{3, 7}
+	if got := LBYi(s2, q2, seq.LInf); got != 3 {
+		t.Errorf("LBYi = %g, want 3", got)
+	}
+}
+
+func TestLBYiDisjointRanges(t *testing.T) {
+	s := seq.Sequence{0, 1}
+	q := seq.Sequence{5, 6}
+	// Every element of s is >= 4 away from [5,6]; max is |0-5|=5... element 0
+	// distance to [5,6] is 5, element 1 is 4; q side: 5 to [0,1] is 4, 6 is 5.
+	if got := LBYi(s, q, seq.LInf); got != 5 {
+		t.Errorf("LBYi Linf = %g, want 5", got)
+	}
+	// Additive: sum s-side = 5+4=9, q-side = 4+5=9, max = 9.
+	if got := LBYi(s, q, seq.L1); got != 9 {
+		t.Errorf("LBYi L1 = %g, want 9", got)
+	}
+}
+
+// LBKeogh must lower-bound the banded DTW for equal-length sequences.
+func TestLBKeoghLowerBoundsBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, base := range []seq.Base{seq.LInf, seq.L1} {
+		for trial := 0; trial < 200; trial++ {
+			n := 2 + rng.Intn(15)
+			s := randSeq(rng, 1)[:0]
+			q := randSeq(rng, 1)[:0]
+			for i := 0; i < n; i++ {
+				s = append(s, rng.Float64()*10)
+				q = append(q, rng.Float64()*10)
+			}
+			r := rng.Intn(5)
+			env := NewEnvelope(q, r)
+			lb := LBKeogh(s, env, base)
+			d := BandDistance(s, q, base, r)
+			if lb > d+1e-9 {
+				t.Fatalf("base %v r=%d: LBKeogh=%g > band Dtw=%g", base, r, lb, d)
+			}
+		}
+	}
+}
+
+func TestLBKeoghLengthMismatch(t *testing.T) {
+	env := NewEnvelope(seq.Sequence{1, 2, 3}, 1)
+	if got := LBKeogh(seq.Sequence{1, 2}, env, seq.LInf); !math.IsInf(got, 1) {
+		t.Errorf("length mismatch returned %g, want +Inf", got)
+	}
+}
+
+func TestEnvelopeShape(t *testing.T) {
+	q := seq.Sequence{1, 5, 2, 8}
+	env := NewEnvelope(q, 1)
+	wantU := []float64{5, 5, 8, 8}
+	wantL := []float64{1, 1, 2, 2}
+	for i := range q {
+		if env.Upper[i] != wantU[i] || env.Lower[i] != wantL[i] {
+			t.Fatalf("envelope[%d] = (%g, %g), want (%g, %g)",
+				i, env.Lower[i], env.Upper[i], wantL[i], wantU[i])
+		}
+	}
+	// r=0 degenerates to the sequence itself.
+	env0 := NewEnvelope(q, 0)
+	for i := range q {
+		if env0.Upper[i] != q[i] || env0.Lower[i] != q[i] {
+			t.Fatalf("r=0 envelope[%d] != value", i)
+		}
+	}
+}
+
+// The paper's motivation for the feature vector: LBKim prunes at least as
+// well as comparing first elements alone, and is tighter on sequences that
+// agree at the endpoints but differ in extremes.
+func TestLBKimTighterThanEndpoints(t *testing.T) {
+	s := seq.Sequence{0, 100, 0}
+	q := seq.Sequence{0, 0, 0}
+	if got := LBKim(s, q); got != 100 {
+		t.Errorf("LBKim = %g, want 100 (greatest difference)", got)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+// BaseAblation compares the two DTW base distances end-to-end (the paper's
+// §4.1 argument and footnote 3: L∞ keeps tolerances length-independent and
+// early-abandons sooner). For each base it runs the full method set over
+// the same stock-style workload; eps values are given per base because the
+// two distances live on different scales (L1 grows with warped length).
+type BaseAblationRow struct {
+	Base    seq.Base
+	Cells   []Cell
+	Epsilon float64
+}
+
+// BaseAblation runs the ablation and returns one row per base.
+func BaseAblation(cfg Config, epsLInf, epsL1 float64) ([]BaseAblationRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []BaseAblationRow
+	for _, be := range []struct {
+		base seq.Base
+		eps  float64
+	}{{seq.LInf, epsLInf}, {seq.L1, epsL1}} {
+		c := cfg
+		c.Base = be.base
+		rng := rand.New(rand.NewSource(c.Seed))
+		data := synth.StockSet(rng, synth.StockOptions{Count: 200, MeanLen: 100, LenSpread: 20})
+		f, err := BuildFixture(data, c)
+		if err != nil {
+			return nil, err
+		}
+		queries := synth.Queries(rng, data, c.NumQueries)
+		cells, err := measure(f, queries, be.eps, be.eps)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BaseAblationRow{Base: be.base, Cells: cells, Epsilon: be.eps})
+	}
+	return rows, nil
+}
+
+// PrintBaseAblation renders the base-distance ablation.
+func PrintBaseAblation(w io.Writer, rows []BaseAblationRow, cm core.CostModel) {
+	fmt.Fprintf(w, "%-6s %-14s %10s %12s %14s %14s\n",
+		"base", "method", "eps", "avg-results", "wall/query", "modeled/query")
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, "%-6s %-14s %10.2f %12.2f %14s %14s\n",
+				r.Base, c.Method, r.Epsilon, c.AvgResults(),
+				c.WallPerQuery().Round(time.Microsecond),
+				c.ModeledPerQuery(cm).Round(time.Microsecond))
+		}
+	}
+}
+
+// CategoryAblation explores the §3.4 trade-off: ST-Filter's candidate count
+// and traversal cost across categorization granularities, plus the tree
+// size each granularity produces.
+type CategoryAblationRow struct {
+	Categories int
+	TreeNodes  int
+	Cell       Cell
+}
+
+// CategoryAblation runs ST-Filter at each category count over one shared
+// workload.
+func CategoryAblation(cfg Config, categoryCounts []int, eps float64) ([]CategoryAblationRow, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := synth.RandomWalkSet(rng, 300, 64)
+	f, err := BuildFixture(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	queries := synth.Queries(rng, data, cfg.NumQueries)
+	var rows []CategoryAblationRow
+	for _, cats := range categoryCounts {
+		stf, err := core.BuildSTFilter(f.DB, cfg.Base, cats)
+		if err != nil {
+			return nil, err
+		}
+		cell := Cell{Method: stf.Name(), X: float64(cats), Queries: len(queries), DBSize: len(data)}
+		for _, q := range queries {
+			res, err := stf.Search(q, eps)
+			if err != nil {
+				return nil, err
+			}
+			cell.Stats.Add(res.Stats)
+		}
+		rows = append(rows, CategoryAblationRow{
+			Categories: cats,
+			TreeNodes:  stf.Tree.NumNodes(),
+			Cell:       cell,
+		})
+	}
+	return rows, nil
+}
+
+// PrintCategoryAblation renders the category-count ablation.
+func PrintCategoryAblation(w io.Writer, rows []CategoryAblationRow, cm core.CostModel) {
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %14s\n",
+		"categories", "tree-nodes", "avg-cands", "wall/query", "modeled/query")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12d %12d %12.2f %14s %14s\n",
+			r.Categories, r.TreeNodes,
+			float64(r.Cell.Stats.Candidates)/float64(r.Cell.Queries),
+			r.Cell.WallPerQuery().Round(time.Microsecond),
+			r.Cell.ModeledPerQuery(cm).Round(time.Microsecond))
+	}
+}

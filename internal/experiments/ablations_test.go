@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+func TestBaseAblation(t *testing.T) {
+	cfg := Config{Seed: 5, NumQueries: 3}
+	rows, err := BaseAblation(cfg, 1.0, 40.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Base != seq.LInf || rows[1].Base != seq.L1 {
+		t.Errorf("bases = %v, %v", rows[0].Base, rows[1].Base)
+	}
+	for _, r := range rows {
+		if len(r.Cells) == 0 {
+			t.Fatalf("base %v: no cells", r.Base)
+		}
+		// Within one base, all exact methods agree on result counts.
+		want := r.Cells[0].Stats.Results
+		for _, c := range r.Cells {
+			if c.Stats.Results != want {
+				t.Errorf("base %v: %s results %d != %d", r.Base, c.Method, c.Stats.Results, want)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintBaseAblation(&buf, rows, core.DefaultCostModel)
+	if !strings.Contains(buf.String(), "Linf") || !strings.Contains(buf.String(), "L1") {
+		t.Errorf("ablation table missing bases:\n%s", buf.String())
+	}
+}
+
+func TestCategoryAblation(t *testing.T) {
+	cfg := Config{Seed: 6, NumQueries: 3}
+	rows, err := CategoryAblation(cfg, []int{5, 100}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Finer categories -> larger tree, fewer (or equal) candidates.
+	if rows[1].TreeNodes <= rows[0].TreeNodes {
+		t.Errorf("tree nodes: %d (100 cats) <= %d (5 cats)", rows[1].TreeNodes, rows[0].TreeNodes)
+	}
+	if rows[1].Cell.Stats.Candidates > rows[0].Cell.Stats.Candidates {
+		t.Errorf("candidates grew with finer categories: %d > %d",
+			rows[1].Cell.Stats.Candidates, rows[0].Cell.Stats.Candidates)
+	}
+	var buf bytes.Buffer
+	PrintCategoryAblation(&buf, rows, core.DefaultCostModel)
+	if !strings.Contains(buf.String(), "tree-nodes") {
+		t.Error("table missing header")
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// WriteCSV emits the cells as machine-readable CSV for external plotting:
+// one row per (method, sweep point) with candidate ratio, average results,
+// wall and modeled microseconds per query, and the I/O breakdown.
+func WriteCSV(w io.Writer, xlabel string, cells []Cell, cm core.CostModel) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"method", xlabel, "queries", "db_size",
+		"candidate_ratio", "avg_candidates", "avg_results",
+		"wall_us_per_query", "modeled_us_per_query",
+		"data_misses_per_query", "index_misses_per_query", "tree_pages_per_query",
+		"dtw_calls_per_query",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		q := float64(c.Queries)
+		row := []string{
+			c.Method,
+			strconv.FormatFloat(c.X, 'g', -1, 64),
+			strconv.Itoa(c.Queries),
+			strconv.Itoa(c.DBSize),
+			strconv.FormatFloat(c.CandidateRatio(), 'g', 6, 64),
+			strconv.FormatFloat(float64(c.Stats.Candidates)/q, 'f', 2, 64),
+			strconv.FormatFloat(c.AvgResults(), 'f', 2, 64),
+			strconv.FormatFloat(float64(c.WallPerQuery().Microseconds()), 'f', 1, 64),
+			strconv.FormatFloat(float64(c.ModeledPerQuery(cm).Microseconds()), 'f', 1, 64),
+			strconv.FormatFloat(float64(c.Stats.DataMisses)/q, 'f', 1, 64),
+			strconv.FormatFloat(float64(c.Stats.IndexMisses)/q, 'f', 1, 64),
+			strconv.FormatFloat(float64(c.Stats.TreePages)/q, 'f', 1, 64),
+			strconv.FormatFloat(float64(c.Stats.DTWCalls)/q, 'f', 1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

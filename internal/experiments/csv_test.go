@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestWriteCSV(t *testing.T) {
+	cfg := small()
+	cfg.WithSTFilter = false
+	cells, err := StockSweep(cfg, synth.StockOptions{Count: 30, MeanLen: 20, LenSpread: 3},
+		[]float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, "tolerance", cells, core.DefaultCostModel); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != 1+len(cells) {
+		t.Fatalf("%d records, want %d", len(records), 1+len(cells))
+	}
+	header := records[0]
+	if header[0] != "method" || header[1] != "tolerance" {
+		t.Errorf("header = %v", header)
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != len(header) {
+			t.Fatalf("ragged row: %v", rec)
+		}
+	}
+	if !strings.Contains(buf.String(), "TW-Sim-Search") {
+		t.Error("missing method rows")
+	}
+}

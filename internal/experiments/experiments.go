@@ -1,0 +1,372 @@
+// Package experiments regenerates the paper's evaluation section (§5):
+// Experiment 1 (Figure 2, candidate ratio vs tolerance on stock data),
+// Experiment 2 (Figure 3, elapsed time vs tolerance on stock data),
+// Experiment 3 (Figure 4, elapsed time vs database size on synthetic data),
+// Experiment 4 (Figure 5, elapsed time vs sequence length on synthetic
+// data), and the §3.3 FastMap false-dismissal demonstration.
+//
+// Elapsed times are reported both as measured wall time and as "modeled"
+// time — wall time plus a per-page-miss disk charge mirroring the paper's
+// 9.5 ms-seek platform — so who-wins comparisons do not depend on the host
+// machine (DESIGN.md §3).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/seqdb"
+	"repro/internal/synth"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives all data and query generation.
+	Seed int64
+	// Base is the DTW base distance (default LInf, the paper's model).
+	Base seq.Base
+	// NumQueries per measurement point (paper: 100).
+	NumQueries int
+	// PageSize for data and index files (default 1 KB).
+	PageSize int
+	// PoolPages per buffer pool (default 64).
+	PoolPages int
+	// Categories for ST-Filter (paper: 100).
+	Categories int
+	// WithSTFilter includes the (expensive to build) ST-Filter baseline.
+	WithSTFilter bool
+	// Cost converts page misses to modeled time (default 9.5 ms).
+	Cost core.CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumQueries == 0 {
+		c.NumQueries = 100
+	}
+	if c.Categories == 0 {
+		c.Categories = 100
+	}
+	if c.Cost.Seek == 0 && c.Cost.Transfer == 0 {
+		c.Cost = core.DefaultCostModel
+	}
+	if c.PoolPages == 0 {
+		c.PoolPages = 64
+	}
+	return c
+}
+
+// Cell is one measurement: a method at one sweep point, aggregated over the
+// query batch.
+type Cell struct {
+	Method  string
+	X       float64 // the sweep variable (tolerance, #sequences, or length)
+	Queries int
+	DBSize  int // number of data sequences
+	Stats   core.QueryStats
+}
+
+// CandidateRatio is the paper's Experiment 1 metric, averaged per query.
+func (c Cell) CandidateRatio() float64 {
+	if c.Queries == 0 || c.DBSize == 0 {
+		return 0
+	}
+	return float64(c.Stats.Candidates) / float64(c.Queries) / float64(c.DBSize)
+}
+
+// AvgResults is the average answer set size per query.
+func (c Cell) AvgResults() float64 {
+	if c.Queries == 0 {
+		return 0
+	}
+	return float64(c.Stats.Results) / float64(c.Queries)
+}
+
+// WallPerQuery is the measured wall time per query.
+func (c Cell) WallPerQuery() time.Duration {
+	if c.Queries == 0 {
+		return 0
+	}
+	return c.Stats.Wall / time.Duration(c.Queries)
+}
+
+// ModeledPerQuery is the modeled elapsed time per query under cm.
+func (c Cell) ModeledPerQuery(cm core.CostModel) time.Duration {
+	if c.Queries == 0 {
+		return 0
+	}
+	return c.Stats.Modeled(cm) / time.Duration(c.Queries)
+}
+
+// Fixture bundles one generated database with its index and search methods.
+type Fixture struct {
+	Data    []seq.Sequence
+	DB      *seqdb.DB
+	Index   *core.FeatureIndex
+	Methods []core.Searcher
+}
+
+// Close releases fixture resources.
+func (f *Fixture) Close() {
+	if f.Index != nil {
+		f.Index.Close()
+	}
+	if f.DB != nil {
+		f.DB.Close()
+	}
+}
+
+// BuildFixture loads data into a fresh in-memory database, bulk loads the
+// feature index, and instantiates the configured method set in the paper's
+// presentation order.
+func BuildFixture(data []seq.Sequence, cfg Config) (*Fixture, error) {
+	cfg = cfg.withDefaults()
+	db, err := seqdb.NewMem(seqdb.Options{PageSize: cfg.PageSize, PoolPages: cfg.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	f := &Fixture{Data: data, DB: db}
+	ids := make([]seq.ID, len(data))
+	features := make([]seq.Feature, len(data))
+	for i, s := range data {
+		id, err := db.Append(s)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		ids[i] = id
+		features[i] = seq.MustFeature(s)
+	}
+	idx, err := core.NewFeatureIndex(core.IndexOptions{PageSize: cfg.PageSize, PoolPages: cfg.PoolPages})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.Index = idx
+	if err := idx.BulkLoad(ids, features); err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.Methods = []core.Searcher{
+		&core.NaiveScan{DB: db, Base: cfg.Base},
+		&core.LBScan{DB: db, Base: cfg.Base},
+	}
+	if cfg.WithSTFilter {
+		stf, err := core.BuildSTFilter(db, cfg.Base, cfg.Categories)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Methods = append(f.Methods, stf)
+	}
+	f.Methods = append(f.Methods, &core.TWSimSearch{DB: db, Index: idx, Base: cfg.Base})
+	return f, nil
+}
+
+// measure runs every method over the query batch at tolerance eps and
+// returns one Cell per method with x as the sweep coordinate.
+func measure(f *Fixture, queries []seq.Sequence, eps, x float64) ([]Cell, error) {
+	cells := make([]Cell, 0, len(f.Methods))
+	for _, m := range f.Methods {
+		cell := Cell{Method: m.Name(), X: x, Queries: len(queries), DBSize: len(f.Data)}
+		for _, q := range queries {
+			res, err := m.Search(q, eps)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", m.Name(), err)
+			}
+			cell.Stats.Add(res.Stats)
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// StockSweep runs Experiments 1 and 2: the simulated S&P-style data set
+// swept over tolerances. The returned cells serve both the candidate-ratio
+// table (Figure 2) and the elapsed-time table (Figure 3).
+func StockSweep(cfg Config, stock synth.StockOptions, tolerances []float64) ([]Cell, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := synth.StockSet(rng, stock)
+	f, err := BuildFixture(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	queries := synth.Queries(rng, data, cfg.NumQueries)
+	var cells []Cell
+	for _, eps := range tolerances {
+		cs, err := measure(f, queries, eps, eps)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cs...)
+	}
+	return cells, nil
+}
+
+// ScaleSweep runs Experiment 3: fixed length and tolerance, database size
+// swept (paper: 1e3..1e5 sequences of length 1000 at ε = 0.1).
+func ScaleSweep(cfg Config, counts []int, length int, eps float64) ([]Cell, error) {
+	cfg = cfg.withDefaults()
+	var cells []Cell
+	for _, n := range counts {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		data := synth.RandomWalkSet(rng, n, length)
+		f, err := BuildFixture(data, cfg)
+		if err != nil {
+			return nil, err
+		}
+		queries := synth.Queries(rng, data, cfg.NumQueries)
+		cs, err := measure(f, queries, eps, float64(n))
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cs...)
+	}
+	return cells, nil
+}
+
+// LengthSweep runs Experiment 4: fixed count and tolerance, sequence length
+// swept (paper: lengths 100..5000 over 1e4 sequences at ε = 0.1).
+func LengthSweep(cfg Config, lengths []int, count int, eps float64) ([]Cell, error) {
+	cfg = cfg.withDefaults()
+	var cells []Cell
+	for _, length := range lengths {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		data := synth.RandomWalkSet(rng, count, length)
+		f, err := BuildFixture(data, cfg)
+		if err != nil {
+			return nil, err
+		}
+		queries := synth.Queries(rng, data, cfg.NumQueries)
+		cs, err := measure(f, queries, eps, float64(length))
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cs...)
+	}
+	return cells, nil
+}
+
+// DismissalReport summarizes the FastMap false-dismissal experiment.
+type DismissalReport struct {
+	Queries        int
+	TrueAnswers    int
+	FastMapAnswers int
+	Dismissed      int
+}
+
+// FalseDismissal reproduces the §3.3 argument: FastMap's embedded-space
+// range query misses qualifying sequences that the exact methods find.
+func FalseDismissal(cfg Config, k int, eps float64) (DismissalReport, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := synth.StockSet(rng, synth.StockOptions{Count: 200, MeanLen: 60, LenSpread: 20})
+	f, err := BuildFixture(data, cfg)
+	if err != nil {
+		return DismissalReport{}, err
+	}
+	defer f.Close()
+	fm, err := core.BuildFastMapSearch(f.DB, cfg.Base, k, cfg.Seed)
+	if err != nil {
+		return DismissalReport{}, err
+	}
+	naive := &core.NaiveScan{DB: f.DB, Base: cfg.Base}
+	queries := synth.Queries(rng, data, cfg.NumQueries)
+	rep := DismissalReport{Queries: len(queries)}
+	for _, q := range queries {
+		truth, err := naive.Search(q, eps)
+		if err != nil {
+			return rep, err
+		}
+		approx, err := fm.Search(q, eps)
+		if err != nil {
+			return rep, err
+		}
+		rep.TrueAnswers += len(truth.Matches)
+		rep.FastMapAnswers += len(approx.Matches)
+	}
+	rep.Dismissed = rep.TrueAnswers - rep.FastMapAnswers
+	return rep, nil
+}
+
+// PrintCandidateRatioTable renders Figure 2's data: candidate ratio per
+// method per tolerance.
+func PrintCandidateRatioTable(w io.Writer, cells []Cell) {
+	fmt.Fprintf(w, "%-14s %10s %12s %12s %12s\n",
+		"method", "tolerance", "cand-ratio", "avg-cands", "avg-results")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-14s %10.3f %12.5f %12.2f %12.2f\n",
+			c.Method, c.X, c.CandidateRatio(),
+			float64(c.Stats.Candidates)/float64(c.Queries), c.AvgResults())
+	}
+}
+
+// PrintElapsedTable renders Figures 3–5's data: per-query elapsed time
+// (wall and modeled) per method per sweep point, plus the speedup of
+// TW-Sim-Search over the best scan-based method at the same point.
+func PrintElapsedTable(w io.Writer, xlabel string, cells []Cell, cm core.CostModel) {
+	fmt.Fprintf(w, "%-14s %12s %14s %14s %10s %10s %10s\n",
+		"method", xlabel, "wall/query", "modeled/query", "dataIO/q", "idxIO/q", "treeIO/q")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-14s %12.3f %14s %14s %10.1f %10.1f %10.1f\n",
+			c.Method, c.X,
+			c.WallPerQuery().Round(time.Microsecond),
+			c.ModeledPerQuery(cm).Round(time.Microsecond),
+			float64(c.Stats.DataMisses)/float64(c.Queries),
+			float64(c.Stats.IndexMisses)/float64(c.Queries),
+			float64(c.Stats.TreePages)/float64(c.Queries))
+	}
+	printSpeedups(w, xlabel, cells, cm)
+}
+
+// printSpeedups reports, per sweep point, the speedup of TW-Sim-Search over
+// the best other method — the paper's headline numbers — both in measured
+// wall time (comparable to the paper's RAM-cached platform, where LB-Scan's
+// CPU advantage over Naive-Scan is visible) and in modeled cold-disk time.
+func printSpeedups(w io.Writer, xlabel string, cells []Cell, cm core.CostModel) {
+	byX := map[float64][]Cell{}
+	var xs []float64
+	for _, c := range cells {
+		if _, ok := byX[c.X]; !ok {
+			xs = append(xs, c.X)
+		}
+		byX[c.X] = append(byX[c.X], c)
+	}
+	fmt.Fprintf(w, "\n%-12s %28s %10s %28s %10s\n",
+		xlabel, "best other (wall)", "speedup", "best other (modeled)", "speedup")
+	for _, x := range xs {
+		var twWall, twModeled time.Duration
+		bestWall, bestModeled := time.Duration(0), time.Duration(0)
+		wallName, modeledName := "", ""
+		for _, c := range byX[x] {
+			wall := c.WallPerQuery()
+			modeled := c.ModeledPerQuery(cm)
+			if c.Method == "TW-Sim-Search" {
+				twWall, twModeled = wall, modeled
+				continue
+			}
+			if wallName == "" || wall < bestWall {
+				bestWall, wallName = wall, c.Method
+			}
+			if modeledName == "" || modeled < bestModeled {
+				bestModeled, modeledName = modeled, c.Method
+			}
+		}
+		if twWall <= 0 || wallName == "" {
+			continue
+		}
+		fmt.Fprintf(w, "%-12.3f %16s (%-10s %9.1fx %16s (%-10s %9.1fx\n",
+			x,
+			bestWall.Round(time.Microsecond), wallName+")",
+			float64(bestWall)/float64(twWall),
+			bestModeled.Round(time.Microsecond), modeledName+")",
+			float64(bestModeled)/float64(twModeled))
+	}
+}

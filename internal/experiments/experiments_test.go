@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// small returns a config sized for unit tests.
+func small() Config {
+	return Config{Seed: 1, NumQueries: 5, Categories: 20, WithSTFilter: true}
+}
+
+func TestStockSweepShape(t *testing.T) {
+	cells, err := StockSweep(small(), synth.StockOptions{Count: 60, MeanLen: 30, LenSpread: 5},
+		[]float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 methods × 2 tolerances.
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	methods := map[string]bool{}
+	for _, c := range cells {
+		methods[c.Method] = true
+		if c.Queries != 5 || c.DBSize != 60 {
+			t.Errorf("cell meta wrong: %+v", c)
+		}
+		if c.CandidateRatio() < 0 || c.CandidateRatio() > 1 {
+			t.Errorf("candidate ratio %g out of range", c.CandidateRatio())
+		}
+	}
+	for _, want := range []string{"Naive-Scan", "LB-Scan", "ST-Filter", "TW-Sim-Search"} {
+		if !methods[want] {
+			t.Errorf("missing method %s", want)
+		}
+	}
+	// All exact methods must report identical result counts per tolerance.
+	byX := map[float64]map[string]int{}
+	for _, c := range cells {
+		if byX[c.X] == nil {
+			byX[c.X] = map[string]int{}
+		}
+		byX[c.X][c.Method] = c.Stats.Results
+	}
+	for x, m := range byX {
+		want := m["Naive-Scan"]
+		for name, got := range m {
+			if got != want {
+				t.Errorf("x=%g: %s results %d != Naive-Scan %d", x, name, got, want)
+			}
+		}
+	}
+}
+
+func TestScaleSweep(t *testing.T) {
+	cfg := small()
+	cfg.WithSTFilter = false
+	cells, err := ScaleSweep(cfg, []int{30, 90}, 20, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 { // 3 methods × 2 counts
+		t.Fatalf("got %d cells", len(cells))
+	}
+	// Scan I/O must grow with database size; collect per method.
+	io := map[string][]int64{}
+	for _, c := range cells {
+		io[c.Method] = append(io[c.Method], c.Stats.DataReads)
+	}
+	if !(io["Naive-Scan"][1] > io["Naive-Scan"][0]) {
+		t.Error("Naive-Scan data reads did not grow with database size")
+	}
+}
+
+func TestLengthSweep(t *testing.T) {
+	cfg := small()
+	cfg.WithSTFilter = false
+	cells, err := LengthSweep(cfg, []int{10, 40}, 40, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	io := map[string][]int64{}
+	for _, c := range cells {
+		io[c.Method] = append(io[c.Method], c.Stats.DataReads)
+	}
+	if !(io["LB-Scan"][1] > io["LB-Scan"][0]) {
+		t.Error("LB-Scan data reads did not grow with sequence length")
+	}
+}
+
+func TestFalseDismissalReport(t *testing.T) {
+	cfg := small()
+	cfg.WithSTFilter = false
+	cfg.NumQueries = 10
+	rep, err := FalseDismissal(cfg, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 10 {
+		t.Errorf("Queries = %d", rep.Queries)
+	}
+	if rep.FastMapAnswers > rep.TrueAnswers {
+		t.Errorf("FastMap found %d answers, more than the %d true ones",
+			rep.FastMapAnswers, rep.TrueAnswers)
+	}
+	if rep.Dismissed != rep.TrueAnswers-rep.FastMapAnswers {
+		t.Errorf("Dismissed arithmetic wrong: %+v", rep)
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	cfg := small()
+	cfg.WithSTFilter = false
+	cells, err := StockSweep(cfg, synth.StockOptions{Count: 40, MeanLen: 20, LenSpread: 3},
+		[]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintCandidateRatioTable(&buf, cells)
+	out := buf.String()
+	if !strings.Contains(out, "TW-Sim-Search") || !strings.Contains(out, "cand-ratio") {
+		t.Errorf("candidate table missing content:\n%s", out)
+	}
+	buf.Reset()
+	PrintElapsedTable(&buf, "tolerance", cells, core.DefaultCostModel)
+	out = buf.String()
+	if !strings.Contains(out, "modeled/query") || !strings.Contains(out, "speedup") {
+		t.Errorf("elapsed table missing content:\n%s", out)
+	}
+}
+
+// The headline claim at unit-test scale: TW-Sim-Search's modeled time beats
+// the scan methods once the database dwarfs the buffer pool.
+func TestTWSimWinsModeledTime(t *testing.T) {
+	cfg := Config{Seed: 3, NumQueries: 5, PoolPages: 16}
+	cells, err := ScaleSweep(cfg, []int{400}, 60, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tw, naive int64
+	for _, c := range cells {
+		modeled := int64(c.Stats.Modeled(core.DefaultCostModel))
+		switch c.Method {
+		case "TW-Sim-Search":
+			tw = modeled
+		case "Naive-Scan":
+			naive = modeled
+		}
+	}
+	if tw == 0 || naive == 0 {
+		t.Fatal("missing methods")
+	}
+	if tw >= naive {
+		t.Errorf("TW-Sim-Search modeled %d >= Naive-Scan %d", tw, naive)
+	}
+}

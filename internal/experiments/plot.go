@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Plot renders the cells as an ASCII line chart mirroring the paper's
+// figures: X = the sweep variable, Y = log10(modeled elapsed time per
+// query), one glyph per method. It is deliberately coarse — the CSVs carry
+// the precise numbers — but makes the who-wins shape visible in a
+// terminal, like the figures do on paper.
+func Plot(w io.Writer, xlabel string, cells []Cell, cm core.CostModel) {
+	const (
+		width  = 64
+		height = 16
+	)
+	if len(cells) == 0 {
+		return
+	}
+	glyphs := map[string]byte{
+		"Naive-Scan":    'N',
+		"LB-Scan":       'L',
+		"ST-Filter":     'S',
+		"TW-Sim-Search": 'T',
+	}
+	nextGlyph := byte('a')
+
+	type pt struct {
+		x, y float64
+	}
+	series := map[string][]pt{}
+	var order []string
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, c := range cells {
+		us := float64(c.ModeledPerQuery(cm).Microseconds())
+		if us < 1 {
+			us = 1
+		}
+		y := math.Log10(us)
+		if _, ok := series[c.Method]; !ok {
+			order = append(order, c.Method)
+			if _, ok := glyphs[c.Method]; !ok {
+				glyphs[c.Method] = nextGlyph
+				nextGlyph++
+			}
+		}
+		series[c.Method] = append(series[c.Method], pt{x: c.X, y: y})
+		minX, maxX = math.Min(minX, c.X), math.Max(maxX, c.X)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	place := func(x, y float64, g byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		if grid[row][col] != ' ' && grid[row][col] != g {
+			grid[row][col] = '*' // collision marker
+			return
+		}
+		grid[row][col] = g
+	}
+	for _, name := range order {
+		pts := series[name]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		g := glyphs[name]
+		for i, p := range pts {
+			place(p.x, p.y, g)
+			// Sparse linear interpolation between consecutive points.
+			if i > 0 {
+				prev := pts[i-1]
+				for f := 0.2; f < 1; f += 0.2 {
+					place(prev.x+(p.x-prev.x)*f, prev.y+(p.y-prev.y)*f, g)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "\nmodeled time/query (log scale) vs %s\n", xlabel)
+	topLabel := time.Duration(math.Pow(10, maxY)) * time.Microsecond
+	botLabel := time.Duration(math.Pow(10, minY)) * time.Microsecond
+	for i, row := range grid {
+		prefix := "          |"
+		switch i {
+		case 0:
+			prefix = fmt.Sprintf("%9s |", topLabel.Round(time.Microsecond))
+		case height - 1:
+			prefix = fmt.Sprintf("%9s |", botLabel.Round(time.Microsecond))
+		}
+		fmt.Fprintf(w, "%s%s\n", prefix, string(row))
+	}
+	fmt.Fprintf(w, "          +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "           %-10g%*s\n", minX, width-10, fmt.Sprintf("%g", maxX))
+	var legend []string
+	for _, name := range order {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[name], name))
+	}
+	fmt.Fprintf(w, "           legend: %s\n", strings.Join(legend, "  "))
+}

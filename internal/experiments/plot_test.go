@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	cells := []Cell{
+		{Method: "Naive-Scan", X: 100, Queries: 1, DBSize: 10,
+			Stats: core.QueryStats{Wall: 10 * time.Millisecond}},
+		{Method: "Naive-Scan", X: 400, Queries: 1, DBSize: 10,
+			Stats: core.QueryStats{Wall: 40 * time.Millisecond}},
+		{Method: "TW-Sim-Search", X: 100, Queries: 1, DBSize: 10,
+			Stats: core.QueryStats{Wall: 100 * time.Microsecond}},
+		{Method: "TW-Sim-Search", X: 400, Queries: 1, DBSize: 10,
+			Stats: core.QueryStats{Wall: 120 * time.Microsecond}},
+	}
+	var buf bytes.Buffer
+	Plot(&buf, "length", cells, core.DefaultCostModel)
+	out := buf.String()
+	if !strings.Contains(out, "legend: N=Naive-Scan  T=TW-Sim-Search") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "N") || !strings.Contains(out, "T") {
+		t.Error("series glyphs missing")
+	}
+	// The slow method must appear above the fast one (earlier rows).
+	lines := strings.Split(out, "\n")
+	rowOf := func(g string) int {
+		for i, l := range lines {
+			if strings.Contains(l, "|") && strings.Contains(strings.SplitN(l, "|", 2)[1], g) {
+				return i
+			}
+		}
+		return -1
+	}
+	if n, tw := rowOf("N"), rowOf("T"); n == -1 || tw == -1 || n >= tw {
+		t.Errorf("Naive row %d not above TW row %d\n%s", n, tw, out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	Plot(&buf, "x", nil, core.DefaultCostModel)
+	if buf.Len() != 0 {
+		t.Error("empty input produced output")
+	}
+	// Single point, zero ranges: must not panic or divide by zero.
+	Plot(&buf, "x", []Cell{{Method: "M", X: 5, Queries: 1, DBSize: 1}}, core.DefaultCostModel)
+	if !strings.Contains(buf.String(), "M") && !strings.Contains(buf.String(), "legend") {
+		t.Errorf("degenerate plot empty:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,153 @@
+// Package fastmap implements the FastMap feature-extraction algorithm of
+// Faloutsos & Lin, used by Yi et al.'s index method for time-warped
+// similarity search (paper §3.3). FastMap embeds objects of an arbitrary
+// distance space into k-dimensional Euclidean space. Because the embedding
+// does not lower-bound the original distance when that distance is
+// non-metric (DTW is not), range queries in the embedded space can cause
+// false dismissal — the deficiency that motivated the paper's Dtw-lb. This
+// package exists to reproduce that behaviour (experiment 5).
+package fastmap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// DistFunc measures the distance between two sequences (typically the time
+// warping distance).
+type DistFunc func(a, b seq.Sequence) float64
+
+// axis holds the pivot pair defining one embedding coordinate.
+type axis struct {
+	a, b    seq.Sequence
+	coordsA []float64 // a's coordinates on earlier axes
+	coordsB []float64
+	dab     float64 // adjusted distance between the pivots on this axis
+	dabSq   float64
+}
+
+// Map is a fitted FastMap embedding. It can project unseen objects (query
+// sequences) into the embedded space.
+type Map struct {
+	k    int
+	dist DistFunc
+	axes []axis
+}
+
+// Fit learns a k-dimensional FastMap embedding of data and returns the Map
+// together with the embedded coordinates of every input object (in input
+// order). iters controls the farthest-pair pivot heuristic (the original
+// paper uses 5). rng drives the heuristic's random starting points.
+func Fit(data []seq.Sequence, k int, dist DistFunc, iters int, rng *rand.Rand) (*Map, [][]float64, error) {
+	if len(data) < 2 {
+		return nil, nil, fmt.Errorf("fastmap: need at least 2 objects, got %d", len(data))
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("fastmap: need k >= 1, got %d", k)
+	}
+	if iters < 1 {
+		iters = 5
+	}
+	m := &Map{k: k, dist: dist}
+	coords := make([][]float64, len(data))
+	for i := range coords {
+		coords[i] = make([]float64, 0, k)
+	}
+	// adj returns the squared adjusted distance between objects i and j on
+	// the current axis (original distance minus already-explained parts).
+	adj := func(i, j int) float64 {
+		d := dist(data[i], data[j])
+		sq := d * d
+		for a := range coords[i] {
+			diff := coords[i][a] - coords[j][a]
+			sq -= diff * diff
+		}
+		if sq < 0 {
+			sq = 0
+		}
+		return sq
+	}
+	for a := 0; a < k; a++ {
+		// Farthest-pair heuristic.
+		pb := rng.Intn(len(data))
+		pa := pb
+		for it := 0; it < iters; it++ {
+			far, farD := pa, -1.0
+			for i := range data {
+				if i == pb {
+					continue
+				}
+				if d := adj(i, pb); d > farD {
+					far, farD = i, d
+				}
+			}
+			if far == pa {
+				break
+			}
+			pa, pb = pb, far
+		}
+		dabSq := adj(pa, pb)
+		ax := axis{
+			a:       data[pa].Clone(),
+			b:       data[pb].Clone(),
+			coordsA: append([]float64(nil), coords[pa]...),
+			coordsB: append([]float64(nil), coords[pb]...),
+			dab:     math.Sqrt(dabSq),
+			dabSq:   dabSq,
+		}
+		m.axes = append(m.axes, ax)
+		if ax.dab == 0 {
+			// All remaining adjusted distances are zero: pad with zeros.
+			for i := range coords {
+				coords[i] = append(coords[i], 0)
+			}
+			continue
+		}
+		daCache := make([]float64, len(data))
+		for i := range data {
+			daCache[i] = adj(i, pa)
+		}
+		dbCache := make([]float64, len(data))
+		for i := range data {
+			dbCache[i] = adj(i, pb)
+		}
+		for i := range coords {
+			x := (daCache[i] + dabSq - dbCache[i]) / (2 * ax.dab)
+			coords[i] = append(coords[i], x)
+		}
+	}
+	return m, coords, nil
+}
+
+// K returns the embedding dimensionality.
+func (m *Map) K() int { return m.k }
+
+// Project embeds an unseen object into the learned space.
+func (m *Map) Project(s seq.Sequence) []float64 {
+	x := make([]float64, 0, m.k)
+	adjTo := func(p seq.Sequence, pCoords []float64) float64 {
+		d := m.dist(s, p)
+		sq := d * d
+		for a := range x {
+			diff := x[a] - pCoords[a]
+			sq -= diff * diff
+		}
+		if sq < 0 {
+			sq = 0
+		}
+		return sq
+	}
+	for _, ax := range m.axes {
+		if ax.dab == 0 {
+			x = append(x, 0)
+			continue
+		}
+		da := adjTo(ax.a, ax.coordsA)
+		db := adjTo(ax.b, ax.coordsB)
+		x = append(x, (da+ax.dabSq-db)/(2*ax.dab))
+	}
+	return x
+}

@@ -1,0 +1,153 @@
+package fastmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtw"
+	"repro/internal/seq"
+)
+
+func euclid1D(a, b seq.Sequence) float64 {
+	// Treat length-1 sequences as points on a line.
+	return math.Abs(a[0] - b[0])
+}
+
+func TestFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	one := []seq.Sequence{{1}}
+	if _, _, err := Fit(one, 2, euclid1D, 5, rng); err == nil {
+		t.Error("Fit accepted < 2 objects")
+	}
+	two := []seq.Sequence{{1}, {2}}
+	if _, _, err := Fit(two, 0, euclid1D, 5, rng); err == nil {
+		t.Error("Fit accepted k = 0")
+	}
+}
+
+// For points on a line with the true metric, a 1-D FastMap embedding must
+// preserve all pairwise distances exactly.
+func TestFitExactOnLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var data []seq.Sequence
+	for i := 0; i < 20; i++ {
+		data = append(data, seq.Sequence{rng.Float64() * 100})
+	}
+	m, coords, err := Fit(data, 1, euclid1D, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Fatalf("K = %d", m.K())
+	}
+	for i := range data {
+		for j := range data {
+			got := math.Abs(coords[i][0] - coords[j][0])
+			want := euclid1D(data[i], data[j])
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("pair (%d,%d): embedded %g, true %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+// Project must reproduce the fitted coordinates for the training objects
+// (up to heuristic numerical noise).
+func TestProjectConsistentWithFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var data []seq.Sequence
+	for i := 0; i < 15; i++ {
+		data = append(data, seq.Sequence{rng.Float64() * 10})
+	}
+	m, coords, err := Fit(data, 1, euclid1D, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range data {
+		p := m.Project(s)
+		if len(p) != 1 {
+			t.Fatalf("Project returned %d dims", len(p))
+		}
+		if math.Abs(p[0]-coords[i][0]) > 1e-6 {
+			t.Fatalf("object %d: Project %g, Fit %g", i, p[0], coords[i][0])
+		}
+	}
+}
+
+func TestFitDegenerateIdenticalObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := []seq.Sequence{{5}, {5}, {5}}
+	_, coords, err := Fit(data, 2, euclid1D, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coords {
+		for a := range coords[i] {
+			if coords[i][a] != 0 {
+				t.Fatalf("identical objects got nonzero coordinate %g", coords[i][a])
+			}
+		}
+	}
+}
+
+// With DTW as the distance, embedded distances are NOT guaranteed to lower
+// bound DTW — demonstrate that a violation actually occurs on random walks,
+// which is the behavioural point of this package.
+func TestEmbeddingIsNotALowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var data []seq.Sequence
+	for i := 0; i < 40; i++ {
+		n := 5 + rng.Intn(10)
+		s := make(seq.Sequence, n)
+		s[0] = rng.Float64() * 10
+		for j := 1; j < n; j++ {
+			s[j] = s[j-1] + rng.Float64()*2 - 1
+		}
+		data = append(data, s)
+	}
+	dist := func(a, b seq.Sequence) float64 { return dtw.Distance(a, b, seq.LInf) }
+	_, coords, err := Fit(data, 2, dist, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for i := 0; i < len(data) && !violated; i++ {
+		for j := i + 1; j < len(data); j++ {
+			emb := 0.0
+			for a := range coords[i] {
+				d := coords[i][a] - coords[j][a]
+				emb += d * d
+			}
+			emb = math.Sqrt(emb)
+			if emb > dist(data[i], data[j])+1e-9 {
+				violated = true
+				break
+			}
+		}
+	}
+	if !violated {
+		t.Skip("no lower-bound violation in this sample (rare); embedding happened to contract")
+	}
+}
+
+func TestProjectDimMatchesK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var data []seq.Sequence
+	for i := 0; i < 10; i++ {
+		data = append(data, seq.Sequence{rng.Float64(), rng.Float64()})
+	}
+	dist := func(a, b seq.Sequence) float64 { return dtw.Distance(a, b, seq.LInf) }
+	for _, k := range []int{1, 2, 3} {
+		m, coords, err := Fit(data, k, dist, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(coords[0]) != k {
+			t.Errorf("k=%d: coords have %d dims", k, len(coords[0]))
+		}
+		if got := m.Project(seq.Sequence{0.5, 0.5}); len(got) != k {
+			t.Errorf("k=%d: Project returned %d dims", k, len(got))
+		}
+	}
+}

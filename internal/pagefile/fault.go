@@ -1,0 +1,91 @@
+package pagefile
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error FaultBackend returns once armed.
+var ErrInjected = errors.New("pagefile: injected fault")
+
+// FaultBackend wraps a Backend and fails I/O after a configurable number of
+// operations — used by tests to verify that storage errors propagate
+// cleanly through the buffer pool, heap file, and index instead of
+// corrupting state or panicking.
+type FaultBackend struct {
+	inner Backend
+
+	mu        sync.Mutex
+	remaining int  // operations until failure; <0 = never fail
+	failed    bool // once true, every subsequent op fails
+}
+
+// NewFaultBackend wraps inner, failing every operation after opsUntilFail
+// successful ones (opsUntilFail < 0 disables injection).
+func NewFaultBackend(inner Backend, opsUntilFail int) *FaultBackend {
+	return &FaultBackend{inner: inner, remaining: opsUntilFail}
+}
+
+// Arm re-arms the backend to fail after n more operations.
+func (f *FaultBackend) Arm(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.remaining = n
+	f.failed = false
+}
+
+// Disarm stops failure injection.
+func (f *FaultBackend) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.remaining = -1
+	f.failed = false
+}
+
+// tick consumes one operation credit and reports whether the op must fail.
+func (f *FaultBackend) tick() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failed {
+		return true
+	}
+	if f.remaining < 0 {
+		return false
+	}
+	if f.remaining == 0 {
+		f.failed = true
+		return true
+	}
+	f.remaining--
+	return false
+}
+
+// ReadPage implements Backend.
+func (f *FaultBackend) ReadPage(id PageID, buf []byte) error {
+	if f.tick() {
+		return ErrInjected
+	}
+	return f.inner.ReadPage(id, buf)
+}
+
+// WritePage implements Backend.
+func (f *FaultBackend) WritePage(id PageID, buf []byte) error {
+	if f.tick() {
+		return ErrInjected
+	}
+	return f.inner.WritePage(id, buf)
+}
+
+// Alloc implements Backend.
+func (f *FaultBackend) Alloc() (PageID, error) {
+	if f.tick() {
+		return InvalidPage, ErrInjected
+	}
+	return f.inner.Alloc()
+}
+
+// NumPages implements Backend.
+func (f *FaultBackend) NumPages() int { return f.inner.NumPages() }
+
+// Close implements Backend.
+func (f *FaultBackend) Close() error { return f.inner.Close() }

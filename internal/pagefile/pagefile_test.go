@@ -1,0 +1,110 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemBackendBasics(t *testing.T) {
+	b := NewMemBackend(128)
+	if n := b.NumPages(); n != 0 {
+		t.Fatalf("fresh backend has %d pages", n)
+	}
+	id, err := b.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("first page id = %d", id)
+	}
+	buf := make([]byte, 128)
+	copy(buf, "hello")
+	if err := b.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if err := b.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:5], []byte("hello")) {
+		t.Errorf("read back %q", got[:5])
+	}
+}
+
+func TestMemBackendOutOfRange(t *testing.T) {
+	b := NewMemBackend(64)
+	buf := make([]byte, 64)
+	if err := b.ReadPage(3, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("ReadPage err = %v", err)
+	}
+	if err := b.WritePage(3, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("WritePage err = %v", err)
+	}
+}
+
+func TestFileBackendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.twp")
+	b, err := CreateFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := b.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		buf := make([]byte, 256)
+		buf[0] = byte(i + 1)
+		if err := b.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if b2.PageSize() != 256 {
+		t.Errorf("page size = %d", b2.PageSize())
+	}
+	if b2.NumPages() != 5 {
+		t.Errorf("page count = %d", b2.NumPages())
+	}
+	buf := make([]byte, 256)
+	for i, id := range ids {
+		if err := b2.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Errorf("page %d first byte = %d", id, buf[0])
+		}
+	}
+}
+
+func TestOpenFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a page file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("OpenFile accepted garbage")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("OpenFile accepted missing file")
+	}
+}
+
+func TestCreateFileRejectsTinyPages(t *testing.T) {
+	if _, err := CreateFile(filepath.Join(t.TempDir(), "x"), 8); err == nil {
+		t.Error("CreateFile accepted 8-byte pages")
+	}
+}

@@ -1,0 +1,289 @@
+package pagefile
+
+import (
+	"container/list"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// Stats accumulates buffer pool activity. Reads counts logical page
+// fetches; Misses the subset that had to go to the backend; SeqMisses the
+// subset of misses whose page immediately follows the previously missed
+// page (a sequential read, which disk cost models charge at transfer
+// rather than seek cost); Writes the physical write-backs.
+// Hit ratio = 1 - Misses/Reads.
+type Stats struct {
+	Reads     int64
+	Misses    int64
+	SeqMisses int64
+	Writes    int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Misses += other.Misses
+	s.SeqMisses += other.SeqMisses
+	s.Writes += other.Writes
+}
+
+// Page is a pinned buffer frame. The caller must Unpin it when done; dirty
+// pages must be marked via MarkDirty before Unpin or the mutation may be
+// lost on eviction.
+type Page struct {
+	id    PageID
+	frame *frame
+	pool  *Pool
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() PageID { return p.id }
+
+// Payload returns the caller-usable bytes of the page (the page minus the
+// CRC trailer). The slice aliases the buffer frame and is only valid while
+// the page is pinned.
+func (p *Page) Payload() []byte { return p.frame.buf[:len(p.frame.buf)-crcLen] }
+
+// MarkDirty records that the payload was mutated so the frame is written
+// back before eviction.
+func (p *Page) MarkDirty() { p.frame.dirty = true }
+
+// Unpin releases the caller's pin. The Page must not be used afterwards.
+func (p *Page) Unpin() { p.pool.unpin(p.frame) }
+
+type frame struct {
+	id    PageID
+	buf   []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// Pool is an LRU buffer pool over a Backend. All methods are safe for
+// concurrent use.
+type Pool struct {
+	backend  Backend
+	pageSize int
+	capacity int
+
+	mu       sync.Mutex
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; holds only unpinned frames
+	stats    Stats
+	lastMiss PageID // previously missed page, for sequential-read detection
+}
+
+// NewPool creates a buffer pool with room for capacity pages of the given
+// page size over backend. Capacity must be at least 4 so multi-page
+// operations (e.g. an R-tree split touching parent and two children) can
+// hold their working set pinned.
+func NewPool(backend Backend, pageSize, capacity int) (*Pool, error) {
+	if capacity < 4 {
+		return nil, fmt.Errorf("pagefile: pool capacity %d < 4", capacity)
+	}
+	if pageSize <= crcLen+8 {
+		return nil, fmt.Errorf("pagefile: page size %d too small", pageSize)
+	}
+	return &Pool{
+		backend:  backend,
+		pageSize: pageSize,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lru:      list.New(),
+		lastMiss: InvalidPage,
+	}, nil
+}
+
+// PageSize returns the configured page size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// PayloadSize returns the number of caller-usable bytes per page.
+func (p *Pool) PayloadSize() int { return p.pageSize - crcLen }
+
+// Stats returns a snapshot of the accumulated counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters (used between experiment runs).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// NumPages returns the number of allocated pages in the backing store.
+func (p *Pool) NumPages() int { return p.backend.NumPages() }
+
+// Alloc allocates a fresh page and returns it pinned with a zero payload.
+func (p *Pool) Alloc() (*Page, error) {
+	id, err := p.backend.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.installLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.buf {
+		f.buf[i] = 0
+	}
+	f.dirty = true
+	return &Page{id: id, frame: f, pool: p}, nil
+}
+
+// Fetch pins page id, reading it from the backend on a miss.
+func (p *Pool) Fetch(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Reads++
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		return &Page{id: id, frame: f, pool: p}, nil
+	}
+	p.stats.Misses++
+	if p.lastMiss != InvalidPage && id == p.lastMiss+1 {
+		p.stats.SeqMisses++
+	}
+	p.lastMiss = id
+	f, err := p.installLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.backend.ReadPage(id, f.buf); err != nil {
+		p.dropLocked(f)
+		return nil, err
+	}
+	if err := verifyCRC(f.buf); err != nil {
+		p.dropLocked(f)
+		return nil, fmt.Errorf("%w (page %d)", err, id)
+	}
+	return &Page{id: id, frame: f, pool: p}, nil
+}
+
+// installLocked obtains a frame for id (evicting if necessary) and registers
+// it pinned once. Caller holds p.mu.
+func (p *Pool) installLocked(id PageID) (*frame, error) {
+	var buf []byte
+	if len(p.frames) >= p.capacity {
+		victim := p.lru.Back()
+		if victim == nil {
+			return nil, fmt.Errorf("pagefile: buffer pool exhausted (%d pages, all pinned)", p.capacity)
+		}
+		vf := victim.Value.(*frame)
+		if err := p.flushLocked(vf); err != nil {
+			return nil, err
+		}
+		p.lru.Remove(victim)
+		delete(p.frames, vf.id)
+		buf = vf.buf
+	} else {
+		buf = make([]byte, p.pageSize)
+	}
+	f := &frame{id: id, buf: buf, pins: 1}
+	p.frames[id] = f
+	return f, nil
+}
+
+// dropLocked removes a freshly installed frame after a failed read.
+func (p *Pool) dropLocked(f *frame) {
+	delete(p.frames, f.id)
+}
+
+func (p *Pool) unpin(f *frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic("pagefile: unpin of unpinned page")
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = p.lru.PushFront(f)
+	}
+}
+
+// flushLocked writes a dirty frame back through the backend.
+func (p *Pool) flushLocked(f *frame) error {
+	if !f.dirty {
+		return nil
+	}
+	stampCRC(f.buf)
+	if err := p.backend.WritePage(f.id, f.buf); err != nil {
+		return err
+	}
+	f.dirty = false
+	p.stats.Writes++
+	return nil
+}
+
+// FlushAll writes back every dirty frame (pinned or not) without evicting.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if err := p.flushLocked(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes all dirty pages and closes the backend.
+func (p *Pool) Close() error {
+	if err := p.FlushAll(); err != nil {
+		p.backend.Close()
+		return err
+	}
+	return p.backend.Close()
+}
+
+func stampCRC(buf []byte) {
+	payload := buf[:len(buf)-crcLen]
+	sum := crc32Checksum(payload)
+	buf[len(buf)-4] = byte(sum)
+	buf[len(buf)-3] = byte(sum >> 8)
+	buf[len(buf)-2] = byte(sum >> 16)
+	buf[len(buf)-1] = byte(sum >> 24)
+}
+
+func verifyCRC(buf []byte) error {
+	payload := buf[:len(buf)-crcLen]
+	want := uint32(buf[len(buf)-4]) | uint32(buf[len(buf)-3])<<8 |
+		uint32(buf[len(buf)-2])<<16 | uint32(buf[len(buf)-1])<<24
+	// All-zero pages (freshly allocated, never written) carry no checksum.
+	if want == 0 && allZero(payload) {
+		return nil
+	}
+	if crc32Checksum(payload) != want {
+		return ErrPageCorrupt
+	}
+	return nil
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// crc32Checksum computes the Castagnoli CRC of b, reserving 0 to mean
+// "never written" so freshly allocated zero pages verify cleanly.
+func crc32Checksum(b []byte) uint32 {
+	sum := crc32.Update(0, crcTable, b)
+	if sum == 0 {
+		sum = 1
+	}
+	return sum
+}

@@ -1,0 +1,122 @@
+package rtree
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// BulkLoad builds the tree from a full set of entries using Sort-Tile-
+// Recursive (STR) packing. The tree must be empty. Bulk loading produces a
+// near-100%-utilized, well-clustered tree far faster than repeated Insert
+// (the paper's §4.3.1 recommends bulk loading for initial construction).
+func (t *Tree) BulkLoad(entries []Entry) error {
+	if t.size != 0 {
+		return errors.New("rtree: BulkLoad requires an empty tree")
+	}
+	for _, e := range entries {
+		if err := t.checkDim(e.Rect); err != nil {
+			return err
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	// STR packs nodes to full capacity; slab remainders leave the slack
+	// later inserts need.
+	fill := t.max
+
+	// Pack the data entries into leaves.
+	own := make([]Entry, len(entries))
+	for i, e := range entries {
+		own[i] = Entry{Rect: e.Rect.Clone(), Child: e.Child}
+	}
+	level := make([]*node, 0, (len(own)+fill-1)/fill)
+	for _, chunk := range strTile(own, t.dim, fill) {
+		n, err := t.allocNode(true)
+		if err != nil {
+			return err
+		}
+		n.entries = chunk
+		if err := t.storeNode(n); err != nil {
+			return err
+		}
+		level = append(level, n)
+	}
+	height := 1
+
+	// Pack upward until a single root remains.
+	for len(level) > 1 {
+		parentEntries := make([]Entry, len(level))
+		for i, n := range level {
+			parentEntries[i] = Entry{Rect: n.mbr(), Child: uint32(n.pid)}
+		}
+		next := make([]*node, 0, (len(parentEntries)+fill-1)/fill)
+		for _, chunk := range strTile(parentEntries, t.dim, fill) {
+			n, err := t.allocNode(false)
+			if err != nil {
+				return err
+			}
+			n.entries = chunk
+			if err := t.storeNode(n); err != nil {
+				return err
+			}
+			next = append(next, n)
+		}
+		level = next
+		height++
+	}
+	t.root = level[0].pid
+	t.height = height
+	t.size = len(entries)
+	return t.saveMeta()
+}
+
+// strTile partitions entries into chunks of at most capacity entries using
+// recursive sort-tile partitioning across dims dimensions.
+func strTile(entries []Entry, dims, capacity int) [][]Entry {
+	if len(entries) <= capacity {
+		return [][]Entry{entries}
+	}
+	if dims <= 1 {
+		sortByCenter(entries, 0)
+		return chunk(entries, capacity)
+	}
+	pages := int(math.Ceil(float64(len(entries)) / float64(capacity)))
+	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dims))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	dim := entries[0].Rect.Dim() - dims // current sort dimension
+	sortByCenter(entries, dim)
+	perSlab := (len(entries) + slabs - 1) / slabs
+	var out [][]Entry
+	for off := 0; off < len(entries); off += perSlab {
+		end := off + perSlab
+		if end > len(entries) {
+			end = len(entries)
+		}
+		out = append(out, strTile(entries[off:end], dims-1, capacity)...)
+	}
+	return out
+}
+
+func sortByCenter(entries []Entry, dim int) {
+	sort.Slice(entries, func(i, j int) bool {
+		ci := entries[i].Rect.Lo[dim] + entries[i].Rect.Hi[dim]
+		cj := entries[j].Rect.Lo[dim] + entries[j].Rect.Hi[dim]
+		return ci < cj
+	})
+}
+
+func chunk(entries []Entry, capacity int) [][]Entry {
+	var out [][]Entry
+	for off := 0; off < len(entries); off += capacity {
+		end := off + capacity
+		if end > len(entries) {
+			end = len(entries)
+		}
+		out = append(out, entries[off:end])
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/pagefile"
+)
+
+// CheckInvariants validates the structural invariants of the tree and
+// returns the first violation found:
+//
+//   - every internal entry's rectangle equals the MBR of its child node,
+//   - all leaves sit at the same depth, equal to the recorded height,
+//   - no node exceeds capacity M,
+//   - the recorded size equals the number of data entries.
+//
+// Minimum fill is deliberately not enforced: bulk loading and root nodes
+// legitimately hold fewer than m entries.
+func (t *Tree) CheckInvariants() error {
+	dataCount := 0
+	var visit func(pid pagefile.PageID, depth int) (Rect, error)
+	visit = func(pid pagefile.PageID, depth int) (Rect, error) {
+		n, err := t.loadNode(pid)
+		if err != nil {
+			return Rect{}, err
+		}
+		if len(n.entries) > t.max {
+			return Rect{}, fmt.Errorf("rtree: node %d overflows: %d > %d", pid, len(n.entries), t.max)
+		}
+		if n.leaf {
+			if depth != t.height {
+				return Rect{}, fmt.Errorf("rtree: leaf %d at depth %d, height %d", pid, depth, t.height)
+			}
+			dataCount += len(n.entries)
+			if len(n.entries) == 0 {
+				if pid != t.root {
+					return Rect{}, fmt.Errorf("rtree: empty non-root leaf %d", pid)
+				}
+				return Rect{}, nil
+			}
+			return n.mbr(), nil
+		}
+		if len(n.entries) == 0 {
+			return Rect{}, fmt.Errorf("rtree: empty internal node %d", pid)
+		}
+		for i, e := range n.entries {
+			childMBR, err := visit(pagefile.PageID(e.Child), depth+1)
+			if err != nil {
+				return Rect{}, err
+			}
+			if !e.Rect.Equal(childMBR) {
+				return Rect{}, fmt.Errorf("rtree: node %d entry %d rect %v != child mbr %v",
+					pid, i, e.Rect, childMBR)
+			}
+		}
+		return n.mbr(), nil
+	}
+	if _, err := visit(t.root, 1); err != nil {
+		return err
+	}
+	if dataCount != t.size {
+		return fmt.Errorf("rtree: size %d but %d data entries found", t.size, dataCount)
+	}
+	return nil
+}

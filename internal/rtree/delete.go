@@ -1,0 +1,109 @@
+package rtree
+
+import (
+	"repro/internal/pagefile"
+)
+
+// Delete removes the data entry with the exact rectangle r and identifier
+// id. It reports whether an entry was found and removed. Underfull nodes
+// are dissolved and their entries reinserted at the proper level (Guttman's
+// CondenseTree); freed pages go on the tree's free list for reuse.
+func (t *Tree) Delete(r Rect, id uint32) (bool, error) {
+	if err := t.checkDim(r); err != nil {
+		return false, err
+	}
+	path, idx, err := t.findLeaf(t.root, t.height, r, id)
+	if err != nil || path == nil {
+		return false, err
+	}
+	leaf := path[len(path)-1].n
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+
+	// CondenseTree: walk the path bottom-up collecting dissolved nodes.
+	type orphan struct {
+		entries []Entry
+		level   int // level the *entries* belong at (1 = data entries)
+	}
+	var orphans []orphan
+	level := 1
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i].n
+		parent := path[i-1].n
+		pidx := path[i].parentIdx
+		if len(n.entries) < t.min {
+			parent.entries = append(parent.entries[:pidx], parent.entries[pidx+1:]...)
+			if len(n.entries) > 0 {
+				orphans = append(orphans, orphan{entries: n.entries, level: level})
+			}
+			t.free = append(t.free, n.pid)
+		} else {
+			parent.entries[pidx].Rect = n.mbr()
+			if err := t.storeNode(n); err != nil {
+				return false, err
+			}
+		}
+		level++
+	}
+	root := path[0].n
+	if err := t.storeNode(root); err != nil {
+		return false, err
+	}
+
+	// Reinsert orphaned entries at their recorded levels (deepest first so
+	// the tree regrows bottom-up).
+	for i := len(orphans) - 1; i >= 0; i-- {
+		for _, e := range orphans[i].entries {
+			if err := t.insertAtLevel(e, orphans[i].level); err != nil {
+				return false, err
+			}
+		}
+	}
+
+	// Shrink the root while it is an internal node with a single child.
+	for t.height > 1 {
+		rn, err := t.loadNode(t.root)
+		if err != nil {
+			return false, err
+		}
+		if rn.leaf || len(rn.entries) != 1 {
+			break
+		}
+		t.free = append(t.free, rn.pid)
+		t.root = pagefile.PageID(rn.entries[0].Child)
+		t.height--
+	}
+	return true, t.saveMeta()
+}
+
+// findLeaf locates the leaf containing the exact (rect, id) entry via a
+// depth-first search over intersecting subtrees. It returns the root-to-leaf
+// path and the entry's index within the leaf, or a nil path when absent.
+func (t *Tree) findLeaf(pid pagefile.PageID, level int, r Rect, id uint32) ([]pathElem, int, error) {
+	n, err := t.loadNode(pid)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.Child == id && e.Rect.Equal(r) {
+				return []pathElem{{n: n, parentIdx: -1}}, i, nil
+			}
+		}
+		return nil, 0, nil
+	}
+	for i, e := range n.entries {
+		if !e.Rect.Contains(r) {
+			continue
+		}
+		sub, idx, err := t.findLeaf(pagefile.PageID(e.Child), level-1, r, id)
+		if err != nil {
+			return nil, 0, err
+		}
+		if sub != nil {
+			sub[0].parentIdx = i
+			return append([]pathElem{{n: n, parentIdx: -1}}, sub...), idx, nil
+		}
+	}
+	return nil, 0, nil
+}

@@ -1,0 +1,61 @@
+package rtree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pagefile"
+)
+
+// Storage faults during insert must surface as errors, and after the fault
+// clears the tree must still pass its integrity check for the entries it
+// actually holds.
+func TestInsertSurvivesTransientFaults(t *testing.T) {
+	fb := pagefile.NewFaultBackend(pagefile.NewMemBackend(512), -1)
+	pool, err := pagefile.NewPool(fb, 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Create(pool, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	rng := rand.New(rand.NewSource(99))
+	inserted := 0
+	faults := 0
+	for i := 0; i < 400; i++ {
+		if i%37 == 36 {
+			fb.Arm(rng.Intn(3))
+		}
+		err := tree.Insert(NewPoint(randPoint(rng, 2)), uint32(i))
+		fb.Disarm()
+		if err != nil {
+			if !errors.Is(err, pagefile.ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			faults++
+			continue
+		}
+		inserted++
+	}
+	if faults == 0 {
+		t.Skip("no fault fired; adjust schedule")
+	}
+	// The tree may have partially-applied inserts (size counts only
+	// successful ones), but its structure must remain navigable: a full
+	// search must not error and must return at least the successes that
+	// completed without any fault.
+	everything, _ := NewRect([]float64{-1, -1}, []float64{101, 101})
+	count := 0
+	if err := tree.Search(everything, func(_ Rect, _ uint32) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatalf("post-fault search: %v", err)
+	}
+	if count < inserted {
+		t.Errorf("search found %d entries, %d inserts succeeded", count, inserted)
+	}
+}

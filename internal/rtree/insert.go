@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/pagefile"
+)
+
+// Insert adds a data entry with bounding rectangle r and identifier id.
+func (t *Tree) Insert(r Rect, id uint32) error {
+	if err := t.checkDim(r); err != nil {
+		return err
+	}
+	if err := t.insertAtLevel(Entry{Rect: r.Clone(), Child: id}, 1); err != nil {
+		return err
+	}
+	t.size++
+	return t.saveMeta()
+}
+
+// insertAtLevel places entry e into a node at the given level (1 = leaf).
+// Reinsertion during delete condensation uses levels > 1.
+func (t *Tree) insertAtLevel(e Entry, level int) error {
+	// Descend, recording the path (node, index-of-chosen-entry-in-parent).
+	path, err := t.chooseNode(e.Rect, level)
+	if err != nil {
+		return err
+	}
+	target := path[len(path)-1].n
+	target.entries = append(target.entries, e)
+
+	var splitNew *node
+	if len(target.entries) > t.max {
+		splitNew, err = t.splitNode(target)
+		if err != nil {
+			return err
+		}
+	} else if err := t.storeNode(target); err != nil {
+		return err
+	}
+
+	// Adjust MBRs upward, propagating splits.
+	for i := len(path) - 2; i >= 0; i-- {
+		parent := path[i].n
+		childIdx := path[i+1].parentIdx
+		parent.entries[childIdx].Rect = path[i+1].n.mbr()
+		if splitNew != nil {
+			parent.entries = append(parent.entries, Entry{Rect: splitNew.mbr(), Child: uint32(splitNew.pid)})
+			if len(parent.entries) > t.max {
+				splitNew, err = t.splitNode(parent)
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			splitNew = nil
+		}
+		if err := t.storeNode(parent); err != nil {
+			return err
+		}
+	}
+
+	// Root split: grow the tree by one level.
+	if splitNew != nil {
+		oldRoot := path[0].n
+		newRoot, err := t.allocNode(false)
+		if err != nil {
+			return err
+		}
+		newRoot.entries = []Entry{
+			{Rect: oldRoot.mbr(), Child: uint32(oldRoot.pid)},
+			{Rect: splitNew.mbr(), Child: uint32(splitNew.pid)},
+		}
+		if err := t.storeNode(newRoot); err != nil {
+			return err
+		}
+		t.root = newRoot.pid
+		t.height++
+	}
+	return nil
+}
+
+// pathElem records one step of a root-to-target descent.
+type pathElem struct {
+	n         *node
+	parentIdx int // index of this node's entry within its parent
+}
+
+// chooseNode descends from the root to a node at the requested level
+// (1 = leaf), choosing at each step the subtree needing least enlargement
+// (ties broken by smaller area), per Guttman's ChooseLeaf.
+func (t *Tree) chooseNode(r Rect, level int) ([]pathElem, error) {
+	n, err := t.loadNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	path := []pathElem{{n: n, parentIdx: -1}}
+	curLevel := t.height
+	for curLevel > level {
+		if n.leaf {
+			return nil, fmt.Errorf("rtree: reached leaf above target level %d", level)
+		}
+		best := -1
+		bestEnl, bestArea := 0.0, 0.0
+		for i, e := range n.entries {
+			enl := e.Rect.Enlargement(r)
+			area := e.Rect.Area()
+			if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("rtree: empty internal node %d", n.pid)
+		}
+		child, err := t.loadNode(pagefile.PageID(n.entries[best].Child))
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, pathElem{n: child, parentIdx: best})
+		n = child
+		curLevel--
+	}
+	return path, nil
+}

@@ -1,0 +1,91 @@
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/pagefile"
+)
+
+// Neighbor is one k-NN result: a data entry plus its distance to the query
+// point under the chosen norm.
+type Neighbor struct {
+	Entry Entry
+	Dist  float64
+}
+
+// pqItem is either a node (to expand) or a data entry (to emit).
+type pqItem struct {
+	dist  float64
+	israw bool // true: data entry; false: node page
+	entry Entry
+	pid   pagefile.PageID
+}
+
+type pqueue []pqItem
+
+func (q pqueue) Len() int            { return len(q) }
+func (q pqueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pqueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pqueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// NearestK returns the k data entries nearest to point p under norm, in
+// non-decreasing distance order, using best-first (Hjaltason–Samet)
+// traversal. Distances are point-to-rectangle MinDist values, which for
+// point data equal the point-to-point distance.
+//
+// Because the paper's Dtw-lb is the L∞ metric over feature vectors,
+// NearestK with NormLInf enumerates candidates in lower-bound order — the
+// basis of the exact k-NN extension in the search layer.
+func (t *Tree) NearestK(p []float64, k int, norm Norm) ([]Neighbor, error) {
+	out := make([]Neighbor, 0, k)
+	err := t.NearestWalk(p, norm, func(n Neighbor) bool {
+		out = append(out, n)
+		return len(out) < k
+	})
+	return out, err
+}
+
+// NearestWalk streams data entries in non-decreasing MinDist order, calling
+// fn for each; fn returning false stops the traversal. This incremental form
+// lets callers refine with an exact distance and stop once the lower bound
+// exceeds their current k-th best (exact k-NN without a fixed candidate
+// count).
+func (t *Tree) NearestWalk(p []float64, norm Norm, fn func(Neighbor) bool) error {
+	if len(p) != t.dim {
+		return fmt.Errorf("%w: point dim %d, tree dim %d", ErrDimension, len(p), t.dim)
+	}
+	if t.size == 0 {
+		return nil
+	}
+	q := &pqueue{{dist: 0, pid: t.root}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.israw {
+			if !fn(Neighbor{Entry: it.entry, Dist: it.dist}) {
+				return nil
+			}
+			continue
+		}
+		n, err := t.loadNode(it.pid)
+		if err != nil {
+			return err
+		}
+		for _, e := range n.entries {
+			d := e.Rect.MinDist(p, norm)
+			if n.leaf {
+				heap.Push(q, pqItem{dist: d, israw: true, entry: e})
+			} else {
+				heap.Push(q, pqItem{dist: d, pid: pagefile.PageID(e.Child)})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func bruteKNN(points [][]float64, q []float64, k int, norm Norm) []float64 {
+	dists := make([]float64, len(points))
+	for i, p := range points {
+		dists[i] = NewPoint(p).MinDist(q, norm)
+	}
+	sort.Float64s(dists)
+	if k > len(dists) {
+		k = len(dists)
+	}
+	return dists[:k]
+}
+
+func TestNearestKAgainstBruteForce(t *testing.T) {
+	for _, norm := range []Norm{NormLInf, NormL2} {
+		rng := rand.New(rand.NewSource(21))
+		tree := newTree(t, 3, Options{})
+		var points [][]float64
+		for i := 0; i < 400; i++ {
+			p := randPoint(rng, 3)
+			points = append(points, p)
+			if err := tree.Insert(NewPoint(p), uint32(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := randPoint(rng, 3)
+			k := 1 + rng.Intn(10)
+			got, err := tree.NearestK(q, k, norm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteKNN(points, q, k, norm)
+			if len(got) != len(want) {
+				t.Fatalf("norm=%v: got %d results, want %d", norm, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+					t.Fatalf("norm=%v k=%d pos=%d: dist %g, want %g",
+						norm, k, i, got[i].Dist, want[i])
+				}
+				if i > 0 && got[i].Dist < got[i-1].Dist {
+					t.Fatalf("results out of order")
+				}
+			}
+		}
+	}
+}
+
+func TestNearestKMoreThanStored(t *testing.T) {
+	tree := newTree(t, 2, Options{})
+	for i := 0; i < 5; i++ {
+		if err := tree.Insert(NewPoint([]float64{float64(i), 0}), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tree.NearestK([]float64{0, 0}, 10, NormLInf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("NearestK returned %d of 5", len(got))
+	}
+}
+
+func TestNearestKEmptyTree(t *testing.T) {
+	tree := newTree(t, 2, Options{})
+	got, err := tree.NearestK([]float64{0, 0}, 3, NormLInf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty tree NearestK = %v, %v", got, err)
+	}
+}
+
+func TestNearestWalkDimCheck(t *testing.T) {
+	tree := newTree(t, 2, Options{})
+	if err := tree.NearestWalk([]float64{1}, NormLInf, func(Neighbor) bool { return true }); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+func TestNearestWalkEarlyStop(t *testing.T) {
+	tree := newTree(t, 2, Options{})
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		if err := tree.Insert(NewPoint(randPoint(rng, 2)), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := tree.NearestWalk([]float64{50, 50}, NormLInf, func(Neighbor) bool {
+		count++
+		return count < 7
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 {
+		t.Errorf("walk visited %d", count)
+	}
+}
+
+func TestBulkLoadMatchesInsertResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	var entries []Entry
+	var points [][]float64
+	for i := 0; i < 1000; i++ {
+		p := randPoint(rng, 4)
+		points = append(points, p)
+		entries = append(entries, Entry{Rect: NewPoint(p), Child: uint32(i)})
+	}
+	tree := newTree(t, 4, Options{})
+	if err := tree.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 1000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		lo := randPoint(rng, 4)
+		hi := make([]float64, 4)
+		for i := range hi {
+			hi[i] = lo[i] + rng.Float64()*40
+		}
+		query, _ := NewRect(lo, hi)
+		var got []uint32
+		if err := tree.Search(query, func(_ Rect, id uint32) bool {
+			got = append(got, id)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := bruteRange(points, query)
+		if !equalIDs(sortedIDs(got), sortedIDs(want)) {
+			t.Fatalf("bulk-loaded search mismatch: got %d want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestBulkLoadDenser(t *testing.T) {
+	// Bulk loading must produce fewer pages than one-by-one insertion.
+	rng := rand.New(rand.NewSource(27))
+	var entries []Entry
+	for i := 0; i < 2000; i++ {
+		entries = append(entries, Entry{Rect: NewPoint(randPoint(rng, 4)), Child: uint32(i)})
+	}
+	bulk := newTree(t, 4, Options{})
+	if err := bulk.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	incr := newTree(t, 4, Options{})
+	for _, e := range entries {
+		if err := incr.Insert(e.Rect, e.Child); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.NodePages() >= incr.NodePages() {
+		t.Errorf("bulk pages %d >= incremental pages %d", bulk.NodePages(), incr.NodePages())
+	}
+}
+
+func TestBulkLoadRejectsNonEmpty(t *testing.T) {
+	tree := newTree(t, 2, Options{})
+	if err := tree.Insert(NewPoint([]float64{1, 1}), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BulkLoad([]Entry{{Rect: NewPoint([]float64{2, 2}), Child: 1}}); err == nil {
+		t.Error("BulkLoad on non-empty tree accepted")
+	}
+}
+
+func TestBulkLoadEmptyAndSmall(t *testing.T) {
+	tree := newTree(t, 2, Options{})
+	if err := tree.BulkLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 0 {
+		t.Error("empty bulk load changed size")
+	}
+	tree2 := newTree(t, 2, Options{})
+	if err := tree2.BulkLoad([]Entry{{Rect: NewPoint([]float64{1, 1}), Child: 42}}); err != nil {
+		t.Fatal(err)
+	}
+	if tree2.Len() != 1 || tree2.Height() != 1 {
+		t.Errorf("single-entry bulk: len=%d height=%d", tree2.Len(), tree2.Height())
+	}
+	if err := tree2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadDimCheck(t *testing.T) {
+	tree := newTree(t, 3, Options{})
+	if err := tree.BulkLoad([]Entry{{Rect: NewPoint([]float64{1, 1}), Child: 0}}); err == nil {
+		t.Error("BulkLoad accepted wrong dimension")
+	}
+}
+
+func TestInsertAfterBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	var entries []Entry
+	var points [][]float64
+	for i := 0; i < 300; i++ {
+		p := randPoint(rng, 2)
+		points = append(points, p)
+		entries = append(entries, Entry{Rect: NewPoint(p), Child: uint32(i)})
+	}
+	tree := newTree(t, 2, Options{})
+	if err := tree.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	for i := 300; i < 400; i++ {
+		p := randPoint(rng, 2)
+		points = append(points, p)
+		if err := tree.Insert(NewPoint(p), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	everything, _ := NewRect([]float64{-1, -1}, []float64{101, 101})
+	var got []uint32
+	if err := tree.Search(everything, func(_ Rect, id uint32) bool {
+		got = append(got, id)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 400 {
+		t.Errorf("found %d of 400", len(got))
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	tree := newTree(t, 2, Options{MaxEntries: 4})
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		if err := tree.Insert(NewPoint(randPoint(rng, 2)), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves, internals, dataEntries := 0, 0, 0
+	err := tree.Walk(func(level int, leaf bool, _ Rect, entries []Entry) error {
+		if leaf {
+			leaves++
+			dataEntries += len(entries)
+		} else {
+			internals++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dataEntries != 100 {
+		t.Errorf("walk saw %d data entries", dataEntries)
+	}
+	if leaves == 0 || internals == 0 {
+		t.Errorf("leaves=%d internals=%d", leaves, internals)
+	}
+}

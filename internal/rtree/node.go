@@ -1,0 +1,155 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/pagefile"
+)
+
+// Entry is one slot of a node: a bounding rectangle plus either a child
+// page (internal nodes) or an opaque data identifier (leaves).
+type Entry struct {
+	Rect  Rect
+	Child uint32 // child PageID for internal nodes, data ID for leaves
+}
+
+// node is the in-memory image of one R-tree page.
+//
+// On-page layout (within the pagefile payload):
+//
+//	byte    0     kind: 0 = leaf, 1 = internal
+//	byte    1..2  entry count, little-endian uint16
+//	byte    3..7  reserved
+//	entries ...   per entry: dim×float64 lo, dim×float64 hi, uint32 child
+type node struct {
+	pid     pagefile.PageID
+	leaf    bool
+	entries []Entry
+}
+
+const nodeHeaderLen = 8
+
+// entrySize returns the on-page bytes per entry for dimensionality dim.
+func entrySize(dim int) int { return 16*dim + 4 }
+
+// nodeCapacity returns the maximum entry count M for a page payload of the
+// given size and dimensionality.
+func nodeCapacity(payload, dim int) int {
+	return (payload - nodeHeaderLen) / entrySize(dim)
+}
+
+// mbr returns the minimal rectangle covering all entries. The node must not
+// be empty.
+func (n *node) mbr() Rect {
+	r := n.entries[0].Rect.Clone()
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.Rect)
+	}
+	return r
+}
+
+// encode serializes n into buf (a page payload).
+func (n *node) encode(buf []byte, dim int) {
+	if n.leaf {
+		buf[0] = 0
+	} else {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.entries)))
+	buf[3], buf[4], buf[5], buf[6], buf[7] = 0, 0, 0, 0, 0
+	off := nodeHeaderLen
+	for _, e := range n.entries {
+		for i := 0; i < dim; i++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Lo[i]))
+			off += 8
+		}
+		for i := 0; i < dim; i++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Hi[i]))
+			off += 8
+		}
+		binary.LittleEndian.PutUint32(buf[off:], e.Child)
+		off += 4
+	}
+}
+
+// decodeNode parses a page payload into a node.
+func decodeNode(pid pagefile.PageID, buf []byte, dim int) (*node, error) {
+	if len(buf) < nodeHeaderLen {
+		return nil, fmt.Errorf("rtree: page %d too small for node header", pid)
+	}
+	kind := buf[0]
+	if kind > 1 {
+		return nil, fmt.Errorf("rtree: page %d has invalid node kind %d", pid, kind)
+	}
+	count := int(binary.LittleEndian.Uint16(buf[1:]))
+	need := nodeHeaderLen + count*entrySize(dim)
+	if need > len(buf) {
+		return nil, fmt.Errorf("rtree: page %d entry count %d exceeds payload", pid, count)
+	}
+	n := &node{pid: pid, leaf: kind == 0, entries: make([]Entry, count)}
+	off := nodeHeaderLen
+	for k := 0; k < count; k++ {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			lo[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for i := 0; i < dim; i++ {
+			hi[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		n.entries[k] = Entry{
+			Rect:  Rect{Lo: lo, Hi: hi},
+			Child: binary.LittleEndian.Uint32(buf[off:]),
+		}
+		off += 4
+	}
+	return n, nil
+}
+
+// loadNode fetches and decodes the node stored on page pid.
+func (t *Tree) loadNode(pid pagefile.PageID) (*node, error) {
+	p, err := t.pool.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Unpin()
+	return decodeNode(pid, p.Payload(), t.dim)
+}
+
+// storeNode writes n back to its page.
+func (t *Tree) storeNode(n *node) error {
+	p, err := t.pool.Fetch(n.pid)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin()
+	n.encode(p.Payload(), t.dim)
+	p.MarkDirty()
+	return nil
+}
+
+// allocNode allocates a page for a node of the given kind, preferring pages
+// from the free list over growing the store.
+func (t *Tree) allocNode(leaf bool) (*node, error) {
+	var p *pagefile.Page
+	var err error
+	if len(t.free) > 0 {
+		pid := t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		p, err = t.pool.Fetch(pid)
+	} else {
+		p, err = t.pool.Alloc()
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer p.Unpin()
+	n := &node{pid: p.ID(), leaf: leaf}
+	n.encode(p.Payload(), t.dim)
+	p.MarkDirty()
+	return n, nil
+}

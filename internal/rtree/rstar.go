@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// rstarSplit implements the split heuristic of the R*-tree (Beckmann et
+// al.), one of the index choices the paper's §4.3.1 lists. It chooses the
+// split axis by minimum total margin over all candidate distributions and
+// the split point by minimum overlap (ties by minimum combined area).
+// Forced reinsertion — the other R*-tree ingredient — is deliberately not
+// implemented: it complicates recovery semantics on disk-resident trees and
+// the split alone captures most of the clustering benefit for point data.
+func (t *Tree) rstarSplit(entries []Entry) (groupA, groupB []Entry) {
+	dim := entries[0].Rect.Dim()
+	m := t.min
+	if m < 1 {
+		m = 1
+	}
+	total := len(entries)
+
+	// distributions along one sorted order: split after k entries for
+	// k = m .. total-m.
+	marginOf := func(sorted []Entry) float64 {
+		margin := 0.0
+		// Prefix and suffix MBRs.
+		prefix := make([]Rect, total)
+		suffix := make([]Rect, total)
+		prefix[0] = sorted[0].Rect.Clone()
+		for i := 1; i < total; i++ {
+			prefix[i] = prefix[i-1].Union(sorted[i].Rect)
+		}
+		suffix[total-1] = sorted[total-1].Rect.Clone()
+		for i := total - 2; i >= 0; i-- {
+			suffix[i] = suffix[i+1].Union(sorted[i].Rect)
+		}
+		for k := m; k <= total-m; k++ {
+			margin += prefix[k-1].Margin() + suffix[k].Margin()
+		}
+		return margin
+	}
+
+	bestAxis, bestByLo := -1, false
+	bestMargin := math.Inf(1)
+	for d := 0; d < dim; d++ {
+		byLo := append([]Entry(nil), entries...)
+		sort.SliceStable(byLo, func(i, j int) bool {
+			if byLo[i].Rect.Lo[d] != byLo[j].Rect.Lo[d] {
+				return byLo[i].Rect.Lo[d] < byLo[j].Rect.Lo[d]
+			}
+			return byLo[i].Rect.Hi[d] < byLo[j].Rect.Hi[d]
+		})
+		byHi := append([]Entry(nil), entries...)
+		sort.SliceStable(byHi, func(i, j int) bool {
+			if byHi[i].Rect.Hi[d] != byHi[j].Rect.Hi[d] {
+				return byHi[i].Rect.Hi[d] < byHi[j].Rect.Hi[d]
+			}
+			return byHi[i].Rect.Lo[d] < byHi[j].Rect.Lo[d]
+		})
+		if mg := marginOf(byLo); mg < bestMargin {
+			bestMargin, bestAxis, bestByLo = mg, d, true
+		}
+		if mg := marginOf(byHi); mg < bestMargin {
+			bestMargin, bestAxis, bestByLo = mg, d, false
+		}
+	}
+
+	sorted := append([]Entry(nil), entries...)
+	d := bestAxis
+	if bestByLo {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			if sorted[i].Rect.Lo[d] != sorted[j].Rect.Lo[d] {
+				return sorted[i].Rect.Lo[d] < sorted[j].Rect.Lo[d]
+			}
+			return sorted[i].Rect.Hi[d] < sorted[j].Rect.Hi[d]
+		})
+	} else {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			if sorted[i].Rect.Hi[d] != sorted[j].Rect.Hi[d] {
+				return sorted[i].Rect.Hi[d] < sorted[j].Rect.Hi[d]
+			}
+			return sorted[i].Rect.Lo[d] < sorted[j].Rect.Lo[d]
+		})
+	}
+
+	prefix := make([]Rect, total)
+	suffix := make([]Rect, total)
+	prefix[0] = sorted[0].Rect.Clone()
+	for i := 1; i < total; i++ {
+		prefix[i] = prefix[i-1].Union(sorted[i].Rect)
+	}
+	suffix[total-1] = sorted[total-1].Rect.Clone()
+	for i := total - 2; i >= 0; i-- {
+		suffix[i] = suffix[i+1].Union(sorted[i].Rect)
+	}
+	bestK := m
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	for k := m; k <= total-m; k++ {
+		a, b := prefix[k-1], suffix[k]
+		overlap := intersectionArea(a, b)
+		area := a.Area() + b.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, overlap, area
+		}
+	}
+	groupA = append(groupA, sorted[:bestK]...)
+	groupB = append(groupB, sorted[bestK:]...)
+	return groupA, groupB
+}
+
+// intersectionArea returns the volume of the intersection of a and b
+// (zero when disjoint).
+func intersectionArea(a, b Rect) float64 {
+	vol := 1.0
+	for i := range a.Lo {
+		lo := math.Max(a.Lo[i], b.Lo[i])
+		hi := math.Min(a.Hi[i], b.Hi[i])
+		if hi <= lo {
+			return 0
+		}
+		vol *= hi - lo
+	}
+	return vol
+}

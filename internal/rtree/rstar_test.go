@@ -1,0 +1,112 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRStarSplitPreservesEntries(t *testing.T) {
+	tree := newTree(t, 2, Options{Split: RStarSplit})
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 500; i++ {
+		if err := tree.Insert(NewPoint(randPoint(rng, 2)), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Len() != 500 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRStarSplitDegenerateIdentical(t *testing.T) {
+	tree := newTree(t, 2, Options{Split: RStarSplit})
+	p := NewPoint([]float64{3, 3})
+	for i := 0; i < 80; i++ {
+		if err := tree.Insert(p, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRStarSplitDeleteMix(t *testing.T) {
+	tree := newTree(t, 4, Options{Split: RStarSplit})
+	rng := rand.New(rand.NewSource(73))
+	var points [][]float64
+	for i := 0; i < 300; i++ {
+		p := randPoint(rng, 4)
+		points = append(points, p)
+		if err := tree.Insert(NewPoint(p), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		found, err := tree.Delete(NewPoint(points[i]), uint32(i))
+		if err != nil || !found {
+			t.Fatalf("delete %d: %v %v", i, found, err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 100 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+}
+
+// On clustered data the R* split should produce node rectangles that
+// overlap no more (in aggregate) than the quadratic split — the property
+// the heuristic optimizes. We assert a weak version: total leaf-MBR area
+// is not dramatically worse.
+func TestRStarAreaNotWorseThanQuadratic(t *testing.T) {
+	build := func(split SplitStrategy) float64 {
+		tree := newTree(t, 2, Options{Split: split})
+		rng := rand.New(rand.NewSource(75))
+		// Clustered points: 10 gaussian-ish blobs.
+		for i := 0; i < 600; i++ {
+			cx := float64(i%10) * 50
+			cy := float64((i/10)%10) * 50
+			p := []float64{cx + rng.Float64()*5, cy + rng.Float64()*5}
+			if err := tree.Insert(NewPoint(p), uint32(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		area := 0.0
+		if err := tree.Walk(func(_ int, leaf bool, mbr Rect, entries []Entry) error {
+			if leaf && len(entries) > 0 {
+				area += mbr.Area()
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return area
+	}
+	quad := build(QuadraticSplit)
+	rstar := build(RStarSplit)
+	if rstar > quad*2 {
+		t.Errorf("R* leaf area %.1f more than 2x quadratic %.1f", rstar, quad)
+	}
+}
+
+func TestIntersectionArea(t *testing.T) {
+	a, _ := NewRect([]float64{0, 0}, []float64{4, 4})
+	b, _ := NewRect([]float64{2, 2}, []float64{6, 6})
+	if got := intersectionArea(a, b); got != 4 {
+		t.Errorf("intersectionArea = %g, want 4", got)
+	}
+	c, _ := NewRect([]float64{10, 10}, []float64{11, 11})
+	if got := intersectionArea(a, c); got != 0 {
+		t.Errorf("disjoint intersectionArea = %g", got)
+	}
+	// Touching edges have zero volume.
+	d, _ := NewRect([]float64{4, 0}, []float64{8, 4})
+	if got := intersectionArea(a, d); got != 0 {
+		t.Errorf("touching intersectionArea = %g", got)
+	}
+}

@@ -1,0 +1,77 @@
+package rtree
+
+import "repro/internal/pagefile"
+
+// Search invokes fn for every data entry whose rectangle intersects query.
+// fn returning false stops the search early. This is the square-range query
+// of the paper's TW-Sim-Search Step-2 when query is the ε-cube around
+// Feature(Q).
+func (t *Tree) Search(query Rect, fn func(r Rect, id uint32) bool) error {
+	if err := t.checkDim(query); err != nil {
+		return err
+	}
+	_, err := t.search(t.root, query, fn)
+	return err
+}
+
+func (t *Tree) search(pid pagefile.PageID, query Rect, fn func(Rect, uint32) bool) (bool, error) {
+	n, err := t.loadNode(pid)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.entries {
+		if !e.Rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.Rect, e.Child) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.search(pagefile.PageID(e.Child), query, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// SearchAll collects all data entries intersecting query.
+func (t *Tree) SearchAll(query Rect) ([]Entry, error) {
+	var out []Entry
+	err := t.Search(query, func(r Rect, id uint32) bool {
+		out = append(out, Entry{Rect: r, Child: id})
+		return true
+	})
+	return out, err
+}
+
+// Walk visits every node of the tree in depth-first order; level 0 is the
+// root. Used by integrity checks and tests.
+func (t *Tree) Walk(fn func(level int, leaf bool, mbr Rect, entries []Entry) error) error {
+	return t.walk(t.root, 0, fn)
+}
+
+func (t *Tree) walk(pid pagefile.PageID, level int, fn func(int, bool, Rect, []Entry) error) error {
+	n, err := t.loadNode(pid)
+	if err != nil {
+		return err
+	}
+	var mbr Rect
+	if len(n.entries) > 0 {
+		mbr = n.mbr()
+	}
+	if err := fn(level, n.leaf, mbr, n.entries); err != nil {
+		return err
+	}
+	if n.leaf {
+		return nil
+	}
+	for _, e := range n.entries {
+		if err := t.walk(pagefile.PageID(e.Child), level+1, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package rtree
+
+import "math"
+
+// splitNode distributes n's (overflowing) entries between n and a fresh
+// sibling according to the tree's split strategy, stores both nodes, and
+// returns the sibling.
+func (t *Tree) splitNode(n *node) (*node, error) {
+	entries := n.entries
+	var groupA, groupB []Entry
+	switch t.split {
+	case LinearSplit:
+		groupA, groupB = t.linearSplit(entries)
+	case RStarSplit:
+		groupA, groupB = t.rstarSplit(entries)
+	default:
+		groupA, groupB = t.quadraticSplit(entries)
+	}
+	sibling, err := t.allocNode(n.leaf)
+	if err != nil {
+		return nil, err
+	}
+	n.entries = groupA
+	sibling.entries = groupB
+	if err := t.storeNode(n); err != nil {
+		return nil, err
+	}
+	if err := t.storeNode(sibling); err != nil {
+		return nil, err
+	}
+	return sibling, nil
+}
+
+// quadraticSplit implements Guttman's quadratic split: pick the pair of
+// entries wasting the most area as seeds, then repeatedly assign the entry
+// with the greatest preference difference to its preferred group, subject to
+// the minimum fill constraint.
+func (t *Tree) quadraticSplit(entries []Entry) (groupA, groupB []Entry) {
+	seedA, seedB := pickSeedsQuadratic(entries)
+	groupA = append(groupA, entries[seedA])
+	groupB = append(groupB, entries[seedB])
+	rectA := entries[seedA].Rect.Clone()
+	rectB := entries[seedB].Rect.Clone()
+
+	remaining := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, e)
+		}
+	}
+
+	for len(remaining) > 0 {
+		// Honour minimum fill: if one group needs all remaining entries to
+		// reach m, hand them over.
+		if len(groupA)+len(remaining) <= t.min {
+			for _, e := range remaining {
+				groupA = append(groupA, e)
+				rectA = rectA.Union(e.Rect)
+			}
+			break
+		}
+		if len(groupB)+len(remaining) <= t.min {
+			for _, e := range remaining {
+				groupB = append(groupB, e)
+				rectB = rectB.Union(e.Rect)
+			}
+			break
+		}
+		// PickNext: the entry with the maximum |d1 - d2|.
+		bestIdx, bestDiff := -1, -1.0
+		var bestD1, bestD2 float64
+		for i, e := range remaining {
+			d1 := rectA.Enlargement(e.Rect)
+			d2 := rectB.Enlargement(e.Rect)
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				bestIdx, bestDiff, bestD1, bestD2 = i, diff, d1, d2
+			}
+		}
+		e := remaining[bestIdx]
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		toA := bestD1 < bestD2
+		if bestD1 == bestD2 {
+			// Resolve ties by smaller area, then fewer entries.
+			switch {
+			case rectA.Area() != rectB.Area():
+				toA = rectA.Area() < rectB.Area()
+			default:
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.Rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.Rect)
+		}
+	}
+	return groupA, groupB
+}
+
+// pickSeedsQuadratic returns the indexes of the two entries that would waste
+// the most area if placed together.
+func pickSeedsQuadratic(entries []Entry) (int, int) {
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			joined := entries[i].Rect.Union(entries[j].Rect)
+			waste := joined.Area() - entries[i].Rect.Area() - entries[j].Rect.Area()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	return seedA, seedB
+}
+
+// linearSplit implements Guttman's linear split: choose seeds with the
+// greatest normalized separation along any dimension, then assign the rest
+// by least enlargement in arbitrary order.
+func (t *Tree) linearSplit(entries []Entry) (groupA, groupB []Entry) {
+	dim := entries[0].Rect.Dim()
+	bestDim, seedA, seedB := -1, 0, 1
+	bestSep := math.Inf(-1)
+	for d := 0; d < dim; d++ {
+		// Highest low side and lowest high side, plus overall width.
+		hiLo, loHi := 0, 0
+		minLo, maxHi := entries[0].Rect.Lo[d], entries[0].Rect.Hi[d]
+		for i, e := range entries {
+			if e.Rect.Lo[d] > entries[hiLo].Rect.Lo[d] {
+				hiLo = i
+			}
+			if e.Rect.Hi[d] < entries[loHi].Rect.Hi[d] {
+				loHi = i
+			}
+			if e.Rect.Lo[d] < minLo {
+				minLo = e.Rect.Lo[d]
+			}
+			if e.Rect.Hi[d] > maxHi {
+				maxHi = e.Rect.Hi[d]
+			}
+		}
+		width := maxHi - minLo
+		if width <= 0 || hiLo == loHi {
+			continue
+		}
+		sep := (entries[hiLo].Rect.Lo[d] - entries[loHi].Rect.Hi[d]) / width
+		if sep > bestSep {
+			bestSep, bestDim, seedA, seedB = sep, d, loHi, hiLo
+		}
+	}
+	if bestDim == -1 {
+		// Degenerate: all entries identical along every dimension.
+		seedA, seedB = 0, 1
+	}
+	groupA = append(groupA, entries[seedA])
+	groupB = append(groupB, entries[seedB])
+	rectA := entries[seedA].Rect.Clone()
+	rectB := entries[seedB].Rect.Clone()
+	remaining := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, e)
+		}
+	}
+	for k, e := range remaining {
+		left := len(remaining) - k // unassigned entries, including e
+		switch {
+		case len(groupA)+left <= t.min:
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.Rect)
+			continue
+		case len(groupB)+left <= t.min:
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.Rect)
+			continue
+		}
+		d1 := rectA.Enlargement(e.Rect)
+		d2 := rectB.Enlargement(e.Rect)
+		if d1 < d2 || (d1 == d2 && len(groupA) <= len(groupB)) {
+			groupA = append(groupA, e)
+			rectA = rectA.Union(e.Rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB = rectB.Union(e.Rect)
+		}
+	}
+	return groupA, groupB
+}

@@ -1,0 +1,86 @@
+package seq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Sequence{
+		{},
+		{1},
+		{1.5, -2.25, math.Pi},
+		{math.Inf(1), math.Inf(-1), 0, -0.0},
+	}
+	for _, s := range cases {
+		buf := Encode(nil, s)
+		if len(buf) != EncodedSize(s) {
+			t.Errorf("encoded %v: size %d, want %d", s, len(buf), EncodedSize(s))
+		}
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", s, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode consumed %d of %d bytes", n, len(buf))
+		}
+		if !got.Equal(s) {
+			t.Errorf("round trip: got %v, want %v", got, s)
+		}
+	}
+}
+
+func TestDecodeConcatenated(t *testing.T) {
+	a := Sequence{1, 2}
+	b := Sequence{3}
+	buf := Encode(Encode(nil, a), b)
+	gotA, n, err := Decode(buf)
+	if err != nil || !gotA.Equal(a) {
+		t.Fatalf("first decode: %v, %v", gotA, err)
+	}
+	gotB, _, err := Decode(buf[n:])
+	if err != nil || !gotB.Equal(b) {
+		t.Fatalf("second decode: %v, %v", gotB, err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	buf := Encode(nil, Sequence{1, 2, 3})
+	for cut := 0; cut < len(buf); cut++ {
+		if cut >= 4 && (cut-4)%8 == 0 && cut == len(buf) {
+			continue
+		}
+		if _, _, err := Decode(buf[:cut]); err == nil && cut < len(buf) {
+			// A shorter prefix may still decode if it encodes a valid
+			// smaller count — but this exact buffer declares 3 elements.
+			t.Errorf("Decode accepted truncation at %d bytes", cut)
+		}
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode accepted empty buffer")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := Sequence(vals)
+		got, n, err := Decode(Encode(nil, s))
+		if err != nil || n != EncodedSize(s) {
+			return false
+		}
+		if len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			// NaN round-trips bit-exactly but != itself.
+			if got[i] != s[i] && !(math.IsNaN(got[i]) && math.IsNaN(s[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package seq
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecode ensures Decode never panics or over-reads on arbitrary bytes
+// and that anything it accepts round-trips through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(Encode(nil, Sequence{1.5, -2, math.Pi}))
+	f.Add([]byte{255, 255, 255, 255, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		re := Encode(nil, s)
+		if len(re) != n {
+			t.Fatalf("re-encode size %d != consumed %d", len(re), n)
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}
+
+// FuzzFeature ensures feature extraction is total on non-empty input and
+// produces internally consistent features for non-NaN data.
+func FuzzFeature(f *testing.F) {
+	f.Add(float64(1), float64(2), float64(3))
+	f.Add(float64(-1), math.Inf(1), float64(0))
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		s := Sequence{a, b, c}
+		feat, err := ExtractFeature(s)
+		if err != nil {
+			t.Fatalf("non-empty sequence rejected: %v", err)
+		}
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return
+		}
+		if !feat.Valid() {
+			t.Fatalf("inconsistent feature %+v for %v", feat, s)
+		}
+	})
+}

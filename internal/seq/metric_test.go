@@ -1,0 +1,85 @@
+package seq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaseString(t *testing.T) {
+	cases := map[Base]string{LInf: "Linf", L1: "L1", L2Sq: "L2sq", Base(9): "Base(9)"}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestBaseElem(t *testing.T) {
+	if got := LInf.Elem(3, 7); got != 4 {
+		t.Errorf("LInf.Elem = %g, want 4", got)
+	}
+	if got := L1.Elem(7, 3); got != 4 {
+		t.Errorf("L1.Elem = %g, want 4", got)
+	}
+	if got := L2Sq.Elem(3, 7); got != 16 {
+		t.Errorf("L2Sq.Elem = %g, want 16", got)
+	}
+}
+
+func TestBaseCombine(t *testing.T) {
+	if got := LInf.Combine(2, 5); got != 5 {
+		t.Errorf("LInf.Combine(2,5) = %g, want 5", got)
+	}
+	if got := LInf.Combine(5, 2); got != 5 {
+		t.Errorf("LInf.Combine(5,2) = %g, want 5", got)
+	}
+	if got := L1.Combine(2, 5); got != 7 {
+		t.Errorf("L1.Combine = %g, want 7", got)
+	}
+	if got := L2Sq.Combine(4, 9); got != 13 {
+		t.Errorf("L2Sq.Combine = %g, want 13", got)
+	}
+}
+
+func TestLp(t *testing.T) {
+	s := Sequence{0, 0, 0}
+	q := Sequence{3, 4, 0}
+	if got, err := Lp(1, s, q); err != nil || got != 7 {
+		t.Errorf("L1 = %g, %v; want 7", got, err)
+	}
+	if got, err := Lp(2, s, q); err != nil || math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 = %g, %v; want 5", got, err)
+	}
+	if got, err := Lp(math.Inf(1), s, q); err != nil || got != 4 {
+		t.Errorf("Linf = %g, %v; want 4", got, err)
+	}
+	if got, err := Euclid(s, q); err != nil || math.Abs(got-5) > 1e-12 {
+		t.Errorf("Euclid = %g, %v; want 5", got, err)
+	}
+}
+
+func TestLpErrors(t *testing.T) {
+	if _, err := Lp(2, Sequence{1}, Sequence{1, 2}); err == nil {
+		t.Error("Lp accepted different lengths")
+	}
+	if _, err := Lp(0.5, Sequence{1}, Sequence{2}); err == nil {
+		t.Error("Lp accepted p < 1")
+	}
+}
+
+func TestDistToRange(t *testing.T) {
+	cases := []struct {
+		v, lo, hi, want float64
+	}{
+		{5, 0, 10, 0},
+		{0, 0, 10, 0},
+		{10, 0, 10, 0},
+		{-3, 0, 10, 3},
+		{14, 0, 10, 4},
+	}
+	for _, c := range cases {
+		if got := DistToRange(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("DistToRange(%g, %g, %g) = %g, want %g", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package seqdb
+
+import (
+	"repro/internal/seq"
+)
+
+// Cursor iterates over the live sequences of a DB in ID order with
+// positioned access. Unlike Scan it is pull-based, so callers can
+// interleave iteration with other work. A Cursor observes appends and
+// deletes that happen after its creation (it re-checks liveness on every
+// step); it is safe for use alongside concurrent readers, but not
+// concurrently with other goroutines using the same Cursor value.
+type Cursor struct {
+	db   *DB
+	next seq.ID
+	id   seq.ID
+	cur  seq.Sequence
+	err  error
+}
+
+// NewCursor returns a cursor positioned before the first sequence.
+func (db *DB) NewCursor() *Cursor {
+	return &Cursor{db: db, next: 0, id: seq.InvalidID}
+}
+
+// Seek positions the cursor so the following Next returns the first live
+// sequence with ID >= id.
+func (c *Cursor) Seek(id seq.ID) {
+	c.next = id
+	c.id = seq.InvalidID
+	c.cur = nil
+	c.err = nil
+}
+
+// Next advances to the next live sequence, reporting whether one exists.
+// After Next returns false, Err distinguishes exhaustion from failure.
+func (c *Cursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	for int(c.next) < c.db.NumRecords() {
+		id := c.next
+		c.next++
+		s, err := c.db.Get(id)
+		if err != nil {
+			if c.db.Deleted(id) {
+				continue
+			}
+			c.err = err
+			return false
+		}
+		c.id, c.cur = id, s
+		return true
+	}
+	c.id, c.cur = seq.InvalidID, nil
+	return false
+}
+
+// ID returns the current sequence's ID (valid after a true Next).
+func (c *Cursor) ID() seq.ID { return c.id }
+
+// Sequence returns the current sequence (valid after a true Next). The
+// returned slice is owned by the caller.
+func (c *Cursor) Sequence() seq.Sequence { return c.cur }
+
+// Err returns the first error the cursor encountered, if any.
+func (c *Cursor) Err() error { return c.err }

@@ -1,0 +1,106 @@
+package seqdb
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestCursorFullIteration(t *testing.T) {
+	db := newMemDB(t)
+	for i := 0; i < 10; i++ {
+		if _, err := db.Append(seq.Sequence{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := db.NewCursor()
+	var ids []seq.ID
+	for c.Next() {
+		ids = append(ids, c.ID())
+		if c.Sequence()[0] != float64(c.ID()) {
+			t.Fatalf("id %d content %v", c.ID(), c.Sequence())
+		}
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	if len(ids) != 10 {
+		t.Fatalf("iterated %d of 10", len(ids))
+	}
+	// Exhausted cursor stays exhausted.
+	if c.Next() {
+		t.Error("Next after exhaustion returned true")
+	}
+}
+
+func TestCursorSkipsDeleted(t *testing.T) {
+	db := newMemDB(t)
+	for i := 0; i < 6; i++ {
+		if _, err := db.Append(seq.Sequence{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []seq.ID{0, 3} {
+		if _, err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := db.NewCursor()
+	var ids []seq.ID
+	for c.Next() {
+		ids = append(ids, c.ID())
+	}
+	want := []seq.ID{1, 2, 4, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestCursorSeek(t *testing.T) {
+	db := newMemDB(t)
+	for i := 0; i < 10; i++ {
+		if _, err := db.Append(seq.Sequence{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := db.NewCursor()
+	c.Seek(7)
+	if !c.Next() || c.ID() != 7 {
+		t.Fatalf("after Seek(7): id %d", c.ID())
+	}
+	// Seek backwards works too.
+	c.Seek(2)
+	if !c.Next() || c.ID() != 2 {
+		t.Fatalf("after Seek(2): id %d", c.ID())
+	}
+	// Seek past the end exhausts immediately.
+	c.Seek(100)
+	if c.Next() {
+		t.Error("Next after Seek(100) returned true")
+	}
+	if c.Err() != nil {
+		t.Errorf("Err = %v", c.Err())
+	}
+}
+
+func TestCursorObservesAppends(t *testing.T) {
+	db := newMemDB(t)
+	if _, err := db.Append(seq.Sequence{1}); err != nil {
+		t.Fatal(err)
+	}
+	c := db.NewCursor()
+	if !c.Next() {
+		t.Fatal("first Next failed")
+	}
+	if _, err := db.Append(seq.Sequence{2}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Next() || c.ID() != 1 {
+		t.Errorf("cursor missed appended sequence (id %d)", c.ID())
+	}
+}

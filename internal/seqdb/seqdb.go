@@ -1,0 +1,403 @@
+// Package seqdb implements the sequence database: an append-only heap file
+// of variable-length sequences stored over the paged storage layer, with
+// random access by sequence ID (used by the post-processing step of every
+// search method) and a sequential scan (used by the Naive-Scan and LB-Scan
+// baselines). Records may span page boundaries; the per-method disk cost is
+// whatever the buffer pool observes.
+package seqdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/pagefile"
+	"repro/internal/seq"
+)
+
+// Options configures a database.
+type Options struct {
+	// PageSize is the on-disk page size; 0 means pagefile.DefaultPageSize
+	// (1 KB, the paper's setting).
+	PageSize int
+	// PoolPages is the buffer pool capacity in pages; 0 means 64.
+	PoolPages int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = pagefile.DefaultPageSize
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = 64
+	}
+	return o
+}
+
+// ErrNotFound is returned by Get for IDs that were never appended.
+var ErrNotFound = errors.New("seqdb: sequence not found")
+
+const (
+	dirMagic   = 0x54574452 // "TWDR"
+	dirVersion = 2
+	dataFile   = "data.twp"
+	dirFile    = "dir.bin"
+)
+
+// DB is a sequence heap file. It is safe for concurrent readers; Append
+// requires external serialization with respect to other calls.
+type DB struct {
+	mu      sync.RWMutex
+	pool    *pagefile.Pool
+	dirPath string // empty for purely in-memory databases
+
+	offsets []int64 // byte offset of record i in the logical stream
+	total   int64   // logical stream length in bytes
+	elems   int64   // total number of elements across sequences
+
+	tombstones map[seq.ID]bool // deleted IDs (see Delete)
+	live       int             // number of non-deleted sequences
+}
+
+// NewMem creates an in-memory database. The buffer pool and page layout are
+// identical to the on-disk form, so I/O accounting stays meaningful.
+func NewMem(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	pool, err := pagefile.NewPool(pagefile.NewMemBackend(opts.PageSize), opts.PageSize, opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{pool: pool}, nil
+}
+
+// Create creates a new on-disk database inside directory dir (which is
+// created if absent; existing database files are truncated).
+func Create(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	backend, err := pagefile.CreateFile(filepath.Join(dir, dataFile), opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := pagefile.NewPool(backend, opts.PageSize, opts.PoolPages)
+	if err != nil {
+		backend.Close()
+		return nil, err
+	}
+	db := &DB{pool: pool, dirPath: filepath.Join(dir, dirFile)}
+	if err := db.saveDirectory(); err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Open opens an existing on-disk database.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	backend, err := pagefile.OpenFile(filepath.Join(dir, dataFile))
+	if err != nil {
+		return nil, err
+	}
+	if backend.PageSize() != opts.PageSize {
+		opts.PageSize = backend.PageSize()
+	}
+	pool, err := pagefile.NewPool(backend, opts.PageSize, opts.PoolPages)
+	if err != nil {
+		backend.Close()
+		return nil, err
+	}
+	db := &DB{pool: pool, dirPath: filepath.Join(dir, dirFile)}
+	if err := db.loadDirectory(); err != nil {
+		pool.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Len returns the number of live (non-deleted) sequences.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.live
+}
+
+// TotalElements returns the total number of elements across all sequences.
+func (db *DB) TotalElements() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.elems
+}
+
+// Bytes returns the logical size of the stored data in bytes.
+func (db *DB) Bytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.total
+}
+
+// Stats returns the buffer pool counters for the data file.
+func (db *DB) Stats() pagefile.Stats { return db.pool.Stats() }
+
+// ResetStats zeroes the buffer pool counters (between experiment runs).
+func (db *DB) ResetStats() { db.pool.ResetStats() }
+
+// Append stores s and returns its ID. Empty sequences are rejected: their
+// feature vector (and hence their index entry) is undefined.
+func (db *DB) Append(s seq.Sequence) (seq.ID, error) {
+	if s.Empty() {
+		return seq.InvalidID, seq.ErrEmpty
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id := seq.ID(len(db.offsets))
+	buf := seq.Encode(make([]byte, 0, seq.EncodedSize(s)), s)
+	if err := db.writeAt(db.total, buf); err != nil {
+		return seq.InvalidID, err
+	}
+	db.offsets = append(db.offsets, db.total)
+	db.total += int64(len(buf))
+	db.elems += int64(len(s))
+	db.live++
+	return id, nil
+}
+
+// AppendAll stores all sequences, returning the ID of the first; IDs are
+// consecutive.
+func (db *DB) AppendAll(ss []seq.Sequence) (seq.ID, error) {
+	if len(ss) == 0 {
+		return seq.InvalidID, nil
+	}
+	first, err := db.Append(ss[0])
+	if err != nil {
+		return seq.InvalidID, err
+	}
+	for _, s := range ss[1:] {
+		if _, err := db.Append(s); err != nil {
+			return seq.InvalidID, err
+		}
+	}
+	return first, nil
+}
+
+// Get fetches the sequence with the given ID.
+func (db *DB) Get(id seq.ID) (seq.Sequence, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if int(id) >= len(db.offsets) {
+		return nil, fmt.Errorf("%w: id %d of %d", ErrNotFound, id, len(db.offsets))
+	}
+	if db.tombstones[id] {
+		return nil, fmt.Errorf("%w: id %d", ErrDeleted, id)
+	}
+	start := db.offsets[id]
+	end := db.total
+	if int(id)+1 < len(db.offsets) {
+		end = db.offsets[id+1]
+	}
+	buf := make([]byte, end-start)
+	if err := db.readAt(start, buf); err != nil {
+		return nil, err
+	}
+	s, _, err := seq.Decode(buf)
+	return s, err
+}
+
+// Scan calls fn for every stored sequence in ID order, reading pages
+// sequentially through the buffer pool. fn returning an error stops the scan
+// and propagates the error.
+func (db *DB) Scan(fn func(id seq.ID, s seq.Sequence) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	payload := int64(db.pool.PayloadSize())
+	var cur *pagefile.Page
+	var curIdx int64 = -1
+	defer func() {
+		if cur != nil {
+			cur.Unpin()
+		}
+	}()
+	readInto := func(off int64, dst []byte) error {
+		for len(dst) > 0 {
+			idx := off / payload
+			if idx != curIdx {
+				if cur != nil {
+					cur.Unpin()
+					cur = nil
+				}
+				p, err := db.pool.Fetch(pagefile.PageID(idx))
+				if err != nil {
+					return err
+				}
+				cur, curIdx = p, idx
+			}
+			n := copy(dst, cur.Payload()[off%payload:])
+			dst = dst[n:]
+			off += int64(n)
+		}
+		return nil
+	}
+	for i, start := range db.offsets {
+		if db.tombstones[seq.ID(i)] {
+			continue
+		}
+		end := db.total
+		if i+1 < len(db.offsets) {
+			end = db.offsets[i+1]
+		}
+		buf := make([]byte, end-start)
+		if err := readInto(start, buf); err != nil {
+			return err
+		}
+		s, _, err := seq.Decode(buf)
+		if err != nil {
+			return fmt.Errorf("seqdb: record %d: %w", i, err)
+		}
+		if err := fn(seq.ID(i), s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeAt writes buf at logical offset off, allocating pages as needed.
+// Caller holds db.mu.
+func (db *DB) writeAt(off int64, buf []byte) error {
+	payload := int64(db.pool.PayloadSize())
+	for len(buf) > 0 {
+		idx := off / payload
+		in := off % payload
+		for int64(db.pool.NumPages()) <= idx {
+			p, err := db.pool.Alloc()
+			if err != nil {
+				return err
+			}
+			p.Unpin()
+		}
+		p, err := db.pool.Fetch(pagefile.PageID(idx))
+		if err != nil {
+			return err
+		}
+		n := copy(p.Payload()[in:], buf)
+		p.MarkDirty()
+		p.Unpin()
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// readAt fills buf from logical offset off. Caller holds db.mu (read).
+func (db *DB) readAt(off int64, buf []byte) error {
+	payload := int64(db.pool.PayloadSize())
+	for len(buf) > 0 {
+		idx := off / payload
+		in := off % payload
+		p, err := db.pool.Fetch(pagefile.PageID(idx))
+		if err != nil {
+			return err
+		}
+		n := copy(buf, p.Payload()[in:])
+		p.Unpin()
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Flush persists data pages and the directory (no-op for memory databases'
+// directory).
+func (db *DB) Flush() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.saveDirectory()
+}
+
+// Close flushes and releases the database.
+func (db *DB) Close() error {
+	if err := db.Flush(); err != nil {
+		db.pool.Close()
+		return err
+	}
+	return db.pool.Close()
+}
+
+// saveDirectory writes the offset directory. Caller must not hold db.mu for
+// writing concurrently. No-op when the database is in-memory.
+func (db *DB) saveDirectory() error {
+	if db.dirPath == "" {
+		return nil
+	}
+	buf := make([]byte, 0, 24+8*len(db.offsets))
+	buf = binary.LittleEndian.AppendUint32(buf, dirMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, dirVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(db.offsets)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(db.elems))
+	for _, off := range db.offsets {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(off))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(db.total))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(db.tombstones)))
+	for id := range db.tombstones {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	}
+	tmp := db.dirPath + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.dirPath)
+}
+
+func (db *DB) loadDirectory() error {
+	raw, err := os.ReadFile(db.dirPath)
+	if err != nil {
+		return err
+	}
+	if len(raw) < 24 {
+		return errors.New("seqdb: directory file truncated")
+	}
+	if binary.LittleEndian.Uint32(raw[0:]) != dirMagic {
+		return errors.New("seqdb: bad directory magic")
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:]); v != dirVersion {
+		return fmt.Errorf("seqdb: unsupported directory version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint64(raw[8:]))
+	db.elems = int64(binary.LittleEndian.Uint64(raw[16:]))
+	if len(raw) < 24+8*n+8 {
+		return errors.New("seqdb: directory file truncated")
+	}
+	db.offsets = make([]int64, n)
+	off := 24
+	for i := 0; i < n; i++ {
+		db.offsets[i] = int64(binary.LittleEndian.Uint64(raw[off:]))
+		off += 8
+	}
+	db.total = int64(binary.LittleEndian.Uint64(raw[off:]))
+	off += 8
+	if len(raw) < off+4 {
+		return errors.New("seqdb: directory missing tombstone section")
+	}
+	nt := int(binary.LittleEndian.Uint32(raw[off:]))
+	off += 4
+	if len(raw) < off+4*nt {
+		return errors.New("seqdb: directory tombstone section truncated")
+	}
+	if nt > 0 {
+		db.tombstones = make(map[seq.ID]bool, nt)
+		for i := 0; i < nt; i++ {
+			db.tombstones[seq.ID(binary.LittleEndian.Uint32(raw[off:]))] = true
+			off += 4
+		}
+	}
+	db.live = n - nt
+	return nil
+}

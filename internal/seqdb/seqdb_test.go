@@ -1,0 +1,236 @@
+package seqdb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func newMemDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := NewMem(Options{PageSize: 256, PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestAppendGet(t *testing.T) {
+	db := newMemDB(t)
+	s1 := seq.Sequence{1, 2, 3}
+	s2 := seq.Sequence{4, 5}
+	id1, err := db.Append(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := db.Append(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != 0 || id2 != 1 {
+		t.Fatalf("ids = %d, %d", id1, id2)
+	}
+	got1, err := db.Get(id1)
+	if err != nil || !got1.Equal(s1) {
+		t.Fatalf("Get(%d) = %v, %v", id1, got1, err)
+	}
+	got2, err := db.Get(id2)
+	if err != nil || !got2.Equal(s2) {
+		t.Fatalf("Get(%d) = %v, %v", id2, got2, err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if db.TotalElements() != 5 {
+		t.Errorf("TotalElements = %d", db.TotalElements())
+	}
+}
+
+func TestAppendEmptyRejected(t *testing.T) {
+	db := newMemDB(t)
+	if _, err := db.Append(nil); !errors.Is(err, seq.ErrEmpty) {
+		t.Errorf("Append(nil) err = %v", err)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	db := newMemDB(t)
+	if _, err := db.Get(5); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(5) err = %v", err)
+	}
+}
+
+func TestRecordsSpanPages(t *testing.T) {
+	db := newMemDB(t)
+	// Page payload is 252 bytes; a 100-element sequence is 804 bytes and
+	// must span several pages.
+	long := make(seq.Sequence, 100)
+	for i := range long {
+		long[i] = float64(i) * 1.5
+	}
+	id, err := db.Append(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(long) {
+		t.Error("spanning record corrupted")
+	}
+}
+
+func TestScanOrderAndContent(t *testing.T) {
+	db := newMemDB(t)
+	rng := rand.New(rand.NewSource(1))
+	var want []seq.Sequence
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(60)
+		s := make(seq.Sequence, n)
+		for j := range s {
+			s[j] = rng.Float64()
+		}
+		want = append(want, s)
+		if _, err := db.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen int
+	err := db.Scan(func(id seq.ID, s seq.Sequence) error {
+		if int(id) != seen {
+			t.Fatalf("scan order broken: id %d at position %d", id, seen)
+		}
+		if !s.Equal(want[id]) {
+			t.Fatalf("scan content mismatch at %d", id)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 50 {
+		t.Errorf("scanned %d of 50", seen)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db := newMemDB(t)
+	for i := 0; i < 10; i++ {
+		if _, err := db.Append(seq.Sequence{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := errors.New("stop")
+	count := 0
+	err := db.Scan(func(id seq.ID, s seq.Sequence) error {
+		count++
+		if count == 3 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Errorf("Scan err = %v", err)
+	}
+	if count != 3 {
+		t.Errorf("visited %d, want 3", count)
+	}
+}
+
+func TestAppendAll(t *testing.T) {
+	db := newMemDB(t)
+	first, err := db.AppendAll([]seq.Sequence{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 || db.Len() != 3 {
+		t.Errorf("first=%d len=%d", first, db.Len())
+	}
+	if _, err := db.AppendAll(nil); err != nil {
+		t.Errorf("empty AppendAll err = %v", err)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Create(dir, Options{PageSize: 256, PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []seq.Sequence{{1, 2, 3}, {4}, make(seq.Sequence, 200)}
+	for i := range want[2] {
+		want[2][i] = float64(i)
+	}
+	for _, s := range want {
+		if _, err := db.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{PageSize: 256, PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Len() != len(want) {
+		t.Fatalf("reopened Len = %d", db2.Len())
+	}
+	for i, s := range want {
+		got, err := db2.Get(seq.ID(i))
+		if err != nil || !got.Equal(s) {
+			t.Errorf("Get(%d) after reopen = %v, %v", i, got, err)
+		}
+	}
+	// Appending after reopen continues the ID space.
+	id, err := db2.Append(seq.Sequence{9})
+	if err != nil || id != seq.ID(len(want)) {
+		t.Errorf("post-reopen Append = %d, %v", id, err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{}); err == nil {
+		t.Error("Open of empty dir succeeded")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := newMemDB(t)
+	big := make(seq.Sequence, 500) // ~4KB: spans many 252-byte payloads
+	for i := range big {
+		big[i] = float64(i)
+	}
+	id, err := db.Append(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	if _, err := db.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Reads < 10 {
+		t.Errorf("Get of 4KB record read only %d pages", st.Reads)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	db := newMemDB(t)
+	if db.Bytes() != 0 {
+		t.Error("fresh db has bytes")
+	}
+	if _, err := db.Append(seq.Sequence{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Bytes(); got != 20 { // 4 header + 2*8
+		t.Errorf("Bytes = %d, want 20", got)
+	}
+}

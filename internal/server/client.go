@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Client is a Go client for the twsimd HTTP API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:7474"). httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var reqBody *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reqBody = bytes.NewReader(raw)
+	} else {
+		reqBody = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.base+path, reqBody)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if err := dec.Decode(&ae); err == nil && ae.Error != "" {
+			return fmt.Errorf("twsimd: %s (%s)", ae.Error, resp.Status)
+		}
+		return fmt.Errorf("twsimd: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return dec.Decode(out)
+}
+
+// Health checks the server's liveness endpoint.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Stats returns the database statistics.
+func (c *Client) Stats() (sequences int, dataBytes int64, indexPages int, err error) {
+	var out struct {
+		Sequences  int   `json:"sequences"`
+		DataBytes  int64 `json:"data_bytes"`
+		IndexPages int   `json:"index_pages"`
+	}
+	if err := c.do(http.MethodGet, "/stats", nil, &out); err != nil {
+		return 0, 0, 0, err
+	}
+	return out.Sequences, out.DataBytes, out.IndexPages, nil
+}
+
+// Add stores one sequence and returns its ID.
+func (c *Client) Add(values []float64) (uint32, error) {
+	var out struct {
+		ID uint32 `json:"id"`
+	}
+	err := c.do(http.MethodPost, "/sequences", map[string]any{"values": values}, &out)
+	return out.ID, err
+}
+
+// AddBatch stores many sequences, returning the first assigned ID.
+func (c *Client) AddBatch(sequences [][]float64) (uint32, error) {
+	var out struct {
+		FirstID uint32 `json:"first_id"`
+	}
+	err := c.do(http.MethodPost, "/sequences/batch",
+		map[string]any{"sequences": sequences}, &out)
+	return out.FirstID, err
+}
+
+// Get fetches a stored sequence.
+func (c *Client) Get(id uint32) ([]float64, error) {
+	var out struct {
+		Values []float64 `json:"values"`
+	}
+	err := c.do(http.MethodGet, fmt.Sprintf("/sequences/%d", id), nil, &out)
+	return out.Values, err
+}
+
+// Remove deletes a stored sequence, reporting whether it was present.
+func (c *Client) Remove(id uint32) (bool, error) {
+	var out struct {
+		Removed bool `json:"removed"`
+	}
+	err := c.do(http.MethodDelete, fmt.Sprintf("/sequences/%d", id), nil, &out)
+	return out.Removed, err
+}
+
+// Search runs a whole-matching similarity query.
+func (c *Client) Search(query []float64, epsilon float64) (*SearchResponse, error) {
+	var out SearchResponse
+	err := c.do(http.MethodPost, "/search",
+		map[string]any{"query": query, "epsilon": epsilon}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// NearestK returns the k nearest sequences under time warping.
+func (c *Client) NearestK(query []float64, k int) ([]MatchJSON, error) {
+	var out struct {
+		Matches []MatchJSON `json:"matches"`
+	}
+	err := c.do(http.MethodPost, "/knn", map[string]any{"query": query, "k": k}, &out)
+	return out.Matches, err
+}
+
+// BuildSubseqIndex builds the server-side subsequence index.
+func (c *Client) BuildSubseqIndex(windowLens []int, step int) (int, error) {
+	var out struct {
+		Windows int `json:"windows"`
+	}
+	err := c.do(http.MethodPost, "/subseq/build",
+		map[string]any{"window_lens": windowLens, "step": step}, &out)
+	return out.Windows, err
+}
+
+// SearchSubsequences queries the server-side subsequence index.
+func (c *Client) SearchSubsequences(query []float64, epsilon float64) ([]SubMatchJSON, error) {
+	var out struct {
+		Matches []SubMatchJSON `json:"matches"`
+	}
+	err := c.do(http.MethodPost, "/subseq/search",
+		map[string]any{"query": query, "epsilon": epsilon}, &out)
+	return out.Matches, err
+}

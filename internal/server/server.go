@@ -1,0 +1,366 @@
+// Package server exposes a twsim database over HTTP with a JSON API — the
+// deployment form a downstream user runs (cmd/twsimd) when the library is
+// embedded in a service rather than a process. Endpoints:
+//
+//	GET    /healthz                       liveness probe
+//	GET    /stats                         database statistics
+//	POST   /sequences                     {"values": [...]} -> {"id": n}
+//	POST   /sequences/batch               {"sequences": [[...], ...]} -> {"first_id": n, "count": k}
+//	GET    /sequences/{id}                -> {"id": n, "values": [...]}
+//	DELETE /sequences/{id}                -> {"removed": bool}
+//	POST   /search                        {"query": [...], "epsilon": e} -> matches + stats
+//	POST   /knn                           {"query": [...], "k": n} -> matches
+//	POST   /subseq/build                  {"window_lens": [...], "step": n} -> {"windows": n}
+//	POST   /subseq/search                 {"query": [...], "epsilon": e} -> window matches
+//
+// Writes (POST/DELETE on sequences) are serialized; searches run
+// concurrently. Every error returns JSON {"error": "..."} with an
+// appropriate status code.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	twsim "repro"
+)
+
+// MaxBodyBytes bounds request bodies to keep a misbehaving client from
+// exhausting memory (16 MiB ≈ a 2M-element sequence).
+const MaxBodyBytes = 16 << 20
+
+// Server is an http.Handler serving one twsim.DB.
+type Server struct {
+	mu     sync.RWMutex // writers: Add/Remove; readers: everything else
+	db     *twsim.DB
+	subseq *twsim.SubseqIndex // built on demand via /subseq/build
+	mux    *http.ServeMux
+}
+
+// New wraps db in a Server. The Server assumes ownership of queries but
+// not of the database lifecycle: callers still Close the db.
+func New(db *twsim.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/sequences", s.handleSequences)
+	s.mux.HandleFunc("/sequences/", s.handleSequenceByID)
+	s.mux.HandleFunc("/sequences/batch", s.handleBatch)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/knn", s.handleKNN)
+	s.mux.HandleFunc("/subseq/build", s.handleSubseqBuild)
+	s.mux.HandleFunc("/subseq/search", s.handleSubseqSearch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---- wire types ----
+
+// MatchJSON is one whole-matching result on the wire.
+type MatchJSON struct {
+	ID   uint32  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// SubMatchJSON is one subsequence result on the wire.
+type SubMatchJSON struct {
+	ID     uint32  `json:"id"`
+	Offset int     `json:"offset"`
+	Len    int     `json:"len"`
+	Dist   float64 `json:"dist"`
+}
+
+// StatsJSON summarizes per-query work on the wire.
+type StatsJSON struct {
+	Candidates int   `json:"candidates"`
+	Results    int   `json:"results"`
+	DTWCalls   int   `json:"dtw_calls"`
+	WallMicros int64 `json:"wall_us"`
+}
+
+// SearchResponse is the /search reply.
+type SearchResponse struct {
+	Matches []MatchJSON `json:"matches"`
+	Stats   StatsJSON   `json:"stats"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sequences":   s.db.Len(),
+		"data_bytes":  s.db.DataBytes(),
+		"index_pages": s.db.IndexPages(),
+	})
+}
+
+func (s *Server) handleSequences(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	var req struct {
+		Values []float64 `json:"values"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	id, err := s.db.Add(req.Values)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint32{"id": uint32(id)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	var req struct {
+		Sequences [][]float64 `json:"sequences"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	first, err := s.db.AddAll(req.Sequences)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"first_id": uint32(first),
+		"count":    len(req.Sequences),
+	})
+}
+
+func (s *Server) handleSequenceByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/sequences/")
+	if idStr == "batch" {
+		s.handleBatch(w, r)
+		return
+	}
+	id64, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid id %q", idStr))
+		return
+	}
+	id := twsim.ID(id64)
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		values, err := s.db.Get(id)
+		s.mu.RUnlock()
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": uint32(id), "values": values})
+	case http.MethodDelete:
+		s.mu.Lock()
+		removed, err := s.db.Remove(id)
+		s.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"removed": removed})
+	default:
+		methodNotAllowed(w)
+	}
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	var req struct {
+		Query   []float64 `json:"query"`
+		Epsilon float64   `json:"epsilon"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	res, err := s.db.Search(req.Query, req.Epsilon)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toSearchResponse(res))
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	var req struct {
+		Query []float64 `json:"query"`
+		K     int       `json:"k"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("k must be non-negative"))
+		return
+	}
+	s.mu.RLock()
+	matches, err := s.db.NearestK(req.Query, req.K)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]MatchJSON, len(matches))
+	for i, m := range matches {
+		out[i] = MatchJSON{ID: uint32(m.ID), Dist: m.Dist}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out})
+}
+
+func (s *Server) handleSubseqBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	var req struct {
+		WindowLens []int `json:"window_lens"`
+		Step       int   `json:"step"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.db.BuildSubseqIndex(req.WindowLens, req.Step)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.subseq != nil {
+		s.subseq.Close()
+	}
+	s.subseq = idx
+	writeJSON(w, http.StatusCreated, map[string]int{"windows": idx.NumWindows()})
+}
+
+func (s *Server) handleSubseqSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return
+	}
+	var req struct {
+		Query   []float64 `json:"query"`
+		Epsilon float64   `json:"epsilon"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	idx := s.subseq
+	if idx == nil {
+		s.mu.RUnlock()
+		writeError(w, http.StatusConflict, errors.New("no subsequence index built; POST /subseq/build first"))
+		return
+	}
+	res, err := idx.Search(req.Query, req.Epsilon)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]SubMatchJSON, len(res.Matches))
+	for i, m := range res.Matches {
+		out[i] = SubMatchJSON{ID: uint32(m.ID), Offset: m.Offset, Len: m.Len, Dist: m.Dist}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out})
+}
+
+// Close releases server-held resources (the subsequence index, if built).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subseq != nil {
+		err := s.subseq.Close()
+		s.subseq = nil
+		return err
+	}
+	return nil
+}
+
+// ---- helpers ----
+
+func toSearchResponse(res *twsim.Result) SearchResponse {
+	out := SearchResponse{
+		Matches: make([]MatchJSON, len(res.Matches)),
+		Stats: StatsJSON{
+			Candidates: res.Stats.Candidates,
+			Results:    res.Stats.Results,
+			DTWCalls:   res.Stats.DTWCalls,
+			WallMicros: res.Stats.Wall.Microseconds(),
+		},
+	}
+	for i, m := range res.Matches {
+		out.Matches[i] = MatchJSON{ID: uint32(m.ID), Dist: m.Dist}
+	}
+	return out
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	// Reject trailing garbage.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, errors.New("trailing data after JSON body"))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func methodNotAllowed(w http.ResponseWriter) {
+	writeError(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	twsim "repro"
+)
+
+func newTestServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	db, err := twsim.OpenMem(twsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		db.Close()
+	})
+	return srv, NewClient(ts.URL, ts.Client())
+}
+
+func TestHealthAndStats(t *testing.T) {
+	_, c := newTestServer(t)
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	n, bytes, pages, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || bytes != 0 || pages == 0 {
+		t.Errorf("fresh stats = %d, %d, %d", n, bytes, pages)
+	}
+}
+
+func TestAddGetSearchRoundTrip(t *testing.T) {
+	_, c := newTestServer(t)
+	s := []float64{20, 21, 21, 20, 20, 23, 23, 23}
+	id, err := c.Add(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("Get = %v", got)
+	}
+	res, err := c.Search([]float64{20, 20, 21, 20, 23}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || res.Matches[0].ID != id || res.Matches[0].Dist != 0 {
+		t.Fatalf("Search = %+v", res)
+	}
+	if res.Stats.Results != 1 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestBatchKNNRemove(t *testing.T) {
+	_, c := newTestServer(t)
+	rng := rand.New(rand.NewSource(1))
+	batch := make([][]float64, 30)
+	for i := range batch {
+		s := make([]float64, 10+rng.Intn(10))
+		s[0] = rng.Float64() * 10
+		for j := 1; j < len(s); j++ {
+			s[j] = s[j-1] + rng.Float64()*0.2 - 0.1
+		}
+		batch[i] = s
+	}
+	first, err := c.AddBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 {
+		t.Errorf("first id = %d", first)
+	}
+	nn, err := c.NearestK(batch[7], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 3 || nn[0].ID != 7 || nn[0].Dist != 0 {
+		t.Fatalf("NearestK = %+v", nn)
+	}
+	removed, err := c.Remove(7)
+	if err != nil || !removed {
+		t.Fatalf("Remove = %v, %v", removed, err)
+	}
+	removed, err = c.Remove(7)
+	if err != nil || removed {
+		t.Fatalf("second Remove = %v, %v", removed, err)
+	}
+	if _, err := c.Get(7); err == nil {
+		t.Error("Get of removed id succeeded")
+	}
+	n, _, _, err := c.Stats()
+	if err != nil || n != 29 {
+		t.Errorf("Stats after remove = %d, %v", n, err)
+	}
+}
+
+func TestSubseqEndpoints(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.SearchSubsequences([]float64{1, 2}, 1); err == nil {
+		t.Error("subseq search before build succeeded")
+	}
+	if _, err := c.Add([]float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	windows, err := c.BuildSubseqIndex([]int{3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows != 6 {
+		t.Errorf("windows = %d, want 6", windows)
+	}
+	matches, err := c.SearchSubsequences([]float64{3, 4, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].Offset != 2 || matches[0].Len != 3 {
+		t.Fatalf("subseq matches = %+v", matches)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, c := newTestServer(t)
+	// Empty sequence rejected.
+	if _, err := c.Add(nil); err == nil {
+		t.Error("Add(nil) succeeded")
+	}
+	// Negative epsilon rejected.
+	if _, err := c.Add([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search([]float64{1}, -1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	// Unknown id.
+	if _, err := c.Get(99); err == nil {
+		t.Error("Get(99) succeeded")
+	}
+	// Negative k.
+	if _, err := c.NearestK([]float64{1}, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestHTTPLevelValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search = %d", resp.StatusCode)
+	}
+	// Malformed JSON.
+	resp, err = http.Post(ts.URL+"/search", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d", resp.StatusCode)
+	}
+	// Unknown field.
+	resp, err = http.Post(ts.URL+"/search", "application/json",
+		strings.NewReader(`{"query":[1],"epsilon":1,"bogus":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field = %d", resp.StatusCode)
+	}
+	// Trailing garbage.
+	resp, err = http.Post(ts.URL+"/search", "application/json",
+		strings.NewReader(`{"query":[1],"epsilon":1}{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("trailing garbage = %d", resp.StatusCode)
+	}
+	// Bad id in path.
+	resp, err = http.Get(ts.URL + "/sequences/notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, c := newTestServer(t)
+	rng := rand.New(rand.NewSource(2))
+	seed := make([][]float64, 50)
+	for i := range seed {
+		s := make([]float64, 12)
+		s[0] = rng.Float64() * 10
+		for j := 1; j < len(s); j++ {
+			s[j] = s[j-1] + rng.Float64()*0.2 - 0.1
+		}
+		seed[i] = s
+	}
+	if _, err := c.AddBatch(seed); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 12)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					if _, err := c.Search(seed[(g*7+i)%50], 0.5); err != nil {
+						errCh <- err
+						return
+					}
+				case 1:
+					if _, err := c.NearestK(seed[(g*3+i)%50], 2); err != nil {
+						errCh <- err
+						return
+					}
+				default:
+					if _, err := c.Add(seed[(g+i)%50]); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	n, _, _, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 50 {
+		t.Errorf("concurrent adds lost: %d sequences", n)
+	}
+}

@@ -1,0 +1,50 @@
+package suffixtree
+
+import (
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Occurrence locates one substring occurrence inside an indexed sequence.
+type Occurrence struct {
+	ID     seq.ID
+	Offset int
+}
+
+// SeqOfPosition maps a concatenated-text position to the sequence that
+// contains it and the offset within that sequence. The position must not
+// point past the final terminator.
+func (t *Tree) SeqOfPosition(pos int) (seq.ID, int) {
+	// boundaries is sorted ascending; find the last boundary <= pos.
+	i := sort.Search(len(t.boundaries), func(i int) bool { return t.boundaries[i] > pos }) - 1
+	return seq.ID(i), pos - t.boundaries[i]
+}
+
+// OccurrencesBelowAt enumerates where the root path running through n
+// occurs in the indexed sequences. Each leaf below n names one suffix of
+// the concatenated text; the root path is a prefix of every such suffix,
+// so each leaf yields one occurrence (sequence, offset).
+//
+// depthAtEdgeEnd must be the root-path length, in symbols, at the END of
+// n's incoming edge — the ST-Filter traversal tracks this as it walks. A
+// match that ends mid-edge has the same leaf set as the edge's target
+// node, so callers pass the target node with its full edge counted.
+func (t *Tree) OccurrencesBelowAt(n *Node, depthAtEdgeEnd int) []Occurrence {
+	var out []Occurrence
+	var dfs func(node *Node, depthAtEnd int)
+	dfs = func(node *Node, depthAtEnd int) {
+		if node.IsLeaf() {
+			suffixStart := len(t.text) - depthAtEnd
+			id, off := t.SeqOfPosition(suffixStart)
+			out = append(out, Occurrence{ID: id, Offset: off})
+			return
+		}
+		node.Children(func(_ int32, c *Node) bool {
+			dfs(c, depthAtEnd+t.edgeLength(c))
+			return true
+		})
+	}
+	dfs(n, depthAtEdgeEnd)
+	return out
+}

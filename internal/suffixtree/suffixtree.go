@@ -1,0 +1,238 @@
+// Package suffixtree implements a generalized suffix tree over symbol
+// (category) sequences using Ukkonen's online algorithm. It is the index
+// structure of the ST-Filter baseline (Park et al., paper §3.4): data
+// sequences are categorized, every suffix of every categorized sequence is
+// inserted, and query processing walks the tree with a branch-and-bound
+// time-warping DP over category intervals.
+//
+// Each sequence is terminated by a unique negative terminator symbol, so
+// the tree of the concatenated text is exactly the generalized suffix tree
+// of the collection.
+package suffixtree
+
+import (
+	"fmt"
+
+	"repro/internal/categorize"
+	"repro/internal/seq"
+)
+
+// Terminator returns the unique terminator symbol for sequence id.
+// Terminators are strictly negative and never collide with category
+// symbols, which are >= 0.
+func Terminator(id seq.ID) int32 { return -int32(id) - 1 }
+
+// IsTerminator reports whether sym is a terminator symbol.
+func IsTerminator(sym int32) bool { return sym < 0 }
+
+// TerminatorID recovers the sequence ID encoded in a terminator symbol.
+func TerminatorID(sym int32) seq.ID { return seq.ID(-sym - 1) }
+
+// Node is a suffix tree node. Children are keyed by the first symbol of
+// the edge leading to them; the edge label is text[start:end).
+type Node struct {
+	start    int
+	end      *int
+	children map[int32]*Node
+	link     *Node
+}
+
+// Tree is an immutable generalized suffix tree built by New.
+type Tree struct {
+	text       []int32
+	root       *Node
+	boundaries []int // start position of each sequence's symbols in text
+	lengths    []int // symbol count of each sequence
+	nodeCount  int
+
+	// Ukkonen construction state (meaningless after New returns).
+	activeNode   *Node
+	activeEdge   int
+	activeLength int
+	remainder    int
+	needLink     *Node
+	leafEnd      int
+}
+
+// New builds the generalized suffix tree of the categorized sequences.
+// Sequence i is assigned ID i; its terminator is Terminator(i).
+func New(sequences [][]categorize.Symbol) *Tree {
+	total := 0
+	for _, s := range sequences {
+		total += len(s) + 1
+	}
+	t := &Tree{
+		text:       make([]int32, 0, total),
+		boundaries: make([]int, len(sequences)),
+		lengths:    make([]int, len(sequences)),
+	}
+	for i, s := range sequences {
+		t.boundaries[i] = len(t.text)
+		t.lengths[i] = len(s)
+		for _, sym := range s {
+			t.text = append(t.text, int32(sym))
+		}
+		t.text = append(t.text, Terminator(seq.ID(i)))
+	}
+	t.root = t.newNode(-1, new(int))
+	*t.root.end = 0
+	t.activeNode = t.root
+	for i := range t.text {
+		t.extend(i)
+	}
+	return t
+}
+
+func (t *Tree) newNode(start int, end *int) *Node {
+	t.nodeCount++
+	return &Node{start: start, end: end, children: make(map[int32]*Node)}
+}
+
+// extend performs Ukkonen phase i.
+func (t *Tree) extend(i int) {
+	t.leafEnd = i + 1
+	t.remainder++
+	t.needLink = nil
+	for t.remainder > 0 {
+		if t.activeLength == 0 {
+			t.activeEdge = i
+		}
+		edgeSym := t.text[t.activeEdge]
+		next, ok := t.activeNode.children[edgeSym]
+		if !ok {
+			// Rule 2: new leaf from activeNode.
+			leaf := t.newNode(i, &t.leafEnd)
+			t.activeNode.children[t.text[i]] = leaf
+			t.addLink(t.activeNode)
+		} else {
+			edgeLen := t.edgeLength(next)
+			if t.activeLength >= edgeLen {
+				// Walk down.
+				t.activeEdge += edgeLen
+				t.activeLength -= edgeLen
+				t.activeNode = next
+				continue
+			}
+			if t.text[next.start+t.activeLength] == t.text[i] {
+				// Rule 3: already present; stop this phase.
+				t.activeLength++
+				t.addLink(t.activeNode)
+				break
+			}
+			// Rule 2 with split.
+			splitEnd := new(int)
+			*splitEnd = next.start + t.activeLength
+			split := t.newNode(next.start, splitEnd)
+			t.activeNode.children[edgeSym] = split
+			leaf := t.newNode(i, &t.leafEnd)
+			split.children[t.text[i]] = leaf
+			next.start += t.activeLength
+			split.children[t.text[next.start]] = next
+			t.addLink(split)
+		}
+		t.remainder--
+		if t.activeNode == t.root && t.activeLength > 0 {
+			t.activeLength--
+			t.activeEdge = i - t.remainder + 1
+		} else if t.activeNode != t.root {
+			if t.activeNode.link != nil {
+				t.activeNode = t.activeNode.link
+			} else {
+				t.activeNode = t.root
+			}
+		}
+	}
+}
+
+func (t *Tree) addLink(n *Node) {
+	if t.needLink != nil && t.needLink != t.root {
+		t.needLink.link = n
+	}
+	t.needLink = n
+}
+
+func (t *Tree) edgeLength(n *Node) int { return *n.end - n.start }
+
+// Root returns the tree root.
+func (t *Tree) Root() *Node { return t.root }
+
+// NumNodes returns the number of nodes, a proxy for the tree's memory
+// footprint (the paper's §3.4: the suffix tree grows abnormally large for
+// whole matching).
+func (t *Tree) NumNodes() int { return t.nodeCount }
+
+// NumSequences returns the number of indexed sequences.
+func (t *Tree) NumSequences() int { return len(t.boundaries) }
+
+// SeqLen returns the symbol length of sequence id.
+func (t *Tree) SeqLen(id seq.ID) int { return t.lengths[id] }
+
+// EdgeSymbols returns the label of the edge leading into n as a view of the
+// internal text.
+func (t *Tree) EdgeSymbols(n *Node) []int32 { return t.text[n.start:*n.end] }
+
+// Children iterates over n's outgoing edges in unspecified order.
+func (n *Node) Children(fn func(first int32, child *Node) bool) {
+	for sym, c := range n.children {
+		if !fn(sym, c) {
+			return
+		}
+	}
+}
+
+// NumChildren returns the fanout of n.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// Contains reports whether pattern occurs in the indexed text (exact symbol
+// match). Primarily a correctness probe for tests.
+func (t *Tree) Contains(pattern []int32) bool {
+	n := t.root
+	i := 0
+	for i < len(pattern) {
+		child, ok := n.children[pattern[i]]
+		if !ok {
+			return false
+		}
+		label := t.EdgeSymbols(child)
+		for j := 0; j < len(label) && i < len(pattern); j++ {
+			if label[j] != pattern[i] {
+				return false
+			}
+			i++
+		}
+		n = child
+	}
+	return true
+}
+
+// SuffixStarts enumerates the starting text positions of every suffix in
+// the tree, derived from leaf depths. Used by structural tests.
+func (t *Tree) SuffixStarts() []int {
+	var out []int
+	var dfs func(n *Node, depth int)
+	dfs = func(n *Node, depth int) {
+		if n.IsLeaf() {
+			out = append(out, len(t.text)-depth)
+			return
+		}
+		for _, c := range n.children {
+			dfs(c, depth+t.edgeLength(c))
+		}
+	}
+	for _, c := range t.root.children {
+		dfs(c, t.edgeLength(c))
+	}
+	return out
+}
+
+// Boundary returns the text start position of sequence id.
+func (t *Tree) Boundary(id seq.ID) int { return t.boundaries[id] }
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("suffixtree{%d seqs, %d symbols, %d nodes}",
+		len(t.boundaries), len(t.text), t.nodeCount)
+}

@@ -1,0 +1,216 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/categorize"
+	"repro/internal/seq"
+)
+
+func sym(vals ...int) []categorize.Symbol {
+	out := make([]categorize.Symbol, len(vals))
+	for i, v := range vals {
+		out[i] = categorize.Symbol(v)
+	}
+	return out
+}
+
+func TestTerminatorEncoding(t *testing.T) {
+	for _, id := range []seq.ID{0, 1, 7, 100000} {
+		term := Terminator(id)
+		if !IsTerminator(term) {
+			t.Errorf("Terminator(%d) = %d not recognized", id, term)
+		}
+		if got := TerminatorID(term); got != id {
+			t.Errorf("round trip: %d -> %d -> %d", id, term, got)
+		}
+	}
+	if IsTerminator(0) || IsTerminator(42) {
+		t.Error("category symbols classified as terminators")
+	}
+}
+
+func TestContainsAllSubstrings(t *testing.T) {
+	seqs := [][]categorize.Symbol{
+		sym(1, 2, 3, 1, 2),
+		sym(2, 2, 2),
+		sym(3, 1),
+	}
+	tree := New(seqs)
+	for _, s := range seqs {
+		raw := make([]int32, len(s))
+		for i, v := range s {
+			raw[i] = int32(v)
+		}
+		for i := 0; i < len(raw); i++ {
+			for j := i + 1; j <= len(raw); j++ {
+				if !tree.Contains(raw[i:j]) {
+					t.Fatalf("missing substring %v", raw[i:j])
+				}
+			}
+		}
+	}
+	for _, absent := range [][]int32{{9}, {1, 1, 1}, {3, 3}, {2, 3, 2}} {
+		if tree.Contains(absent) {
+			t.Errorf("Contains(%v) = true", absent)
+		}
+	}
+	if !tree.Contains(nil) {
+		t.Error("empty pattern should be contained")
+	}
+}
+
+func TestSuffixStartsComplete(t *testing.T) {
+	seqs := [][]categorize.Symbol{sym(0, 1, 0), sym(1, 1)}
+	tree := New(seqs)
+	// Text: 0 1 0 $0 1 1 $1 -> 7 suffixes.
+	starts := tree.SuffixStarts()
+	sort.Ints(starts)
+	if len(starts) != 7 {
+		t.Fatalf("got %d suffixes, want 7 (%v)", len(starts), starts)
+	}
+	for i, s := range starts {
+		if s != i {
+			t.Fatalf("suffix starts %v, want 0..6", starts)
+		}
+	}
+}
+
+func TestSuffixStartsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		nSeq := 1 + rng.Intn(5)
+		var seqs [][]categorize.Symbol
+		total := 0
+		for i := 0; i < nSeq; i++ {
+			n := 1 + rng.Intn(20)
+			s := make([]categorize.Symbol, n)
+			for j := range s {
+				s[j] = categorize.Symbol(rng.Intn(4))
+			}
+			seqs = append(seqs, s)
+			total += n + 1
+		}
+		tree := New(seqs)
+		starts := tree.SuffixStarts()
+		sort.Ints(starts)
+		if len(starts) != total {
+			t.Fatalf("trial %d: %d suffixes, want %d", trial, len(starts), total)
+		}
+		for i, s := range starts {
+			if s != i {
+				t.Fatalf("trial %d: starts %v", trial, starts)
+			}
+		}
+	}
+}
+
+func TestContainsRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		s := make([]categorize.Symbol, n)
+		raw := make([]int32, n)
+		for j := range s {
+			v := rng.Intn(3)
+			s[j] = categorize.Symbol(v)
+			raw[j] = int32(v)
+		}
+		tree := New([][]categorize.Symbol{s})
+		for probe := 0; probe < 50; probe++ {
+			m := 1 + rng.Intn(6)
+			pat := make([]int32, m)
+			for j := range pat {
+				pat[j] = int32(rng.Intn(3))
+			}
+			want := bruteContains(raw, pat)
+			if got := tree.Contains(pat); got != want {
+				t.Fatalf("Contains(%v) in %v = %v, want %v", pat, raw, got, want)
+			}
+		}
+	}
+}
+
+func bruteContains(text, pat []int32) bool {
+	for i := 0; i+len(pat) <= len(text); i++ {
+		ok := true
+		for j := range pat {
+			if text[i+j] != pat[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMetadataAccessors(t *testing.T) {
+	seqs := [][]categorize.Symbol{sym(1, 2, 3), sym(4)}
+	tree := New(seqs)
+	if tree.NumSequences() != 2 {
+		t.Errorf("NumSequences = %d", tree.NumSequences())
+	}
+	if tree.SeqLen(0) != 3 || tree.SeqLen(1) != 1 {
+		t.Errorf("SeqLen = %d, %d", tree.SeqLen(0), tree.SeqLen(1))
+	}
+	if tree.Boundary(0) != 0 || tree.Boundary(1) != 4 {
+		t.Errorf("Boundary = %d, %d", tree.Boundary(0), tree.Boundary(1))
+	}
+	if tree.NumNodes() < 5 {
+		t.Errorf("NumNodes = %d", tree.NumNodes())
+	}
+	if got := tree.String(); got == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestChildrenIteration(t *testing.T) {
+	tree := New([][]categorize.Symbol{sym(1, 2)})
+	root := tree.Root()
+	if root.IsLeaf() {
+		t.Fatal("root is a leaf")
+	}
+	count := 0
+	root.Children(func(first int32, child *Node) bool {
+		count++
+		label := tree.EdgeSymbols(child)
+		if len(label) == 0 || label[0] != first {
+			t.Errorf("edge key %d does not match label %v", first, label)
+		}
+		return true
+	})
+	if count != root.NumChildren() {
+		t.Errorf("iterated %d of %d children", count, root.NumChildren())
+	}
+	// Early stop.
+	count = 0
+	root.Children(func(int32, *Node) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+// The whole-matching property ST-Filter relies on: each sequence's full
+// symbol string followed by its terminator is a root path.
+func TestWholeSequencePaths(t *testing.T) {
+	seqs := [][]categorize.Symbol{sym(1, 2, 3), sym(1, 2), sym(2, 3)}
+	tree := New(seqs)
+	for id, s := range seqs {
+		pat := make([]int32, 0, len(s)+1)
+		for _, v := range s {
+			pat = append(pat, int32(v))
+		}
+		pat = append(pat, Terminator(seq.ID(id)))
+		if !tree.Contains(pat) {
+			t.Errorf("whole sequence %d with terminator not found", id)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package synth generates the workloads of the paper's §5.1: random-walk
+// synthetic sequences, a simulated S&P-500-style stock data set (the
+// original 545-sequence snapshot is no longer available; see DESIGN.md §3
+// for the substitution argument), and the paper's query generator, which
+// perturbs a randomly chosen data sequence element-wise by a value drawn
+// from [-std/2, +std/2].
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// RandomWalk generates one synthetic sequence of length n following the
+// paper's recipe: s_1 uniform in [1, 10], s_i = s_{i-1} + z_i with z_i
+// IID uniform in [-0.1, 0.1].
+func RandomWalk(rng *rand.Rand, n int) seq.Sequence {
+	if n <= 0 {
+		return nil
+	}
+	s := make(seq.Sequence, n)
+	s[0] = 1 + 9*rng.Float64()
+	for i := 1; i < n; i++ {
+		s[i] = s[i-1] + (rng.Float64()*0.2 - 0.1)
+	}
+	return s
+}
+
+// RandomWalkSet generates count sequences of exactly length n (the paper's
+// Experiments 3 and 4 fix the average length; we use a fixed length, which
+// only tightens the workload).
+func RandomWalkSet(rng *rand.Rand, count, n int) []seq.Sequence {
+	out := make([]seq.Sequence, count)
+	for i := range out {
+		out[i] = RandomWalk(rng, n)
+	}
+	return out
+}
+
+// RandomWalkSetVaryLen generates count sequences with lengths uniform in
+// [minLen, maxLen], for workloads exercising genuinely different-length
+// sequences (the situation time warping exists for).
+func RandomWalkSetVaryLen(rng *rand.Rand, count, minLen, maxLen int) []seq.Sequence {
+	out := make([]seq.Sequence, count)
+	for i := range out {
+		n := minLen
+		if maxLen > minLen {
+			n += rng.Intn(maxLen - minLen + 1)
+		}
+		out[i] = RandomWalk(rng, n)
+	}
+	return out
+}
+
+// StockOptions shapes the simulated stock data set.
+type StockOptions struct {
+	// Count is the number of sequences (paper: 545).
+	Count int
+	// MeanLen is the average sequence length (paper: 231).
+	MeanLen int
+	// LenSpread is the half-width of the uniform length distribution
+	// around MeanLen.
+	LenSpread int
+}
+
+// DefaultStockOptions mirrors the paper's S&P 500 snapshot.
+var DefaultStockOptions = StockOptions{Count: 545, MeanLen: 231, LenSpread: 60}
+
+// StockSet simulates an S&P-500-style collection: per-sequence starting
+// prices spread over typical equity levels, per-sequence daily volatility,
+// and mild mean-reverting drift, producing smooth locally-correlated series
+// of varying lengths (what the filtering experiments are sensitive to).
+func StockSet(rng *rand.Rand, opts StockOptions) []seq.Sequence {
+	if opts.Count == 0 {
+		opts = DefaultStockOptions
+	}
+	out := make([]seq.Sequence, opts.Count)
+	for i := range out {
+		n := opts.MeanLen
+		if opts.LenSpread > 0 {
+			n += rng.Intn(2*opts.LenSpread+1) - opts.LenSpread
+		}
+		if n < 2 {
+			n = 2
+		}
+		// Log-normal-ish starting price in roughly [5, 300].
+		price := 5 + 295*rng.Float64()*rng.Float64()
+		vol := price * (0.005 + 0.015*rng.Float64()) // 0.5%–2% daily moves
+		s := make(seq.Sequence, n)
+		s[0] = price
+		drift := 0.0
+		for t := 1; t < n; t++ {
+			drift = 0.9*drift + 0.1*(rng.Float64()*2-1)*vol
+			step := (rng.Float64()*2-1)*vol + drift
+			v := s[t-1] + step
+			if v < 0.5 {
+				v = 0.5 // stocks do not go negative
+			}
+			s[t] = v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Query produces a paper-style query sequence from data: pick a random data
+// sequence, then add to every element an independent random value drawn
+// uniformly from [-std/2, +std/2], where std is that sequence's standard
+// deviation (§5.1).
+func Query(rng *rand.Rand, data []seq.Sequence) seq.Sequence {
+	base := data[rng.Intn(len(data))]
+	std := base.Std()
+	q := make(seq.Sequence, len(base))
+	for i, v := range base {
+		q[i] = v + (rng.Float64()-0.5)*std
+	}
+	return q
+}
+
+// Queries produces count paper-style queries.
+func Queries(rng *rand.Rand, data []seq.Sequence, count int) []seq.Sequence {
+	out := make([]seq.Sequence, count)
+	for i := range out {
+		out[i] = Query(rng, data)
+	}
+	return out
+}

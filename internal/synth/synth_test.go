@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomWalkShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomWalk(rng, 1000)
+	if len(s) != 1000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] < 1 || s[0] > 10 {
+		t.Errorf("s1 = %g outside [1, 10]", s[0])
+	}
+	for i := 1; i < len(s); i++ {
+		step := s[i] - s[i-1]
+		if step < -0.1-1e-12 || step > 0.1+1e-12 {
+			t.Fatalf("step %d = %g outside [-0.1, 0.1]", i, step)
+		}
+	}
+}
+
+func TestRandomWalkDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if s := RandomWalk(rng, 0); s != nil {
+		t.Errorf("n=0 returned %v", s)
+	}
+	if s := RandomWalk(rng, 1); len(s) != 1 {
+		t.Errorf("n=1 len = %d", len(s))
+	}
+}
+
+func TestRandomWalkSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	set := RandomWalkSet(rng, 25, 40)
+	if len(set) != 25 {
+		t.Fatalf("count = %d", len(set))
+	}
+	for _, s := range set {
+		if len(s) != 40 {
+			t.Fatalf("length %d != 40", len(s))
+		}
+	}
+}
+
+func TestRandomWalkSetVaryLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	set := RandomWalkSetVaryLen(rng, 200, 10, 30)
+	sawMin, sawNearMax := false, false
+	for _, s := range set {
+		if len(s) < 10 || len(s) > 30 {
+			t.Fatalf("length %d outside [10, 30]", len(s))
+		}
+		if len(s) <= 12 {
+			sawMin = true
+		}
+		if len(s) >= 28 {
+			sawNearMax = true
+		}
+	}
+	if !sawMin || !sawNearMax {
+		t.Error("length distribution suspiciously narrow")
+	}
+	// Equal bounds.
+	for _, s := range RandomWalkSetVaryLen(rng, 5, 7, 7) {
+		if len(s) != 7 {
+			t.Fatalf("fixed-length variant gave %d", len(s))
+		}
+	}
+}
+
+func TestStockSetMatchesPaperShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	set := StockSet(rng, DefaultStockOptions)
+	if len(set) != 545 {
+		t.Fatalf("count = %d, want 545 (paper's S&P set)", len(set))
+	}
+	totalLen := 0
+	for _, s := range set {
+		totalLen += len(s)
+		for _, v := range s {
+			if v < 0.5 {
+				t.Fatalf("negative-ish price %g", v)
+			}
+		}
+	}
+	avg := float64(totalLen) / float64(len(set))
+	if math.Abs(avg-231) > 20 {
+		t.Errorf("average length %g, paper reports 231", avg)
+	}
+	// The raw data volume should be in the ~850 KB ballpark of the paper.
+	bytes := totalLen * 8
+	if bytes < 500_000 || bytes > 1_500_000 {
+		t.Errorf("data volume %d bytes, expected near 1 MB", bytes)
+	}
+}
+
+func TestStockSetZeroOptionsUsesDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	set := StockSet(rng, StockOptions{})
+	if len(set) != 545 {
+		t.Errorf("zero options gave %d sequences", len(set))
+	}
+}
+
+func TestQueryPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := RandomWalkSet(rng, 10, 100)
+	for trial := 0; trial < 20; trial++ {
+		q := Query(rng, data)
+		// The query has the length of some data sequence.
+		if len(q) != 100 {
+			t.Fatalf("query length %d", len(q))
+		}
+		// Find the base sequence: the one within std/2 everywhere.
+		matched := false
+		for _, s := range data {
+			if len(s) != len(q) {
+				continue
+			}
+			std := s.Std()
+			ok := true
+			for i := range s {
+				if math.Abs(q[i]-s[i]) > std/2+1e-12 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatal("query not within std/2 of any data sequence")
+		}
+	}
+}
+
+func TestQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := RandomWalkSet(rng, 5, 20)
+	qs := Queries(rng, data, 100)
+	if len(qs) != 100 {
+		t.Fatalf("count = %d", len(qs))
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	a := RandomWalkSet(rand.New(rand.NewSource(99)), 5, 50)
+	b := RandomWalkSet(rand.New(rand.NewSource(99)), 5, 50)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}

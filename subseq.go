@@ -1,0 +1,45 @@
+package twsim
+
+import (
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// SubMatch is one qualifying subsequence: a window of a stored sequence
+// whose time warping distance to the query is within tolerance.
+type SubMatch = core.SubMatch
+
+// SubseqResult carries subsequence matches plus query statistics.
+type SubseqResult = core.SubseqResult
+
+// SubseqIndex supports subsequence matching, the paper's §6 extension: the
+// same 4-tuple feature index built over sliding windows of the stored
+// sequences instead of whole sequences, queried with the same algorithm.
+// The search is exact (no false dismissal) over the indexed window set.
+type SubseqIndex struct {
+	inner *core.SubseqIndex
+}
+
+// BuildSubseqIndex indexes sliding windows of each length in windowLens
+// over the database's current contents, advancing the window start by step
+// positions (step <= 0 means 1). Sequences added to the database afterwards
+// are not visible to the returned index.
+func (db *DB) BuildSubseqIndex(windowLens []int, step int) (*SubseqIndex, error) {
+	inner, err := core.BuildSubseqIndex(db.store, db.base, windowLens, step)
+	if err != nil {
+		return nil, err
+	}
+	return &SubseqIndex{inner: inner}, nil
+}
+
+// Search returns every indexed window whose time warping distance to query
+// is at most epsilon, sorted by distance.
+func (si *SubseqIndex) Search(query []float64, epsilon float64) (*SubseqResult, error) {
+	return si.inner.Search(seq.Sequence(query), epsilon)
+}
+
+// NumWindows returns the number of indexed windows.
+func (si *SubseqIndex) NumWindows() int { return si.inner.NumWindows() }
+
+// Close releases the index.
+func (si *SubseqIndex) Close() error { return si.inner.Close() }

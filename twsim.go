@@ -1,0 +1,288 @@
+package twsim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/rtree"
+	"repro/internal/seq"
+	"repro/internal/seqdb"
+)
+
+// Base selects the per-element base distance inside the time warping
+// distance (the paper's Dbase, §4.1).
+type Base = seq.Base
+
+// Base distance choices. The paper's similarity model uses BaseLInf; BaseL1
+// is the classic additive DTW; BaseL2Sq accumulates squared differences.
+const (
+	BaseLInf = seq.LInf
+	BaseL1   = seq.L1
+	BaseL2Sq = seq.L2Sq
+)
+
+// ID identifies a stored sequence.
+type ID = seq.ID
+
+// Match is one search result: a sequence ID and its exact time warping
+// distance to the query.
+type Match = core.Match
+
+// Result carries the matches of one query plus its work statistics.
+type Result = core.Result
+
+// QueryStats describes the work one query performed (candidates, exact DTW
+// evaluations, page I/O, wall time).
+type QueryStats = core.QueryStats
+
+// CostModel converts buffer pool misses into modeled disk time.
+type CostModel = core.CostModel
+
+// SplitStrategy selects the R-tree overflow heuristic.
+type SplitStrategy = rtree.SplitStrategy
+
+// R-tree split strategies.
+const (
+	SplitQuadratic = rtree.QuadraticSplit
+	SplitLinear    = rtree.LinearSplit
+)
+
+// Options configures a DB.
+type Options struct {
+	// Base is the per-element distance inside DTW. The zero value is
+	// BaseLInf, the paper's model.
+	Base Base
+	// PageSize is the page size of both the data heap file and the index
+	// (0 = 1 KB, the paper's setting).
+	PageSize int
+	// PoolPages is the buffer pool capacity of each file in pages (0 = 64).
+	PoolPages int
+	// Split is the R-tree split heuristic (default quadratic).
+	Split SplitStrategy
+}
+
+// DB is a sequence database with the paper's 4-d feature index kept in sync
+// with the stored sequences. A DB is safe for concurrent readers; writers
+// require external serialization.
+type DB struct {
+	store *seqdb.DB
+	index *core.FeatureIndex
+	base  Base
+	dir   string // empty when in-memory
+}
+
+const indexFileName = "feature.rtree"
+
+// OpenMem creates an ephemeral in-memory database (page layout and buffer
+// accounting identical to the on-disk form).
+func OpenMem(opts Options) (*DB, error) {
+	store, err := seqdb.NewMem(seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	index, err := core.NewFeatureIndex(core.IndexOptions{
+		PageSize:  opts.PageSize,
+		PoolPages: opts.PoolPages,
+		Split:     opts.Split,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &DB{store: store, index: index, base: opts.Base}, nil
+}
+
+// Create creates a new on-disk database in directory dir.
+func Create(dir string, opts Options) (*DB, error) {
+	store, err := seqdb.Create(dir, seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	index, err := core.NewFeatureIndex(core.IndexOptions{
+		PageSize:   opts.PageSize,
+		PoolPages:  opts.PoolPages,
+		Split:      opts.Split,
+		OnDiskPath: filepath.Join(dir, indexFileName),
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &DB{store: store, index: index, base: opts.Base, dir: dir}, nil
+}
+
+// Open opens an existing on-disk database.
+func Open(dir string, opts Options) (*DB, error) {
+	if _, err := os.Stat(filepath.Join(dir, indexFileName)); err != nil {
+		return nil, fmt.Errorf("twsim: %s does not contain a database: %w", dir, err)
+	}
+	store, err := seqdb.Open(dir, seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	index, err := core.OpenFeatureIndex(filepath.Join(dir, indexFileName), core.IndexOptions{
+		PoolPages: opts.PoolPages,
+		Split:     opts.Split,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if index.Len() != store.Len() {
+		index.Close()
+		store.Close()
+		return nil, fmt.Errorf("twsim: index holds %d entries but store holds %d sequences",
+			index.Len(), store.Len())
+	}
+	return &DB{store: store, index: index, base: opts.Base, dir: dir}, nil
+}
+
+// Base returns the configured base distance.
+func (db *DB) Base() Base { return db.base }
+
+// Len returns the number of stored sequences.
+func (db *DB) Len() int { return db.store.Len() }
+
+// Add stores a sequence and indexes its feature vector, returning its ID.
+// Empty sequences are rejected.
+func (db *DB) Add(values []float64) (ID, error) {
+	s := seq.Sequence(values)
+	id, err := db.store.Append(s)
+	if err != nil {
+		return seq.InvalidID, err
+	}
+	if err := db.index.Insert(id, s); err != nil {
+		return seq.InvalidID, fmt.Errorf("twsim: sequence %d stored but not indexed: %w", id, err)
+	}
+	return id, nil
+}
+
+// AddAll stores a batch of sequences; when the database is empty the index
+// is STR bulk-loaded, which is substantially faster than repeated Add
+// (§4.3.1). Returns the ID of the first added sequence.
+func (db *DB) AddAll(values [][]float64) (ID, error) {
+	if len(values) == 0 {
+		return seq.InvalidID, errors.New("twsim: AddAll of empty batch")
+	}
+	if db.store.Len() > 0 {
+		first, err := db.Add(values[0])
+		if err != nil {
+			return seq.InvalidID, err
+		}
+		for _, v := range values[1:] {
+			if _, err := db.Add(v); err != nil {
+				return seq.InvalidID, err
+			}
+		}
+		return first, nil
+	}
+	ids := make([]ID, 0, len(values))
+	features := make([]seq.Feature, 0, len(values))
+	for _, v := range values {
+		s := seq.Sequence(v)
+		id, err := db.store.Append(s)
+		if err != nil {
+			return seq.InvalidID, err
+		}
+		f, err := seq.ExtractFeature(s)
+		if err != nil {
+			return seq.InvalidID, err
+		}
+		ids = append(ids, id)
+		features = append(features, f)
+	}
+	if err := db.index.BulkLoad(ids, features); err != nil {
+		return seq.InvalidID, err
+	}
+	return ids[0], nil
+}
+
+// Remove deletes a stored sequence: its index entry is removed and the
+// heap record tombstoned (IDs are never reused; heap space is reclaimed
+// only by rebuilding the database). It reports whether the sequence was
+// present and live.
+func (db *DB) Remove(id ID) (bool, error) {
+	s, err := db.store.Get(id)
+	if err != nil {
+		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
+			return false, nil
+		}
+		return false, err
+	}
+	if _, err := db.index.Delete(id, s); err != nil {
+		return false, err
+	}
+	return db.store.Delete(id)
+}
+
+// Get fetches a stored sequence by ID.
+func (db *DB) Get(id ID) ([]float64, error) {
+	s, err := db.store.Get(id)
+	return []float64(s), err
+}
+
+// Search finds every sequence whose time warping distance to query is at
+// most epsilon, using the paper's TW-Sim-Search (Algorithm 1): index range
+// query with Dtw-lb, then exact DTW refinement. No false dismissal.
+func (db *DB) Search(query []float64, epsilon float64) (*Result, error) {
+	if len(query) == 0 {
+		return nil, seq.ErrEmpty
+	}
+	if epsilon < 0 {
+		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
+	}
+	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
+	return m.Search(seq.Sequence(query), epsilon)
+}
+
+// NearestK returns the k sequences with the smallest exact time warping
+// distance to query, in ascending distance order (an extension enabled by
+// Dtw-lb being a true lower bound of Dtw).
+func (db *DB) NearestK(query []float64, k int) ([]Match, error) {
+	if len(query) == 0 {
+		return nil, seq.ErrEmpty
+	}
+	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
+	return m.NearestK(seq.Sequence(query), k)
+}
+
+// Distance computes the exact time warping distance between a stored
+// sequence and an arbitrary query under the database's base distance.
+func (db *DB) Distance(id ID, query []float64) (float64, error) {
+	s, err := db.store.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	return Distance(s, query, db.base), nil
+}
+
+// IndexPages returns the number of pages the feature index occupies — the
+// paper observes the index stays below 4% of the database size (§5.2).
+func (db *DB) IndexPages() int { return db.index.Pages() }
+
+// DataBytes returns the logical size of the stored sequence data.
+func (db *DB) DataBytes() int64 { return db.store.Bytes() }
+
+// CheckInvariants validates the index structure (tests and repair tooling).
+func (db *DB) CheckInvariants() error { return db.index.CheckInvariants() }
+
+// Flush persists all state to disk (no-op for in-memory databases).
+func (db *DB) Flush() error {
+	if err := db.store.Flush(); err != nil {
+		return err
+	}
+	return db.index.Flush()
+}
+
+// Close flushes and releases the database.
+func (db *DB) Close() error {
+	err1 := db.store.Close()
+	err2 := db.index.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,70 @@
+package twsim_test
+
+import (
+	"strings"
+	"testing"
+
+	twsim "repro"
+)
+
+func TestVerifyCleanDatabase(t *testing.T) {
+	db, err := twsim.OpenMem(twsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Verify(); err != nil {
+		t.Fatalf("empty db: %v", err)
+	}
+	if _, err := db.AddAll(randomWalks(71, 80, 5, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Verify(); err != nil {
+		t.Fatalf("populated db: %v", err)
+	}
+	// After removals the cross-check still holds.
+	for _, id := range []twsim.ID{3, 40, 79} {
+		if _, err := db.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Verify(); err != nil {
+		t.Fatalf("after removals: %v", err)
+	}
+}
+
+func TestVerifyAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := twsim.Create(dir, twsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddAll(randomWalks(72, 40, 5, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := twsim.Open(dir, twsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.Verify(); err != nil {
+		t.Fatalf("after reopen: %v", err)
+	}
+}
+
+func TestVerifyHealthyErrorShape(t *testing.T) {
+	db, err := twsim.OpenMem(twsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Add([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Verify(); err != nil && !strings.Contains(err.Error(), "twsim:") {
+		t.Errorf("unexpected error shape: %v", err)
+	}
+}
