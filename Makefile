@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race
+
+# Full gate: formatting, static checks, build, and the whole test suite
+# (including the fault-injection recovery tests) under the race detector.
+ci: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

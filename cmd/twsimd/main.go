@@ -32,6 +32,7 @@ func main() {
 		addr   = flag.String("addr", ":7474", "listen address")
 		create = flag.Bool("create", false, "create the database if it does not exist")
 		mem    = flag.Bool("mem", false, "serve an ephemeral in-memory database")
+		verify = flag.Bool("verify", false, "run a full heap/index integrity check before serving")
 	)
 	flag.Parse()
 
@@ -50,6 +51,15 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("twsimd: opening database: %v", err)
+	}
+	if rs := db.LastRepair(); rs.Repaired() {
+		log.Printf("twsimd: database recovered on open: %s", rs.String())
+	}
+	if *verify {
+		if err := db.Verify(); err != nil {
+			log.Fatalf("twsimd: integrity check failed: %v", err)
+		}
+		log.Printf("twsimd: integrity check passed (%d sequences)", db.Len())
 	}
 
 	srv := server.New(db)

@@ -28,4 +28,27 @@
 // access to the DTW distance family (Distance, DistanceWithin,
 // BandDistance, warping paths), and the paper's evaluated baselines for
 // benchmarking (see the Baseline* constructors).
+//
+// # Crash consistency
+//
+// The no-false-dismissal guarantee only holds while the heap file and the
+// feature index agree, so the write path keeps them in lockstep:
+//
+//   - Add appends to the heap first and indexes second; when indexing
+//     fails the append is rolled back, so a failed Add can simply be
+//     retried and never leaves a half-written sequence behind.
+//   - AddAll is all-or-nothing: on a mid-batch failure every appended
+//     sequence (and any index entry already made for it) is rolled back.
+//     The STR bulk load used on an empty database is internally atomic.
+//   - Open reconciles after a crash. The heap is the source of truth and
+//     the index is always derivable from it: orphaned heap records (a
+//     crash between append and index insert) are re-indexed, dangling
+//     index entries are deleted, and an unopenable index file is rebuilt
+//     outright. LastRepair reports what was fixed.
+//   - Verify is the read-only integrity check (fsck); Repair is its
+//     fixing counterpart, usable on a live database.
+//
+// Searches additionally skip index entries whose heap record is missing,
+// so a not-yet-repaired database degrades to extra filtering work rather
+// than failed or incorrect queries.
 package twsim

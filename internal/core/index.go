@@ -28,6 +28,10 @@ type IndexOptions struct {
 	// OnDiskPath, when non-empty, stores the index in a page file at that
 	// path instead of in memory.
 	OnDiskPath string
+	// WrapBackend, when non-nil, wraps the raw page backend before the
+	// buffer pool is built on it. Fault-injection tests use it to fail
+	// index writes at chosen points.
+	WrapBackend func(pagefile.Backend) pagefile.Backend
 }
 
 func (o IndexOptions) withDefaults() IndexOptions {
@@ -53,6 +57,9 @@ func NewFeatureIndex(opts IndexOptions) (*FeatureIndex, error) {
 	} else {
 		backend = pagefile.NewMemBackend(opts.PageSize)
 	}
+	if opts.WrapBackend != nil {
+		backend = opts.WrapBackend(backend)
+	}
 	pool, err := pagefile.NewPool(backend, opts.PageSize, opts.PoolPages)
 	if err != nil {
 		backend.Close()
@@ -73,9 +80,13 @@ func OpenFeatureIndex(path string, opts IndexOptions) (*FeatureIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := pagefile.NewPool(fb, fb.PageSize(), opts.PoolPages)
+	var backend pagefile.Backend = fb
+	if opts.WrapBackend != nil {
+		backend = opts.WrapBackend(backend)
+	}
+	pool, err := pagefile.NewPool(backend, fb.PageSize(), opts.PoolPages)
 	if err != nil {
-		fb.Close()
+		backend.Close()
 		return nil, err
 	}
 	tree, err := rtree.Open(pool, rtree.Options{Split: opts.Split})
@@ -96,6 +107,13 @@ func (fi *FeatureIndex) Insert(id seq.ID, s seq.Sequence) error {
 	if err != nil {
 		return err
 	}
+	return fi.InsertFeature(id, f)
+}
+
+// InsertFeature adds the entry <f, id> from a pre-extracted feature vector
+// (used by the Open-time reconciliation pass, which has already derived
+// features from the heap records).
+func (fi *FeatureIndex) InsertFeature(id seq.ID, f seq.Feature) error {
 	v := f.Vector()
 	return fi.tree.Insert(rtree.NewPoint(v[:]), uint32(id))
 }
@@ -106,8 +124,41 @@ func (fi *FeatureIndex) Delete(id seq.ID, s seq.Sequence) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	v := f.Vector()
-	return fi.tree.Delete(rtree.NewPoint(v[:]), uint32(id))
+	return fi.DeleteEntry(id, f.Vector())
+}
+
+// DeleteEntry removes the entry keyed at exactly the given point. The
+// reconciliation pass uses this form to remove dangling or stale entries
+// whose stored point no longer matches any live sequence's feature (so the
+// point cannot be re-derived from data).
+func (fi *FeatureIndex) DeleteEntry(id seq.ID, point [4]float64) (bool, error) {
+	return fi.tree.Delete(rtree.NewPoint(point[:]), uint32(id))
+}
+
+// IndexEntry is one <point, id> pair stored in the index, as reported by
+// Entries.
+type IndexEntry struct {
+	ID    seq.ID
+	Point [4]float64
+}
+
+// Entries returns every data entry the index currently holds, in tree
+// order. The reconciliation pass diffs this listing against the live heap
+// records.
+func (fi *FeatureIndex) Entries() ([]IndexEntry, error) {
+	var out []IndexEntry
+	err := fi.tree.Walk(func(_ int, leaf bool, _ rtree.Rect, entries []rtree.Entry) error {
+		if !leaf {
+			return nil
+		}
+		for _, e := range entries {
+			var pt [4]float64
+			copy(pt[:], e.Rect.Lo)
+			out = append(out, IndexEntry{ID: seq.ID(e.Child), Point: pt})
+		}
+		return nil
+	})
+	return out, err
 }
 
 // BulkLoad builds the index from all (id, feature) pairs at once using STR

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"time"
 
@@ -23,11 +24,19 @@ type Searcher interface {
 // refine runs the post-processing of Algorithm 1 (Step-4..7): fetch each
 // candidate sequence and keep it when the exact early-abandoning DTW is
 // within epsilon. Matches are returned sorted by distance then ID.
+//
+// Candidates whose heap record is gone (deleted or never durably written —
+// a dangling index entry from an interrupted write) are skipped rather
+// than failing the query: dropping them cannot cause a false dismissal,
+// and it keeps reads available until the next Repair removes the entries.
 func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 	candidates []seq.ID, stats *QueryStats) ([]Match, error) {
 	var matches []Match
 	for _, id := range candidates {
 		s, err := db.Get(id)
+		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -190,6 +199,9 @@ func (t *TWSimSearch) NearestK(q seq.Sequence, k int) ([]Match, error) {
 			return false // every later candidate has Dtw >= lb > k-th best
 		}
 		s, err := t.DB.Get(id)
+		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
+			return true // dangling index entry; skip, do not fail the walk
+		}
 		if err != nil {
 			walkErr = err
 			return false

@@ -155,6 +155,12 @@ func Within(s, q seq.Sequence, base seq.Base, epsilon float64) bool {
 // no band (identical to Distance). A band is an *extension* relative to the
 // paper — it constrains permissible warpings and therefore returns a value
 // ≥ the unconstrained distance.
+//
+// The effective half-width is never allowed below ⌈⌈slope⌉−1⌉/2: when the
+// lengths are very different (steep slope) consecutive rows' band ranges
+// would otherwise be disjoint and no banded path would exist at all.
+// With that floor a banded path always exists, so BandDistance is finite
+// for any r ≥ 0 whenever both sequences are non-empty.
 func BandDistance(s, q seq.Sequence, base seq.Base, r int) float64 {
 	if r < 0 {
 		return Distance(s, q, base)
@@ -166,11 +172,21 @@ func BandDistance(s, q seq.Sequence, base seq.Base, r int) float64 {
 		return Inf
 	}
 	n, m := len(s), len(q)
+	if n == 1 || m == 1 {
+		// A single row (or column) must traverse the whole other sequence;
+		// no band can constrain it.
+		return Distance(s, q, base)
+	}
 	// Slope-normalize the band so corner cells stay reachable for unequal
 	// lengths: the band follows the stretched diagonal j ≈ i·(m-1)/(n-1).
-	slope := 0.0
-	if n > 1 {
-		slope = float64(m-1) / float64(n-1)
+	slope := float64(m-1) / float64(n-1)
+	// Consecutive row centers advance by up to ⌈slope⌉ columns; ranges of
+	// half-width w connect (lo_i ≤ hi_{i-1}+1) iff that advance is ≤ 2w+1.
+	// Widen r to the smallest w that guarantees it, ⌈(⌈slope⌉−1)/2⌉, which
+	// is 0 for slope ≤ 1 (the classic equal-length band is untouched).
+	halfWidth := r
+	if minHalf := int(math.Ceil(slope)) / 2; minHalf > halfWidth {
+		halfWidth = minHalf
 	}
 	prev := make([]float64, m)
 	cur := make([]float64, m)
@@ -178,7 +194,7 @@ func BandDistance(s, q seq.Sequence, base seq.Base, r int) float64 {
 		prev[j] = Inf
 		cur[j] = Inf
 	}
-	lo0, hi0 := bandRange(0, slope, r, m)
+	lo0, hi0 := bandRange(0, slope, halfWidth, m)
 	for j := lo0; j <= hi0; j++ {
 		e := base.Elem(s[0], q[j])
 		if j == 0 {
@@ -188,7 +204,7 @@ func BandDistance(s, q seq.Sequence, base seq.Base, r int) float64 {
 		}
 	}
 	for i := 1; i < n; i++ {
-		lo, hi := bandRange(i, slope, r, m)
+		lo, hi := bandRange(i, slope, halfWidth, m)
 		for j := 0; j < m; j++ {
 			cur[j] = Inf
 		}

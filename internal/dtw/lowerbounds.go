@@ -77,8 +77,13 @@ type Envelope struct {
 }
 
 // NewEnvelope builds the envelope of q for band half-width r in O(|Q|·r)
-// time (a simple sliding scan; r is small in practice).
+// time (a simple sliding scan; r is small in practice). A negative r is
+// clamped to 0 (the degenerate envelope Lower = Upper = q) instead of
+// producing inverted, out-of-range windows.
 func NewEnvelope(q seq.Sequence, r int) Envelope {
+	if r < 0 {
+		r = 0
+	}
 	n := len(q)
 	env := Envelope{Lower: make([]float64, n), Upper: make([]float64, n)}
 	for i := 0; i < n; i++ {

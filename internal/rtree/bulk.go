@@ -4,12 +4,20 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"repro/internal/pagefile"
 )
 
 // BulkLoad builds the tree from a full set of entries using Sort-Tile-
 // Recursive (STR) packing. The tree must be empty. Bulk loading produces a
 // near-100%-utilized, well-clustered tree far faster than repeated Insert
 // (the paper's §4.3.1 recommends bulk loading for initial construction).
+//
+// BulkLoad is atomic with respect to the tree's visible state: the root,
+// height, and size are only switched over after every packed node has been
+// written. On any failure the tree is left exactly as before (empty), with
+// the partially written pages returned to the free list for reuse, so a
+// caller can retry once the storage fault clears.
 func (t *Tree) BulkLoad(entries []Entry) error {
 	if t.size != 0 {
 		return errors.New("rtree: BulkLoad requires an empty tree")
@@ -26,6 +34,19 @@ func (t *Tree) BulkLoad(entries []Entry) error {
 	// later inserts need.
 	fill := t.max
 
+	// Everything below writes only to freshly allocated pages; abort
+	// reclaims them and restores the pre-load metadata.
+	var allocated []pagefile.PageID
+	prevRoot, prevHeight := t.root, t.height
+	abort := func(err error) error {
+		t.root, t.height, t.size = prevRoot, prevHeight, 0
+		t.free = append(t.free, allocated...)
+		// Best effort: the free list is a space optimization, the in-memory
+		// state above is what correctness needs.
+		_ = t.saveMeta()
+		return err
+	}
+
 	// Pack the data entries into leaves.
 	own := make([]Entry, len(entries))
 	for i, e := range entries {
@@ -35,11 +56,12 @@ func (t *Tree) BulkLoad(entries []Entry) error {
 	for _, chunk := range strTile(own, t.dim, fill) {
 		n, err := t.allocNode(true)
 		if err != nil {
-			return err
+			return abort(err)
 		}
+		allocated = append(allocated, n.pid)
 		n.entries = chunk
 		if err := t.storeNode(n); err != nil {
-			return err
+			return abort(err)
 		}
 		level = append(level, n)
 	}
@@ -55,11 +77,12 @@ func (t *Tree) BulkLoad(entries []Entry) error {
 		for _, chunk := range strTile(parentEntries, t.dim, fill) {
 			n, err := t.allocNode(false)
 			if err != nil {
-				return err
+				return abort(err)
 			}
+			allocated = append(allocated, n.pid)
 			n.entries = chunk
 			if err := t.storeNode(n); err != nil {
-				return err
+				return abort(err)
 			}
 			next = append(next, n)
 		}
@@ -69,7 +92,12 @@ func (t *Tree) BulkLoad(entries []Entry) error {
 	t.root = level[0].pid
 	t.height = height
 	t.size = len(entries)
-	return t.saveMeta()
+	if err := t.saveMeta(); err != nil {
+		return abort(err)
+	}
+	// The previous (empty) root page is no longer referenced.
+	t.free = append(t.free, prevRoot)
+	return nil
 }
 
 // strTile partitions entries into chunks of at most capacity entries using

@@ -59,3 +59,68 @@ func TestInsertSurvivesTransientFaults(t *testing.T) {
 		t.Errorf("search found %d entries, %d inserts succeeded", count, inserted)
 	}
 }
+
+// BulkLoad must be all-or-nothing: a storage fault at any point during the
+// STR build leaves the tree exactly as it was (empty, valid, and usable),
+// and a clean retry succeeds.
+func TestBulkLoadAbortsCleanly(t *testing.T) {
+	fb := pagefile.NewFaultBackend(pagefile.NewMemBackend(512), -1)
+	pool, err := pagefile.NewPool(fb, 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Create(pool, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	rng := rand.New(rand.NewSource(21))
+	entries := make([]Entry, 200)
+	for i := range entries {
+		entries[i] = Entry{Rect: NewPoint(randPoint(rng, 2)), Child: uint32(i)}
+	}
+	aborted := 0
+	success := false
+	for n := 0; n < 400 && !success; n++ {
+		fb.Arm(n)
+		err := tree.BulkLoad(entries)
+		fb.Disarm()
+		if err != nil {
+			if !errors.Is(err, pagefile.ErrInjected) {
+				t.Fatalf("injection %d: unexpected error: %v", n, err)
+			}
+			aborted++
+			if tree.Len() != 0 {
+				t.Fatalf("injection %d: aborted BulkLoad left %d entries", n, tree.Len())
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("injection %d: invariants after abort: %v", n, err)
+			}
+			continue
+		}
+		success = true
+	}
+	if aborted == 0 {
+		t.Skip("no fault fired; adjust schedule")
+	}
+	if !success {
+		t.Fatal("BulkLoad never succeeded within the injection schedule")
+	}
+	if tree.Len() != len(entries) {
+		t.Fatalf("Len = %d after successful retry, want %d", tree.Len(), len(entries))
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after successful retry: %v", err)
+	}
+	everything, _ := NewRect([]float64{-1, -1}, []float64{101, 101})
+	count := 0
+	if err := tree.Search(everything, func(_ Rect, _ uint32) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(entries) {
+		t.Fatalf("search found %d entries, want %d", count, len(entries))
+	}
+}

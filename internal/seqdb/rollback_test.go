@@ -1,0 +1,157 @@
+package seqdb
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pagefile"
+	"repro/internal/seq"
+)
+
+func TestRollbackLastReusesIDAndSpace(t *testing.T) {
+	db, err := NewMem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	a := seq.Sequence{1, 2, 3}
+	b := seq.Sequence{4, 5}
+	c := seq.Sequence{6, 7, 8, 9}
+	for _, s := range []seq.Sequence{a, b} {
+		if _, err := db.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bytesBefore := db.Bytes()
+	elemsBefore := db.TotalElements()
+	id, err := db.Append(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RollbackLast(id); err != nil {
+		t.Fatalf("RollbackLast: %v", err)
+	}
+	if db.Len() != 2 || db.NumRecords() != 2 {
+		t.Fatalf("Len=%d NumRecords=%d after rollback, want 2/2", db.Len(), db.NumRecords())
+	}
+	if db.Bytes() != bytesBefore {
+		t.Fatalf("Bytes = %d after rollback, want %d", db.Bytes(), bytesBefore)
+	}
+	if db.TotalElements() != elemsBefore {
+		t.Fatalf("TotalElements = %d after rollback, want %d", db.TotalElements(), elemsBefore)
+	}
+	if _, err := db.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(%d) after rollback: err = %v, want ErrNotFound", id, err)
+	}
+	// The next append must reuse both the ID and the heap space.
+	d := seq.Sequence{10, 11}
+	id2, err := db.Append(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("next Append got id %d, want reused id %d", id2, id)
+	}
+	got, err := db.Get(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(d) || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("Get(%d) = %v, want %v", id2, got, d)
+	}
+	// Earlier records are untouched.
+	if got, err := db.Get(0); err != nil || got[2] != 3 {
+		t.Fatalf("Get(0) = %v, %v", got, err)
+	}
+}
+
+func TestRollbackLastRejectsNonNewest(t *testing.T) {
+	db, err := NewMem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.RollbackLast(0); err == nil {
+		t.Fatal("RollbackLast on empty database succeeded")
+	}
+	if _, err := db.Append(seq.Sequence{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(seq.Sequence{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RollbackLast(0); err == nil {
+		t.Fatal("RollbackLast(0) succeeded with newest record 1")
+	}
+	if err := db.RollbackLast(1); err != nil {
+		t.Fatalf("RollbackLast(1): %v", err)
+	}
+}
+
+func TestRollbackLastRejectsDeleted(t *testing.T) {
+	db, err := NewMem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	id, err := db.Append(seq.Sequence{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RollbackLast(id); err == nil {
+		t.Fatal("RollbackLast succeeded on a tombstoned record")
+	}
+}
+
+// When the record's bytes cannot be read back (storage fault still active),
+// RollbackLast must fall back to tombstoning: the ID is burned but the
+// store/index agreement is restored.
+func TestRollbackLastTombstoneFallback(t *testing.T) {
+	var fb *pagefile.FaultBackend
+	db, err := NewMem(Options{
+		PageSize:  64, // tiny pages + tiny pool force evictions
+		PoolPages: 4,
+		WrapBackend: func(b pagefile.Backend) pagefile.Backend {
+			fb = pagefile.NewFaultBackend(b, -1)
+			return fb
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	long := make(seq.Sequence, 40) // spans more pages than the pool holds
+	for i := range long {
+		long[i] = float64(i)
+	}
+	id, err := db.Append(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.Arm(0) // every backend op now fails; the read-back cannot succeed
+	err = db.RollbackLast(id)
+	fb.Disarm()
+	if err != nil {
+		t.Fatalf("RollbackLast with failed read-back: %v", err)
+	}
+	if db.Len() != 0 {
+		t.Fatalf("Len = %d after fallback rollback, want 0", db.Len())
+	}
+	if db.NumRecords() != 1 {
+		t.Fatalf("NumRecords = %d, want 1 (ID burned, not truncated)", db.NumRecords())
+	}
+	if _, err := db.Get(id); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("Get(%d) = %v, want ErrDeleted", id, err)
+	}
+	// The database stays usable once the fault clears.
+	id2, err := db.Append(seq.Sequence{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id+1 {
+		t.Fatalf("next Append got id %d, want %d", id2, id+1)
+	}
+}

@@ -25,6 +25,10 @@ type Options struct {
 	PageSize int
 	// PoolPages is the buffer pool capacity in pages; 0 means 64.
 	PoolPages int
+	// WrapBackend, when non-nil, wraps the raw page backend before the
+	// buffer pool is built on it. Fault-injection tests use it to fail
+	// storage operations at chosen points.
+	WrapBackend func(pagefile.Backend) pagefile.Backend
 }
 
 func (o Options) withDefaults() Options {
@@ -66,7 +70,11 @@ type DB struct {
 // identical to the on-disk form, so I/O accounting stays meaningful.
 func NewMem(opts Options) (*DB, error) {
 	opts = opts.withDefaults()
-	pool, err := pagefile.NewPool(pagefile.NewMemBackend(opts.PageSize), opts.PageSize, opts.PoolPages)
+	var backend pagefile.Backend = pagefile.NewMemBackend(opts.PageSize)
+	if opts.WrapBackend != nil {
+		backend = opts.WrapBackend(backend)
+	}
+	pool, err := pagefile.NewPool(backend, opts.PageSize, opts.PoolPages)
 	if err != nil {
 		return nil, err
 	}
@@ -80,9 +88,13 @@ func Create(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	backend, err := pagefile.CreateFile(filepath.Join(dir, dataFile), opts.PageSize)
+	fb, err := pagefile.CreateFile(filepath.Join(dir, dataFile), opts.PageSize)
 	if err != nil {
 		return nil, err
+	}
+	var backend pagefile.Backend = fb
+	if opts.WrapBackend != nil {
+		backend = opts.WrapBackend(backend)
 	}
 	pool, err := pagefile.NewPool(backend, opts.PageSize, opts.PoolPages)
 	if err != nil {
@@ -100,12 +112,16 @@ func Create(dir string, opts Options) (*DB, error) {
 // Open opens an existing on-disk database.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
-	backend, err := pagefile.OpenFile(filepath.Join(dir, dataFile))
+	fb, err := pagefile.OpenFile(filepath.Join(dir, dataFile))
 	if err != nil {
 		return nil, err
 	}
-	if backend.PageSize() != opts.PageSize {
-		opts.PageSize = backend.PageSize()
+	if fb.PageSize() != opts.PageSize {
+		opts.PageSize = fb.PageSize()
+	}
+	var backend pagefile.Backend = fb
+	if opts.WrapBackend != nil {
+		backend = opts.WrapBackend(backend)
 	}
 	pool, err := pagefile.NewPool(backend, opts.PageSize, opts.PoolPages)
 	if err != nil {

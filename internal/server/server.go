@@ -108,10 +108,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	rs := s.db.LastRepair()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sequences":   s.db.Len(),
 		"data_bytes":  s.db.DataBytes(),
 		"index_pages": s.db.IndexPages(),
+		"repair": map[string]any{
+			"repaired":           rs.Repaired(),
+			"rebuilt":            rs.Rebuilt,
+			"orphans_reindexed":  rs.Orphans,
+			"dangling_removed":   rs.Dangling,
+			"mismatched_rekeyed": rs.Mismatched,
+		},
 	})
 }
 
@@ -340,6 +348,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}

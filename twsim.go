@@ -64,14 +64,20 @@ type Options struct {
 	Split SplitStrategy
 }
 
+// RepairStats summarizes the Open-time reconciliation between the sequence
+// heap and the feature index (see Open and Repair).
+type RepairStats = core.RepairStats
+
 // DB is a sequence database with the paper's 4-d feature index kept in sync
 // with the stored sequences. A DB is safe for concurrent readers; writers
 // require external serialization.
 type DB struct {
-	store *seqdb.DB
-	index *core.FeatureIndex
-	base  Base
-	dir   string // empty when in-memory
+	store  *seqdb.DB
+	index  *core.FeatureIndex
+	base   Base
+	dir    string // empty when in-memory
+	opts   Options
+	repair RepairStats
 }
 
 const indexFileName = "feature.rtree"
@@ -92,7 +98,7 @@ func OpenMem(opts Options) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, base: opts.Base}, nil
+	return &DB{store: store, index: index, base: opts.Base, opts: opts}, nil
 }
 
 // Create creates a new on-disk database in directory dir.
@@ -111,33 +117,106 @@ func Create(dir string, opts Options) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, base: opts.Base, dir: dir}, nil
+	return &DB{store: store, index: index, base: opts.Base, dir: dir, opts: opts}, nil
 }
 
 // Open opens an existing on-disk database.
+//
+// Open is self-healing: when the feature index and the sequence heap
+// disagree — an interrupted write left an orphaned heap record or a
+// dangling index entry — Open reconciles them by re-deriving feature
+// vectors from the live heap records and patching the index, and when the
+// index file is missing or unreadable it is rebuilt from scratch by
+// scanning the heap. The heap is the source of truth; the index is always
+// derivable from it. LastRepair reports what, if anything, was fixed.
 func Open(dir string, opts Options) (*DB, error) {
-	if _, err := os.Stat(filepath.Join(dir, indexFileName)); err != nil {
-		return nil, fmt.Errorf("twsim: %s does not contain a database: %w", dir, err)
-	}
 	store, err := seqdb.Open(dir, seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("twsim: %s does not contain a database: %w", dir, err)
 	}
+	db := &DB{store: store, base: opts.Base, dir: dir, opts: opts}
 	index, err := core.OpenFeatureIndex(filepath.Join(dir, indexFileName), core.IndexOptions{
 		PoolPages: opts.PoolPages,
 		Split:     opts.Split,
 	})
 	if err != nil {
-		store.Close()
-		return nil, err
+		// Unopenable (missing, truncated, corrupt, wrong dimension):
+		// rebuild it from the heap.
+		if err := db.rebuildIndex(); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("twsim: rebuilding index: %w", err)
+		}
+		if err := db.Flush(); err != nil {
+			db.Close()
+			return nil, err
+		}
+		return db, nil
 	}
+	db.index = index
 	if index.Len() != store.Len() {
-		index.Close()
-		store.Close()
-		return nil, fmt.Errorf("twsim: index holds %d entries but store holds %d sequences",
-			index.Len(), store.Len())
+		if _, err := db.Repair(); err != nil {
+			db.Close()
+			return nil, err
+		}
+		if err := db.Flush(); err != nil {
+			db.Close()
+			return nil, err
+		}
 	}
-	return &DB{store: store, index: index, base: opts.Base, dir: dir}, nil
+	return db, nil
+}
+
+// rebuildIndex replaces db.index with one bulk-loaded from the live heap
+// records (removing the old on-disk index file first, when there is one),
+// recording the repair in db.repair. The previous index, if any, must
+// already be closed.
+func (db *DB) rebuildIndex() error {
+	path := ""
+	if db.dir != "" {
+		path = filepath.Join(db.dir, indexFileName)
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	index, rs, err := core.RebuildIndex(db.store, core.IndexOptions{
+		PageSize:   db.opts.PageSize,
+		PoolPages:  db.opts.PoolPages,
+		Split:      db.opts.Split,
+		OnDiskPath: path,
+	})
+	if err != nil {
+		return err
+	}
+	db.index = index
+	db.repair = rs
+	return nil
+}
+
+// LastRepair returns the statistics of the reconciliation Open (or Repair)
+// performed. The zero value means the database opened consistent.
+func (db *DB) LastRepair() RepairStats { return db.repair }
+
+// Repair reconciles the feature index with the live heap records on demand
+// — the fsck-and-fix counterpart to Verify, usable on any database (not
+// just at Open time). When the index structure is intact it is patched in
+// place (orphans re-indexed, dangling entries removed); when it is damaged
+// beyond entry-level patching the index is rebuilt from the heap, which is
+// always possible because the heap is the source of truth. It returns what
+// it had to change.
+func (db *DB) Repair() (RepairStats, error) {
+	if db.index.CheckInvariants() == nil {
+		rs, err := core.Reconcile(db.store, db.index)
+		if err == nil {
+			db.repair = rs
+			return rs, nil
+		}
+	}
+	// Structure damaged (or patching failed): rebuild from scratch.
+	db.index.Close()
+	if err := db.rebuildIndex(); err != nil {
+		return db.repair, fmt.Errorf("twsim: rebuilding index: %w", err)
+	}
+	return db.repair, nil
 }
 
 // Base returns the configured base distance.
@@ -148,6 +227,10 @@ func (db *DB) Len() int { return db.store.Len() }
 
 // Add stores a sequence and indexes its feature vector, returning its ID.
 // Empty sequences are rejected.
+//
+// Add is atomic: when indexing fails after the heap append succeeded, the
+// append is rolled back before the error is returned, so the store and the
+// index never diverge and the failed Add can simply be retried.
 func (db *DB) Add(values []float64) (ID, error) {
 	s := seq.Sequence(values)
 	id, err := db.store.Append(s)
@@ -155,7 +238,10 @@ func (db *DB) Add(values []float64) (ID, error) {
 		return seq.InvalidID, err
 	}
 	if err := db.index.Insert(id, s); err != nil {
-		return seq.InvalidID, fmt.Errorf("twsim: sequence %d stored but not indexed: %w", id, err)
+		if rbErr := db.store.RollbackLast(id); rbErr != nil {
+			return seq.InvalidID, fmt.Errorf("twsim: sequence %d not indexed (%w) and not rolled back: %v", id, err, rbErr)
+		}
+		return seq.InvalidID, fmt.Errorf("twsim: sequence %d not indexed (rolled back): %w", id, err)
 	}
 	return id, nil
 }
@@ -163,41 +249,75 @@ func (db *DB) Add(values []float64) (ID, error) {
 // AddAll stores a batch of sequences; when the database is empty the index
 // is STR bulk-loaded, which is substantially faster than repeated Add
 // (§4.3.1). Returns the ID of the first added sequence.
+//
+// AddAll is all-or-nothing: on a mid-batch failure every sequence of the
+// batch that was already appended is rolled back (and its index entry, if
+// any, removed) before the error is returned. Either the whole batch is
+// stored and indexed or the database is left as it was.
 func (db *DB) AddAll(values [][]float64) (ID, error) {
 	if len(values) == 0 {
 		return seq.InvalidID, errors.New("twsim: AddAll of empty batch")
 	}
-	if db.store.Len() > 0 {
-		first, err := db.Add(values[0])
-		if err != nil {
-			return seq.InvalidID, err
+	appended := make([]ID, 0, len(values))
+	indexed := make([]seq.Sequence, 0, len(values)) // sequences with index entries
+	// rollback undoes the partial batch in reverse append order; storage
+	// errors during rollback are secondary — Open-time reconciliation
+	// covers whatever best effort could not.
+	rollback := func() {
+		for i := len(appended) - 1; i >= 0; i-- {
+			if i < len(indexed) {
+				_, _ = db.index.Delete(appended[i], indexed[i])
+			}
+			_ = db.store.RollbackLast(appended[i])
 		}
-		for _, v := range values[1:] {
-			if _, err := db.Add(v); err != nil {
+		if db.index.Len() != db.store.Len() {
+			// An index delete failed too (the storage fault that aborted
+			// the batch is likely still active). Fall back to rebuilding
+			// the index from the heap, which is the source of truth; if
+			// even that fails the divergence is caught at the next Open.
+			_, _ = db.Repair()
+		}
+	}
+	if db.store.Len() > 0 {
+		for _, v := range values {
+			s := seq.Sequence(v)
+			id, err := db.store.Append(s)
+			if err != nil {
+				rollback()
 				return seq.InvalidID, err
 			}
+			appended = append(appended, id)
+			if err := db.index.Insert(id, s); err != nil {
+				rollback()
+				return seq.InvalidID, fmt.Errorf("twsim: batch aborted at sequence %d: %w", len(appended)-1, err)
+			}
+			indexed = append(indexed, s)
 		}
-		return first, nil
+		return appended[0], nil
 	}
-	ids := make([]ID, 0, len(values))
 	features := make([]seq.Feature, 0, len(values))
 	for _, v := range values {
 		s := seq.Sequence(v)
-		id, err := db.store.Append(s)
-		if err != nil {
-			return seq.InvalidID, err
-		}
 		f, err := seq.ExtractFeature(s)
 		if err != nil {
+			rollback()
 			return seq.InvalidID, err
 		}
-		ids = append(ids, id)
+		id, err := db.store.Append(s)
+		if err != nil {
+			rollback()
+			return seq.InvalidID, err
+		}
+		appended = append(appended, id)
 		features = append(features, f)
 	}
-	if err := db.index.BulkLoad(ids, features); err != nil {
+	// BulkLoad is internally atomic: on failure the index is still empty
+	// and only the heap appends need undoing.
+	if err := db.index.BulkLoad(appended, features); err != nil {
+		rollback()
 		return seq.InvalidID, err
 	}
-	return ids[0], nil
+	return appended[0], nil
 }
 
 // Remove deletes a stored sequence: its index entry is removed and the
