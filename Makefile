@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race
+.PHONY: ci fmt vet build test race bench-shards bench-shards-smoke
 
-# Full gate: formatting, static checks, build, and the whole test suite
-# (including the fault-injection recovery tests) under the race detector.
-ci: fmt vet build race
+# Full gate: formatting, static checks, build, the whole test suite
+# (including the fault-injection recovery tests) under the race detector,
+# and a short sharded-engine benchmark smoke.
+ci: fmt vet build race bench-shards-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -23,3 +24,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Sharded query engine throughput at 1/4/GOMAXPROCS shards on the synthetic
+# random-walk workload; writes BENCH_shard.json.
+bench-shards:
+	$(GO) run ./cmd/benchshards
+
+# Tiny workload, no output file: proves the harness runs end to end.
+bench-shards-smoke:
+	$(GO) run ./cmd/benchshards -smoke >/dev/null

@@ -1,0 +1,93 @@
+package twsim
+
+import (
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// Backend is the operation surface shared by the single-database engine
+// (*DB) and the sharded engine (*ShardedDB). Servers and tools written
+// against Backend run unchanged on either — and it is the seam a future
+// multi-node engine will slot into.
+//
+// Concurrency: *ShardedDB is safe for fully concurrent use (writers are
+// serialized per shard internally). *DB follows the library rule — safe
+// for concurrent readers, writers need external serialization — so callers
+// mixing writers must wrap it (internal/server does).
+type Backend interface {
+	// Add stores one sequence and returns its ID.
+	Add(values []float64) (ID, error)
+	// AddBatch stores a batch and returns every assigned ID in input
+	// order. Unlike DB.AddAll, the IDs are not promised to be consecutive:
+	// a sharded backend interleaves them across shards.
+	AddBatch(values [][]float64) ([]ID, error)
+	// Remove deletes a sequence, reporting whether it was present.
+	Remove(id ID) (bool, error)
+	// Get fetches a stored sequence.
+	Get(id ID) ([]float64, error)
+	// Search runs the paper's range similarity query.
+	Search(query []float64, epsilon float64) (*Result, error)
+	// NearestK runs the exact k-NN extension.
+	NearestK(query []float64, k int) ([]Match, error)
+	// SearchBatch runs many range queries concurrently.
+	SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error)
+	// Len returns the number of live sequences.
+	Len() int
+	// DataBytes returns the logical size of the stored data.
+	DataBytes() int64
+	// IndexPages returns the feature index size in pages.
+	IndexPages() int
+	// LastRepair reports what the Open-time reconciliation fixed.
+	LastRepair() RepairStats
+	// Verify runs the full heap/index integrity check.
+	Verify() error
+	// Flush persists all state.
+	Flush() error
+	// Close flushes and releases the database.
+	Close() error
+}
+
+var (
+	_ Backend = (*DB)(nil)
+	_ Backend = (*ShardedDB)(nil)
+)
+
+// AddBatch stores a batch of sequences and returns the assigned IDs in
+// input order — the Backend form of AddAll (which see for atomicity). For
+// a single database the IDs are consecutive.
+func (db *DB) AddBatch(values [][]float64) ([]ID, error) {
+	first, err := db.AddAll(values)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]ID, len(values))
+	for i := range ids {
+		ids[i] = first + ID(i)
+	}
+	return ids, nil
+}
+
+// SharedBound is a cross-partition pruning bound for concurrent k-NN
+// searches over disjoint partitions of one logical database; see
+// DB.NearestKShared. The sharded engine wires one through every fan-out
+// automatically — constructing one by hand is only needed when composing
+// partitions manually.
+type SharedBound = core.SharedBound
+
+// NewSharedBound returns a SharedBound initialized to +Inf.
+func NewSharedBound() *SharedBound { return core.NewSharedBound() }
+
+// NearestKShared is NearestK with an optional shared pruning bound: when
+// several databases partition one logical data set, concurrent per-
+// partition searches publishing into one SharedBound prune each other, and
+// the merged, re-sorted, truncated-to-k union of their results equals the
+// unpartitioned answer. A nil bound makes it identical to NearestK. The
+// returned matches are the walk's survivors (at most k, ascending); under
+// a shared bound they need not be this partition's own true top-k.
+func (db *DB) NearestKShared(query []float64, k int, bound *SharedBound) ([]Match, error) {
+	if len(query) == 0 {
+		return nil, seq.ErrEmpty
+	}
+	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
+	return m.NearestKShared(seq.Sequence(query), k, bound)
+}

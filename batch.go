@@ -31,6 +31,11 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 		mu       sync.Mutex
 		firstErr error
 	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
 	work := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
@@ -38,6 +43,9 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 			defer wg.Done()
 			m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
 			for i := range work {
+				if failed() {
+					continue // drain: the batch is already doomed
+				}
 				res, err := m.Search(seq.Sequence(queries[i]), epsilon)
 				if err != nil {
 					mu.Lock()
@@ -51,7 +59,12 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 			}
 		}()
 	}
+	// Stop dispatching as soon as any worker records an error, so a bad
+	// batch aborts promptly instead of running every remaining query.
 	for i := range queries {
+		if failed() {
+			break
+		}
 		work <- i
 	}
 	close(work)

@@ -3,9 +3,19 @@
 //
 // Usage:
 //
-//	twsimd -db /var/lib/twsim -addr :7474          # open existing database
-//	twsimd -db /var/lib/twsim -create -addr :7474  # create a fresh one
-//	twsimd -mem -addr :7474                        # ephemeral in-memory db
+//	twsimd -db /var/lib/twsim -addr :7474            # open existing database
+//	twsimd -db /var/lib/twsim -create -addr :7474    # create a fresh one
+//	twsimd -mem -addr :7474                          # ephemeral in-memory db
+//	twsimd -db /var/lib/twsim -create -shards 8      # create hash-partitioned
+//	twsimd -mem -shards 4                            # in-memory, 4 shards
+//
+// -shards N creates a sharded database: N independent partitions searched
+// in parallel, with writers serialized per shard instead of globally. The
+// shard count is fixed at creation and recorded in the database directory;
+// when opening an existing database the flag may be omitted (the layout is
+// auto-detected) but must match if given. A rule of thumb for choosing N:
+// the number of cores you want one query's DTW verification to use (see
+// the README's sharding section).
 //
 // Shut down with SIGINT/SIGTERM; the database is flushed on exit.
 package main
@@ -32,22 +42,34 @@ func main() {
 		addr   = flag.String("addr", ":7474", "listen address")
 		create = flag.Bool("create", false, "create the database if it does not exist")
 		mem    = flag.Bool("mem", false, "serve an ephemeral in-memory database")
+		shards = flag.Int("shards", 0, "shard count for -create/-mem (0 = unsharded); on open, must match the existing layout")
 		verify = flag.Bool("verify", false, "run a full heap/index integrity check before serving")
 	)
 	flag.Parse()
 
-	var db *twsim.DB
+	var db twsim.Backend
+	var single *twsim.DB // non-nil when serving an unsharded database
 	var err error
+	sharded := twsim.ShardedOptions{Shards: *shards}
 	switch {
+	case *mem && *shards > 0:
+		db, err = twsim.OpenMemSharded(sharded)
 	case *mem:
-		db, err = twsim.OpenMem(twsim.Options{})
+		single, err = twsim.OpenMem(twsim.Options{})
 	case *dbDir == "":
 		fmt.Fprintln(os.Stderr, "twsimd: provide -db <dir> or -mem")
 		os.Exit(2)
+	case *create && *shards > 0:
+		db, err = twsim.CreateSharded(*dbDir, sharded)
 	case *create:
-		db, err = twsim.Create(*dbDir, twsim.Options{})
+		single, err = twsim.Create(*dbDir, twsim.Options{})
+	case *shards > 0 || twsim.IsSharded(*dbDir):
+		db, err = twsim.OpenSharded(*dbDir, sharded)
 	default:
-		db, err = twsim.Open(*dbDir, twsim.Options{})
+		single, err = twsim.Open(*dbDir, twsim.Options{})
+	}
+	if single != nil {
+		db = single
 	}
 	if err != nil {
 		log.Fatalf("twsimd: opening database: %v", err)
@@ -62,7 +84,7 @@ func main() {
 		log.Printf("twsimd: integrity check passed (%d sequences)", db.Len())
 	}
 
-	srv := server.New(db)
+	srv := server.NewBackend(db)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -81,7 +103,11 @@ func main() {
 		}
 	}()
 
-	log.Printf("twsimd: serving %d sequences on %s", db.Len(), *addr)
+	if sdb, ok := db.(*twsim.ShardedDB); ok {
+		log.Printf("twsimd: serving %d sequences across %d shards on %s", db.Len(), sdb.NumShards(), *addr)
+	} else {
+		log.Printf("twsimd: serving %d sequences on %s", db.Len(), *addr)
+	}
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("twsimd: %v", err)
 	}

@@ -51,4 +51,17 @@
 // Searches additionally skip index entries whose heap record is missing,
 // so a not-yet-repaired database degrades to extra filtering work rather
 // than failed or incorrect queries.
+//
+// # Sharding
+//
+// ShardedDB hash-partitions a database into N shards, each a complete DB
+// (own heap file, R-tree, and buffer pool), and fans every query out over
+// all of them in parallel, merging the per-shard results into the same
+// answer a single DB would return. Sequence IDs encode their shard
+// (ShardID(id) = id mod N), writers lock only their target shard, and
+// k-nearest-neighbor fan-out shares an atomic best-k bound across shards
+// so each prunes with the globally tightest cutoff. Both DB and ShardedDB
+// satisfy the Backend interface; CreateSharded, OpenSharded, and
+// OpenMemSharded mirror the single-database constructors, with per-shard
+// crash reconciliation on open.
 package twsim

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// SharedBound is a monotonically non-increasing distance bound shared by
+// concurrent k-NN walks over disjoint partitions of one database. Each
+// partition publishes its local k-th-best exact distance as it improves;
+// every partition prunes its index walk against the minimum published so
+// far. Soundness: the global k-th-best distance is at most the local
+// k-th-best of any partition (the partition's own top-k are candidates for
+// the global top-k), so a candidate whose lower bound exceeds the shared
+// value can never enter the merged result.
+type SharedBound struct {
+	bits atomic.Uint64 // math.Float64bits of the current bound
+}
+
+// NewSharedBound returns a bound initialized to +Inf (nothing published).
+func NewSharedBound() *SharedBound {
+	b := &SharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Load returns the smallest distance published so far (+Inf if none).
+func (b *SharedBound) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Update lowers the bound to d if d is smaller than the current value.
+func (b *SharedBound) Update(d float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= d {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(d)) {
+			return
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"sort"
 	"time"
 
@@ -185,6 +186,18 @@ func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 // stream from the index in lower-bound order and refinement stops once the
 // next lower bound exceeds the current k-th best exact distance.
 func (t *TWSimSearch) NearestK(q seq.Sequence, k int) ([]Match, error) {
+	return t.NearestKShared(q, k, nil)
+}
+
+// NearestKShared is NearestK with an optional cross-partition pruning bound
+// (see SharedBound). The walk stops as soon as the next lower bound exceeds
+// the tighter of the local k-th-best distance and the shared bound, and the
+// local k-th-best is published to the shared bound as it improves, so
+// concurrent walks over disjoint shards prune one another. With a nil bound
+// this is exactly NearestK. The returned matches are the walk's survivors
+// (at most k, ascending); under a shared bound they are a superset-filter
+// for the merged top-k, not necessarily the partition's own true top-k.
+func (t *TWSimSearch) NearestKShared(q seq.Sequence, k int, shared *SharedBound) ([]Match, error) {
 	fq, err := seq.ExtractFeature(q)
 	if err != nil {
 		return nil, err
@@ -195,8 +208,17 @@ func (t *TWSimSearch) NearestK(q seq.Sequence, k int) ([]Match, error) {
 	var best []Match // sorted ascending by Dist
 	var walkErr error
 	err = t.Index.NearestWalk(fq, func(id seq.ID, lb float64) bool {
-		if len(best) == k && lb > best[k-1].Dist {
-			return false // every later candidate has Dtw >= lb > k-th best
+		cutoff := math.Inf(1)
+		if len(best) == k {
+			cutoff = best[k-1].Dist
+		}
+		if shared != nil {
+			if g := shared.Load(); g < cutoff {
+				cutoff = g
+			}
+		}
+		if lb > cutoff {
+			return false // every later candidate has Dtw >= lb > cutoff
 		}
 		s, err := t.DB.Get(id)
 		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
@@ -207,19 +229,22 @@ func (t *TWSimSearch) NearestK(q seq.Sequence, k int) ([]Match, error) {
 			return false
 		}
 		var d float64
-		if len(best) == k {
+		if math.IsInf(cutoff, 1) {
+			d = dtw.Distance(s, q, t.Base)
+		} else {
 			var ok bool
-			d, ok = dtw.DistanceWithin(s, q, t.Base, best[k-1].Dist)
+			d, ok = dtw.DistanceWithin(s, q, t.Base, cutoff)
 			if !ok {
 				return true
 			}
-		} else {
-			d = dtw.Distance(s, q, t.Base)
 		}
 		best = append(best, Match{ID: id, Dist: d})
 		sortMatches(best)
 		if len(best) > k {
 			best = best[:k]
+		}
+		if shared != nil && len(best) == k {
+			shared.Update(best[k-1].Dist)
 		}
 		return true
 	})

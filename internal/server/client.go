@@ -89,7 +89,9 @@ func (c *Client) Add(values []float64) (uint32, error) {
 	return out.ID, err
 }
 
-// AddBatch stores many sequences, returning the first assigned ID.
+// AddBatch stores many sequences, returning the first assigned ID. Against
+// a sharded server the assigned IDs are not consecutive — use AddBatchIDs
+// to learn all of them.
 func (c *Client) AddBatch(sequences [][]float64) (uint32, error) {
 	var out struct {
 		FirstID uint32 `json:"first_id"`
@@ -97,6 +99,17 @@ func (c *Client) AddBatch(sequences [][]float64) (uint32, error) {
 	err := c.do(http.MethodPost, "/sequences/batch",
 		map[string]any{"sequences": sequences}, &out)
 	return out.FirstID, err
+}
+
+// AddBatchIDs stores many sequences, returning every assigned ID in input
+// order (sharded servers interleave IDs across shards).
+func (c *Client) AddBatchIDs(sequences [][]float64) ([]uint32, error) {
+	var out struct {
+		IDs []uint32 `json:"ids"`
+	}
+	err := c.do(http.MethodPost, "/sequences/batch",
+		map[string]any{"sequences": sequences}, &out)
+	return out.IDs, err
 }
 
 // Get fetches a stored sequence.

@@ -5,7 +5,7 @@
 //	GET    /healthz                       liveness probe
 //	GET    /stats                         database statistics
 //	POST   /sequences                     {"values": [...]} -> {"id": n}
-//	POST   /sequences/batch               {"sequences": [[...], ...]} -> {"first_id": n, "count": k}
+//	POST   /sequences/batch               {"sequences": [[...], ...]} -> {"first_id": n, "count": k, "ids": [...]}
 //	GET    /sequences/{id}                -> {"id": n, "values": [...]}
 //	DELETE /sequences/{id}                -> {"removed": bool}
 //	POST   /search                        {"query": [...], "epsilon": e} -> matches + stats
@@ -13,9 +13,14 @@
 //	POST   /subseq/build                  {"window_lens": [...], "step": n} -> {"windows": n}
 //	POST   /subseq/search                 {"query": [...], "epsilon": e} -> window matches
 //
-// Writes (POST/DELETE on sequences) are serialized; searches run
-// concurrently. Every error returns JSON {"error": "..."} with an
-// appropriate status code.
+// The server runs against any twsim.Backend. With a single *twsim.DB the
+// write path is serialized behind one lock (the library's concurrency
+// rule); with a *twsim.ShardedDB writes lock per shard inside the engine,
+// so POSTs to different shards proceed concurrently, and /stats adds a
+// per-shard breakdown ("shards": [{id, sequences, pages, repair}, ...])
+// for spotting skew. The subsequence endpoints require a single-database
+// backend and answer 501 otherwise. Every error returns JSON
+// {"error": "..."} with an appropriate status code.
 package server
 
 import (
@@ -35,18 +40,127 @@ import (
 // exhausting memory (16 MiB ≈ a 2M-element sequence).
 const MaxBodyBytes = 16 << 20
 
-// Server is an http.Handler serving one twsim.DB.
+// Server is an http.Handler serving one twsim.Backend.
 type Server struct {
-	mu     sync.RWMutex // writers: Add/Remove; readers: everything else
+	backend twsim.Backend
+	// db and locked are non-nil only for single-database backends: db
+	// powers the subsequence endpoints, locked is the write serialization
+	// wrapped around it (a ShardedDB synchronizes internally instead).
 	db     *twsim.DB
+	locked *lockedDB
+	smu    sync.RWMutex       // guards subseq
 	subseq *twsim.SubseqIndex // built on demand via /subseq/build
 	mux    *http.ServeMux
 }
 
-// New wraps db in a Server. The Server assumes ownership of queries but
-// not of the database lifecycle: callers still Close the db.
-func New(db *twsim.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+// lockedDB adapts a *twsim.DB to the Backend concurrency contract the
+// server relies on: readers share, writers exclude everything.
+type lockedDB struct {
+	mu sync.RWMutex
+	db *twsim.DB
+}
+
+func (l *lockedDB) Add(values []float64) (twsim.ID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.db.Add(values)
+}
+
+func (l *lockedDB) AddBatch(values [][]float64) ([]twsim.ID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.db.AddBatch(values)
+}
+
+func (l *lockedDB) Remove(id twsim.ID) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.db.Remove(id)
+}
+
+func (l *lockedDB) Get(id twsim.ID) ([]float64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.Get(id)
+}
+
+func (l *lockedDB) Search(query []float64, epsilon float64) (*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.Search(query, epsilon)
+}
+
+func (l *lockedDB) NearestK(query []float64, k int) ([]twsim.Match, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.NearestK(query, k)
+}
+
+func (l *lockedDB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.SearchBatch(queries, epsilon, parallelism)
+}
+
+func (l *lockedDB) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.Len()
+}
+
+func (l *lockedDB) DataBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.DataBytes()
+}
+
+func (l *lockedDB) IndexPages() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.IndexPages()
+}
+
+func (l *lockedDB) LastRepair() twsim.RepairStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.LastRepair()
+}
+
+func (l *lockedDB) Verify() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.Verify()
+}
+
+func (l *lockedDB) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.db.Flush()
+}
+
+func (l *lockedDB) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.db.Close()
+}
+
+// New wraps a single database in a Server, serializing its writers behind
+// one lock. The Server assumes ownership of queries but not of the
+// database lifecycle: callers still Close the db.
+func New(db *twsim.DB) *Server { return NewBackend(db) }
+
+// NewBackend wraps any Backend in a Server. A bare *twsim.DB is
+// automatically wrapped for write serialization (it is not safe for
+// concurrent writers on its own); every other backend — notably
+// *twsim.ShardedDB, which locks per shard — is trusted to synchronize
+// itself, so concurrent writes flow through untouched.
+func NewBackend(b twsim.Backend) *Server {
+	s := &Server{backend: b, mux: http.NewServeMux()}
+	if db, ok := b.(*twsim.DB); ok {
+		s.db = db
+		s.locked = &lockedDB{db: db}
+		s.backend = s.locked
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/sequences", s.handleSequences)
@@ -101,26 +215,44 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func repairJSON(rs twsim.RepairStats) map[string]any {
+	return map[string]any{
+		"repaired":           rs.Repaired(),
+		"rebuilt":            rs.Rebuilt,
+		"orphans_reindexed":  rs.Orphans,
+		"dangling_removed":   rs.Dangling,
+		"mismatched_rekeyed": rs.Mismatched,
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		methodNotAllowed(w)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rs := s.db.LastRepair()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"sequences":   s.db.Len(),
-		"data_bytes":  s.db.DataBytes(),
-		"index_pages": s.db.IndexPages(),
-		"repair": map[string]any{
-			"repaired":           rs.Repaired(),
-			"rebuilt":            rs.Rebuilt,
-			"orphans_reindexed":  rs.Orphans,
-			"dangling_removed":   rs.Dangling,
-			"mismatched_rekeyed": rs.Mismatched,
-		},
-	})
+	out := map[string]any{
+		"sequences":   s.backend.Len(),
+		"data_bytes":  s.backend.DataBytes(),
+		"index_pages": s.backend.IndexPages(),
+		"repair":      repairJSON(s.backend.LastRepair()),
+	}
+	// Sharded backends additionally report a per-shard breakdown so
+	// operators can spot skew; the single-DB shape stays flat.
+	if sb, ok := s.backend.(interface{ ShardStats() []twsim.ShardStat }); ok {
+		stats := sb.ShardStats()
+		shards := make([]map[string]any, len(stats))
+		for i, st := range stats {
+			shards[i] = map[string]any{
+				"id":         st.ID,
+				"sequences":  st.Sequences,
+				"data_bytes": st.DataBytes,
+				"pages":      st.IndexPages,
+				"repair":     repairJSON(st.Repair),
+			}
+		}
+		out["shards"] = shards
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSequences(w http.ResponseWriter, r *http.Request) {
@@ -134,9 +266,7 @@ func (s *Server) handleSequences(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	id, err := s.db.Add(req.Values)
-	s.mu.Unlock()
+	id, err := s.backend.Add(req.Values)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -155,16 +285,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	first, err := s.db.AddAll(req.Sequences)
-	s.mu.Unlock()
+	ids, err := s.backend.AddBatch(req.Sequences)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	wireIDs := make([]uint32, len(ids))
+	for i, id := range ids {
+		wireIDs[i] = uint32(id)
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"first_id": uint32(first),
-		"count":    len(req.Sequences),
+		"first_id": wireIDs[0],
+		"count":    len(ids),
+		"ids":      wireIDs,
 	})
 }
 
@@ -182,18 +315,14 @@ func (s *Server) handleSequenceByID(w http.ResponseWriter, r *http.Request) {
 	id := twsim.ID(id64)
 	switch r.Method {
 	case http.MethodGet:
-		s.mu.RLock()
-		values, err := s.db.Get(id)
-		s.mu.RUnlock()
+		values, err := s.backend.Get(id)
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"id": uint32(id), "values": values})
 	case http.MethodDelete:
-		s.mu.Lock()
-		removed, err := s.db.Remove(id)
-		s.mu.Unlock()
+		removed, err := s.backend.Remove(id)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -216,9 +345,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.RLock()
-	res, err := s.db.Search(req.Query, req.Epsilon)
-	s.mu.RUnlock()
+	res, err := s.backend.Search(req.Query, req.Epsilon)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -242,9 +369,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("k must be non-negative"))
 		return
 	}
-	s.mu.RLock()
-	matches, err := s.db.NearestK(req.Query, req.K)
-	s.mu.RUnlock()
+	matches, err := s.backend.NearestK(req.Query, req.K)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -261,6 +386,11 @@ func (s *Server) handleSubseqBuild(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w)
 		return
 	}
+	if s.db == nil {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("subsequence indexing requires a single-database backend"))
+		return
+	}
 	var req struct {
 		WindowLens []int `json:"window_lens"`
 		Step       int   `json:"step"`
@@ -268,23 +398,32 @@ func (s *Server) handleSubseqBuild(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// The build scans the heap, so writers are excluded for its duration;
+	// concurrent searches may proceed.
+	s.locked.mu.RLock()
 	idx, err := s.db.BuildSubseqIndex(req.WindowLens, req.Step)
+	s.locked.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.smu.Lock()
 	if s.subseq != nil {
 		s.subseq.Close()
 	}
 	s.subseq = idx
+	s.smu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]int{"windows": idx.NumWindows()})
 }
 
 func (s *Server) handleSubseqSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodNotAllowed(w)
+		return
+	}
+	if s.db == nil {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("subsequence search requires a single-database backend"))
 		return
 	}
 	var req struct {
@@ -294,15 +433,20 @@ func (s *Server) handleSubseqSearch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.RLock()
+	s.smu.RLock()
 	idx := s.subseq
 	if idx == nil {
-		s.mu.RUnlock()
+		s.smu.RUnlock()
 		writeError(w, http.StatusConflict, errors.New("no subsequence index built; POST /subseq/build first"))
 		return
 	}
+	// The subsequence index reads the parent heap, so exclude writers
+	// while the query runs (and hold smu so a concurrent /subseq/build
+	// cannot close idx mid-search).
+	s.locked.mu.RLock()
 	res, err := idx.Search(req.Query, req.Epsilon)
-	s.mu.RUnlock()
+	s.locked.mu.RUnlock()
+	s.smu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -316,8 +460,8 @@ func (s *Server) handleSubseqSearch(w http.ResponseWriter, r *http.Request) {
 
 // Close releases server-held resources (the subsequence index, if built).
 func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.smu.Lock()
+	defer s.smu.Unlock()
 	if s.subseq != nil {
 		err := s.subseq.Close()
 		s.subseq = nil

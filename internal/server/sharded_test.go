@@ -1,0 +1,228 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	twsim "repro"
+)
+
+func newShardedTestServer(t *testing.T, shards int) (*twsim.ShardedDB, *Client, *httptest.Server) {
+	t.Helper()
+	db, err := twsim.OpenMemSharded(twsim.ShardedOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewBackend(db)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		db.Close()
+	})
+	return db, NewClient(ts.URL, ts.Client()), ts
+}
+
+func shardedWalks(seed int64, count, minLen, maxLen int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, count)
+	for i := range out {
+		n := minLen + rng.Intn(maxLen-minLen+1)
+		s := make([]float64, n)
+		s[0] = rng.Float64() * 10
+		for j := 1; j < n; j++ {
+			s[j] = s[j-1] + rng.Float64()*0.4 - 0.2
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestShardedServerRoundTrip drives the unchanged JSON API against a
+// sharded backend: batch insert (interleaved IDs), point get, search and
+// knn agreeing with direct library calls, and delete.
+func TestShardedServerRoundTrip(t *testing.T) {
+	db, c, _ := newShardedTestServer(t, 4)
+	data := shardedWalks(11, 50, 10, 30)
+	ids, err := c.AddBatchIDs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(data) {
+		t.Fatalf("AddBatchIDs returned %d ids for %d sequences", len(ids), len(data))
+	}
+	for i, id := range ids {
+		values, err := c.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", id, err)
+		}
+		if len(values) != len(data[i]) {
+			t.Fatalf("sequence %d: got %d values, want %d", i, len(values), len(data[i]))
+		}
+	}
+	q := data[7]
+	res, err := c.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Search(q, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != len(want.Matches) {
+		t.Fatalf("HTTP search %d matches, library %d", len(res.Matches), len(want.Matches))
+	}
+	for i, m := range res.Matches {
+		if twsim.ID(m.ID) != want.Matches[i].ID || m.Dist != want.Matches[i].Dist {
+			t.Fatalf("match %d differs: wire (%d, %g), library (%d, %g)",
+				i, m.ID, m.Dist, want.Matches[i].ID, want.Matches[i].Dist)
+		}
+	}
+	knn, err := c.NearestK(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(knn) != 3 {
+		t.Fatalf("knn returned %d matches", len(knn))
+	}
+	removed, err := c.Remove(ids[0])
+	if err != nil || !removed {
+		t.Fatalf("Remove = %v, %v", removed, err)
+	}
+	if _, err := c.Get(ids[0]); err == nil {
+		t.Fatal("removed sequence still fetchable over HTTP")
+	}
+}
+
+// TestShardedServerStats: /stats keeps the aggregate fields and adds the
+// per-shard breakdown; the flat single-DB shape must stay shard-free.
+func TestShardedServerStats(t *testing.T) {
+	db, c, ts := newShardedTestServer(t, 3)
+	data := shardedWalks(5, 31, 8, 16)
+	if _, err := c.AddBatchIDs(data); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Sequences int `json:"sequences"`
+		Shards    []struct {
+			ID        int `json:"id"`
+			Sequences int `json:"sequences"`
+			Pages     int `json:"pages"`
+			Repair    struct {
+				Repaired bool `json:"repaired"`
+			} `json:"repair"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sequences != len(data) {
+		t.Fatalf("stats.sequences = %d, want %d", stats.Sequences, len(data))
+	}
+	if len(stats.Shards) != db.NumShards() {
+		t.Fatalf("stats lists %d shards, want %d", len(stats.Shards), db.NumShards())
+	}
+	total := 0
+	for i, sh := range stats.Shards {
+		if sh.ID != i {
+			t.Fatalf("shard %d reported id %d", i, sh.ID)
+		}
+		if sh.Pages == 0 {
+			t.Fatalf("shard %d reports zero index pages", i)
+		}
+		if sh.Repair.Repaired {
+			t.Fatalf("fresh shard %d reports repair", i)
+		}
+		total += sh.Sequences
+	}
+	if total != len(data) {
+		t.Fatalf("per-shard sequences sum to %d, want %d", total, len(data))
+	}
+}
+
+// TestShardedServerFlatStatsForSingleDB pins the flat /stats shape of the
+// unsharded backend (no "shards" key).
+func TestShardedServerFlatStatsForSingleDB(t *testing.T) {
+	db, err := twsim.OpenMem(twsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close(); db.Close() })
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["shards"]; ok {
+		t.Fatal(`single-DB /stats grew a "shards" key`)
+	}
+}
+
+// TestShardedServerSubseqNotImplemented: the subsequence endpoints require
+// a single-database backend.
+func TestShardedServerSubseqNotImplemented(t *testing.T) {
+	_, c, ts := newShardedTestServer(t, 2)
+	if _, err := c.BuildSubseqIndex([]int{8}, 4); err == nil {
+		t.Fatal("subseq build succeeded on a sharded backend")
+	}
+	resp, err := ts.Client().Post(ts.URL+"/subseq/build", "application/json",
+		strings.NewReader(`{"window_lens":[8],"step":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("subseq build returned %d, want %d", resp.StatusCode, http.StatusNotImplemented)
+	}
+}
+
+// TestShardedServerConcurrentWrites: POSTs land on different shards and
+// proceed concurrently (under -race this exercises the per-shard locking
+// path end-to-end through the HTTP stack).
+func TestShardedServerConcurrentWrites(t *testing.T) {
+	db, c, _ := newShardedTestServer(t, 4)
+	const writers = 8
+	const perWriter = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			walks := shardedWalks(seed, perWriter, 8, 16)
+			for _, v := range walks {
+				if _, err := c.Add(v); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := db.Len(); got != writers*perWriter {
+		t.Fatalf("Len = %d after %d concurrent adds", got, writers*perWriter)
+	}
+	if err := db.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

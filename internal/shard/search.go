@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Search fans one whole-matching range query out across all shards (one
+// index range query plus exact-DTW verification per shard, run concurrently
+// on the engine's worker pool) and merges the partial results: matches are
+// concatenated with their IDs lifted to the global space and re-sorted by
+// (distance, ID); the statistics sum the per-shard work counters while the
+// wall time is the observed fan-out duration (≈ the slowest shard when the
+// pool runs all shards concurrently).
+func (e *Engine) Search(query []float64, epsilon float64) (*core.Result, error) {
+	return e.search(query, epsilon, true)
+}
+
+func (e *Engine) search(query []float64, epsilon float64, parallel bool) (*core.Result, error) {
+	start := time.Now()
+	results := make([]*core.Result, len(e.stores))
+	run := func(si int) error {
+		e.locks[si].RLock()
+		res, err := e.stores[si].Search(query, epsilon)
+		e.locks[si].RUnlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+		results[si] = res
+		return nil
+	}
+	var err error
+	if parallel {
+		err = e.fanOut(run)
+	} else {
+		for si := range e.stores {
+			if err = run(si); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &core.Result{}
+	for si, r := range results {
+		for _, m := range r.Matches {
+			out.Matches = append(out.Matches, core.Match{ID: e.globalID(m.ID, si), Dist: m.Dist})
+		}
+		out.Stats.Add(r.Stats)
+	}
+	sortMatches(out.Matches)
+	out.Stats.Results = len(out.Matches)
+	out.Stats.Wall = time.Since(start)
+	return out, nil
+}
+
+// NearestK fans the exact k-NN search out across shards. The shards share a
+// best-k bound (core.SharedBound): as soon as any shard has k exact
+// distances it publishes its k-th best, and every other shard prunes its
+// index walk against the minimum published so far, so laggard shards stop
+// early. The per-shard survivor lists are merged, re-sorted, and truncated
+// to k — identical to the single-database result (modulo ID assignment).
+func (e *Engine) NearestK(query []float64, k int) ([]core.Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	bound := core.NewSharedBound()
+	perShard := make([][]core.Match, len(e.stores))
+	err := e.fanOut(func(si int) error {
+		e.locks[si].RLock()
+		ms, err := e.stores[si].NearestKShared(query, k, bound)
+		e.locks[si].RUnlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+		for i := range ms {
+			ms[i].ID = e.globalID(ms[i].ID, si)
+		}
+		perShard[si] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var merged []core.Match
+	for _, ms := range perShard {
+		merged = append(merged, ms...)
+	}
+	sortMatches(merged)
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
+// SearchBatch runs many queries concurrently, one worker per query. Each
+// worker visits the shards of its query serially: with P workers spread
+// over N shards that keeps every buffer pool busy without nesting worker
+// pools, which is what maximizes batch throughput. parallelism <= 0 selects
+// GOMAXPROCS. The first error aborts the batch: the dispatcher stops
+// feeding queries and in-flight workers drain without executing.
+func (e *Engine) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*core.Result, error) {
+	if epsilon < 0 {
+		return nil, fmt.Errorf("shard: negative tolerance %g", epsilon)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([]*core.Result, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if failed() {
+					continue
+				}
+				res, err := e.search(queries[i], epsilon, false)
+				if err != nil {
+					setErr(fmt.Errorf("shard: query %d: %w", i, err))
+					continue
+				}
+				out[i] = res
+			}
+		}()
+	}
+	for i := range queries {
+		if failed() {
+			break
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// sortMatches orders matches by ascending distance, breaking ties by ID —
+// the same order the single-database engine produces.
+func sortMatches(matches []core.Match) {
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Dist != matches[j].Dist {
+			return matches[i].Dist < matches[j].Dist
+		}
+		return matches[i].ID < matches[j].ID
+	})
+}

@@ -1,0 +1,338 @@
+// Package shard implements a hash-partitioned sharded query engine over N
+// independent single-partition databases. Each shard owns its own heap
+// file, feature index, and buffer pools; the engine routes point operations
+// (Get/Remove) straight to the owning shard, fans whole-matching searches
+// out across shards and merges the partial results, and serializes writers
+// per shard only, so inserts into different shards proceed concurrently
+// end-to-end.
+//
+// Sequence IDs carry their placement: a sequence stored at local ID l in
+// shard s has global ID l*N + s, so ShardOf(id) = id mod N and the local ID
+// is id / N — pure functions of the ID and the shard count, stable across
+// Close/Open. Placement of new sequences is modulo-hashing of the insertion
+// counter (round-robin), which keeps shards balanced without any directory
+// state.
+//
+// The package is deliberately ignorant of how a shard is built: it
+// orchestrates over the Store interface, which *twsim.DB satisfies (the
+// root package wires the two together; importing it from here would cycle).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// Store is one partition: the slice of the single-database engine the
+// router composes. All methods follow *twsim.DB semantics — safe for
+// concurrent readers, writers externally serialized (the engine holds one
+// RWMutex per shard for exactly that).
+type Store interface {
+	Add(values []float64) (seq.ID, error)
+	AddAll(values [][]float64) (seq.ID, error)
+	Remove(id seq.ID) (bool, error)
+	Get(id seq.ID) ([]float64, error)
+	Search(query []float64, epsilon float64) (*core.Result, error)
+	NearestKShared(query []float64, k int, bound *core.SharedBound) ([]core.Match, error)
+	Len() int
+	DataBytes() int64
+	IndexPages() int
+	LastRepair() core.RepairStats
+	Verify() error
+	CheckInvariants() error
+	Flush() error
+	Close() error
+}
+
+// Engine routes operations across shards. Unlike Store implementations it
+// is safe for fully concurrent use: readers never block each other, and
+// writers block only writers of the same shard.
+type Engine struct {
+	stores      []Store
+	locks       []sync.RWMutex
+	next        atomic.Uint32 // insertion counter; placement = next mod N
+	parallelism int           // fan-out worker bound per search
+}
+
+// New builds an engine over the given shards. parallelism bounds the
+// per-search fan-out worker pool (<= 0 means GOMAXPROCS).
+func New(stores []Store, parallelism int) (*Engine, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("shard: no shards")
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		stores:      stores,
+		locks:       make([]sync.RWMutex, len(stores)),
+		parallelism: parallelism,
+	}
+	// Start the insertion counter past the current contents so placement
+	// stays balanced when an existing database is reopened.
+	total := 0
+	for i := range stores {
+		total += stores[i].Len()
+	}
+	e.next.Store(uint32(total))
+	return e, nil
+}
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return len(e.stores) }
+
+// ShardOf returns the shard owning the given global ID.
+func (e *Engine) ShardOf(id seq.ID) int { return int(uint32(id) % uint32(len(e.stores))) }
+
+// route splits a global ID into its owning shard and local ID.
+func (e *Engine) route(id seq.ID) (shard int, local seq.ID) {
+	n := uint32(len(e.stores))
+	return int(uint32(id) % n), seq.ID(uint32(id) / n)
+}
+
+// globalID maps a shard-local ID back to the global ID space.
+func (e *Engine) globalID(local seq.ID, shard int) seq.ID {
+	return seq.ID(uint32(local)*uint32(len(e.stores)) + uint32(shard))
+}
+
+// Add stores one sequence in the next shard of the placement rotation,
+// holding only that shard's write lock.
+func (e *Engine) Add(values []float64) (seq.ID, error) {
+	si := int(e.next.Add(1)-1) % len(e.stores)
+	e.locks[si].Lock()
+	defer e.locks[si].Unlock()
+	local, err := e.stores[si].Add(values)
+	if err != nil {
+		return seq.InvalidID, err
+	}
+	return e.globalID(local, si), nil
+}
+
+// AddAll stores a batch, splitting it across shards along the placement
+// rotation and loading the per-shard sub-batches concurrently. It returns
+// the global ID of every stored sequence, in input order.
+//
+// Each per-shard sub-batch is atomic (Store.AddAll semantics). When one
+// shard fails, sub-batches already stored on other shards are rolled back
+// by removal, so no sequence of a failed batch remains visible — though the
+// IDs consumed by the rolled-back sub-batches stay burned (IDs are never
+// reused).
+func (e *Engine) AddAll(values [][]float64) ([]seq.ID, error) {
+	if len(values) == 0 {
+		return nil, errors.New("shard: AddAll of empty batch")
+	}
+	n := len(e.stores)
+	cursor := e.next.Add(uint32(len(values))) - uint32(len(values))
+	perShard := make([][][]float64, n)
+	slots := make([][]int, n) // original batch positions per shard
+	for i, v := range values {
+		si := int((cursor + uint32(i)) % uint32(n))
+		perShard[si] = append(perShard[si], v)
+		slots[si] = append(slots[si], i)
+	}
+	ids := make([]seq.ID, len(values))
+	firsts := make([]seq.ID, n)
+	stored := make([]bool, n)
+	err := e.fanOut(func(si int) error {
+		if len(perShard[si]) == 0 {
+			return nil
+		}
+		e.locks[si].Lock()
+		first, err := e.stores[si].AddAll(perShard[si])
+		e.locks[si].Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+		firsts[si], stored[si] = first, true
+		for j := range perShard[si] {
+			ids[slots[si][j]] = e.globalID(first+seq.ID(j), si)
+		}
+		return nil
+	})
+	if err != nil {
+		// Best-effort cross-shard rollback; whatever removal cannot undo is
+		// caught by each shard's own Open-time reconciliation.
+		for si := range e.stores {
+			if !stored[si] {
+				continue
+			}
+			e.locks[si].Lock()
+			for j := range perShard[si] {
+				_, _ = e.stores[si].Remove(firsts[si] + seq.ID(j))
+			}
+			e.locks[si].Unlock()
+		}
+		return nil, err
+	}
+	return ids, nil
+}
+
+// Get fetches a sequence from its owning shard.
+func (e *Engine) Get(id seq.ID) ([]float64, error) {
+	si, local := e.route(id)
+	e.locks[si].RLock()
+	defer e.locks[si].RUnlock()
+	return e.stores[si].Get(local)
+}
+
+// Remove deletes a sequence from its owning shard, holding only that
+// shard's write lock.
+func (e *Engine) Remove(id seq.ID) (bool, error) {
+	si, local := e.route(id)
+	e.locks[si].Lock()
+	defer e.locks[si].Unlock()
+	return e.stores[si].Remove(local)
+}
+
+// Len returns the number of live sequences across all shards.
+func (e *Engine) Len() int {
+	total := 0
+	for i := range e.stores {
+		e.locks[i].RLock()
+		total += e.stores[i].Len()
+		e.locks[i].RUnlock()
+	}
+	return total
+}
+
+// DataBytes returns the logical data size summed over shards.
+func (e *Engine) DataBytes() int64 {
+	var total int64
+	for i := range e.stores {
+		e.locks[i].RLock()
+		total += e.stores[i].DataBytes()
+		e.locks[i].RUnlock()
+	}
+	return total
+}
+
+// IndexPages returns the index page count summed over shards.
+func (e *Engine) IndexPages() int {
+	total := 0
+	for i := range e.stores {
+		e.locks[i].RLock()
+		total += e.stores[i].IndexPages()
+		e.locks[i].RUnlock()
+	}
+	return total
+}
+
+// Verify runs each shard's full integrity check concurrently.
+func (e *Engine) Verify() error {
+	return e.fanOut(func(si int) error {
+		e.locks[si].RLock()
+		defer e.locks[si].RUnlock()
+		if err := e.stores[si].Verify(); err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+		return nil
+	})
+}
+
+// CheckInvariants validates every shard's index structure.
+func (e *Engine) CheckInvariants() error {
+	for si := range e.stores {
+		e.locks[si].RLock()
+		err := e.stores[si].CheckInvariants()
+		e.locks[si].RUnlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// Flush persists every shard.
+func (e *Engine) Flush() error {
+	var first error
+	for si := range e.stores {
+		e.locks[si].Lock()
+		err := e.stores[si].Flush()
+		e.locks[si].Unlock()
+		if err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	return first
+}
+
+// Close closes every shard, returning the first error but always closing
+// all of them.
+func (e *Engine) Close() error {
+	var first error
+	for si := range e.stores {
+		e.locks[si].Lock()
+		err := e.stores[si].Close()
+		e.locks[si].Unlock()
+		if err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	return first
+}
+
+// fanOut runs fn(shard) for every shard on a worker pool bounded by the
+// engine's parallelism, returning the first error. Remaining shards are
+// still visited after an error (their work is skipped only by fn itself
+// when it chooses to); fanOut guarantees fn was invoked for every shard
+// index unless the pool saw the error before dispatching it.
+func (e *Engine) fanOut(fn func(shard int) error) error {
+	n := len(e.stores)
+	workers := e.parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for si := 0; si < n; si++ {
+			if err := fn(si); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range work {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				if err := fn(si); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for si := 0; si < n; si++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		work <- si
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}

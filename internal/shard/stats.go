@@ -1,0 +1,54 @@
+package shard
+
+import "repro/internal/core"
+
+// ShardStat is one shard's contribution to the database statistics —
+// operators watch the per-shard breakdown for skew (a hot shard shows up as
+// an outlying sequence or page count).
+type ShardStat struct {
+	// ID is the shard number (the residue class id mod N it owns).
+	ID int
+	// Sequences is the shard's live sequence count.
+	Sequences int
+	// DataBytes is the logical size of the shard's heap data.
+	DataBytes int64
+	// IndexPages is the shard's feature index size in pages.
+	IndexPages int
+	// Repair is what the shard's Open-time reconciliation had to fix.
+	Repair core.RepairStats
+}
+
+// ShardStats returns the per-shard breakdown, indexed by shard ID.
+func (e *Engine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(e.stores))
+	for si := range e.stores {
+		e.locks[si].RLock()
+		out[si] = ShardStat{
+			ID:         si,
+			Sequences:  e.stores[si].Len(),
+			DataBytes:  e.stores[si].DataBytes(),
+			IndexPages: e.stores[si].IndexPages(),
+			Repair:     e.stores[si].LastRepair(),
+		}
+		e.locks[si].RUnlock()
+	}
+	return out
+}
+
+// LastRepair aggregates the per-shard Open-time repair statistics: counters
+// sum; Rebuilt reports whether any shard's index was rebuilt outright.
+func (e *Engine) LastRepair() core.RepairStats {
+	var agg core.RepairStats
+	for si := range e.stores {
+		e.locks[si].RLock()
+		rs := e.stores[si].LastRepair()
+		e.locks[si].RUnlock()
+		agg.LiveSequences += rs.LiveSequences
+		agg.IndexedBefore += rs.IndexedBefore
+		agg.Orphans += rs.Orphans
+		agg.Dangling += rs.Dangling
+		agg.Mismatched += rs.Mismatched
+		agg.Rebuilt = agg.Rebuilt || rs.Rebuilt
+	}
+	return agg
+}

@@ -1,0 +1,270 @@
+package twsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/shard"
+)
+
+// ShardedOptions configures a ShardedDB.
+type ShardedOptions struct {
+	// Options configures each shard (base distance, page size, pool size,
+	// split heuristic). Every shard gets its own buffer pools of PoolPages
+	// pages, so the aggregate cache grows with the shard count.
+	Options
+	// Shards is the number of hash partitions (0 = 1). The count is fixed
+	// at creation and persisted; OpenSharded rejects a conflicting value.
+	Shards int
+	// Parallelism bounds the fan-out worker pool each Search/NearestK
+	// uses across shards (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o ShardedOptions) shardCount() int {
+	if o.Shards <= 0 {
+		return 1
+	}
+	return o.Shards
+}
+
+// ShardStat is one shard's contribution to the database statistics.
+type ShardStat = shard.ShardStat
+
+// ShardedDB is a hash-partitioned sequence database: N independent shards
+// (each a full DB with its own heap file, feature index, and buffer pools)
+// behind one Backend. Searches fan out across shards concurrently and
+// merge; Get/Remove route straight to the owning shard; writers serialize
+// per shard only, so inserts into different shards proceed concurrently.
+//
+// A sequence stored at local ID l in shard s has global ID l*N + s:
+// ShardID(id) = id mod N is a pure function of the ID, stable across
+// Close/Open. Unlike *DB, a ShardedDB is safe for fully concurrent use.
+type ShardedDB struct {
+	eng  *shard.Engine
+	base Base
+	dir  string // empty when in-memory
+}
+
+const shardManifestName = "shards.json"
+
+// shardManifest pins the partitioning scheme of an on-disk sharded
+// database; the routing function is only stable if the shard count is.
+type shardManifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// IsSharded reports whether dir holds a sharded database (created by
+// CreateSharded) rather than a single-DB one.
+func IsSharded(dir string) bool {
+	_, err := readShardManifest(dir)
+	return err == nil
+}
+
+func readShardManifest(dir string) (shardManifest, error) {
+	var m shardManifest
+	raw, err := os.ReadFile(filepath.Join(dir, shardManifestName))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("twsim: corrupt shard manifest: %w", err)
+	}
+	if m.Version != 1 || m.Shards <= 0 {
+		return m, fmt.Errorf("twsim: unsupported shard manifest (version %d, %d shards)", m.Version, m.Shards)
+	}
+	return m, nil
+}
+
+func writeShardManifest(dir string, m shardManifest) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, shardManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, shardManifestName))
+}
+
+func newShardedDB(dbs []*DB, dir string, opts ShardedOptions) (*ShardedDB, error) {
+	stores := make([]shard.Store, len(dbs))
+	for i, db := range dbs {
+		stores[i] = db
+	}
+	eng, err := shard.New(stores, opts.Parallelism)
+	if err != nil {
+		closeAll(dbs)
+		return nil, err
+	}
+	return &ShardedDB{eng: eng, base: opts.Base, dir: dir}, nil
+}
+
+func closeAll(dbs []*DB) {
+	for _, db := range dbs {
+		if db != nil {
+			db.Close()
+		}
+	}
+}
+
+// OpenMemSharded creates an ephemeral in-memory sharded database.
+func OpenMemSharded(opts ShardedOptions) (*ShardedDB, error) {
+	n := opts.shardCount()
+	dbs := make([]*DB, 0, n)
+	for i := 0; i < n; i++ {
+		db, err := OpenMem(opts.Options)
+		if err != nil {
+			closeAll(dbs)
+			return nil, err
+		}
+		dbs = append(dbs, db)
+	}
+	return newShardedDB(dbs, "", opts)
+}
+
+// CreateSharded creates a new on-disk sharded database in dir: a manifest
+// pinning the shard count plus one sub-database per shard in
+// dir/shard-000, dir/shard-001, …
+func CreateSharded(dir string, opts ShardedOptions) (*ShardedDB, error) {
+	n := opts.shardCount()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeShardManifest(dir, shardManifest{Version: 1, Shards: n}); err != nil {
+		return nil, err
+	}
+	dbs := make([]*DB, 0, n)
+	for i := 0; i < n; i++ {
+		db, err := Create(filepath.Join(dir, shardDirName(i)), opts.Options)
+		if err != nil {
+			closeAll(dbs)
+			return nil, fmt.Errorf("twsim: creating shard %d: %w", i, err)
+		}
+		dbs = append(dbs, db)
+	}
+	return newShardedDB(dbs, dir, opts)
+}
+
+// OpenSharded opens an existing on-disk sharded database. The shard count
+// comes from the manifest written at creation; a non-zero
+// opts.Shards that disagrees is an error (repartitioning would scramble
+// the ID routing). Each shard opens through the same self-healing path as
+// a single DB — per-shard heap/index reconciliation — and LastRepair
+// aggregates what every shard had to fix.
+func OpenSharded(dir string, opts ShardedOptions) (*ShardedDB, error) {
+	m, err := readShardManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("twsim: %s does not contain a sharded database: %w", dir, err)
+	}
+	if opts.Shards != 0 && opts.Shards != m.Shards {
+		return nil, fmt.Errorf("twsim: database at %s has %d shards, not %d (the shard count is fixed at creation)",
+			dir, m.Shards, opts.Shards)
+	}
+	dbs := make([]*DB, 0, m.Shards)
+	for i := 0; i < m.Shards; i++ {
+		db, err := Open(filepath.Join(dir, shardDirName(i)), opts.Options)
+		if err != nil {
+			closeAll(dbs)
+			return nil, fmt.Errorf("twsim: opening shard %d: %w", i, err)
+		}
+		dbs = append(dbs, db)
+	}
+	opts.Shards = m.Shards
+	return newShardedDB(dbs, dir, opts)
+}
+
+// Base returns the configured base distance.
+func (s *ShardedDB) Base() Base { return s.base }
+
+// NumShards returns the number of partitions.
+func (s *ShardedDB) NumShards() int { return s.eng.NumShards() }
+
+// ShardID returns the shard owning the given sequence ID.
+func (s *ShardedDB) ShardID(id ID) int { return s.eng.ShardOf(id) }
+
+// Len returns the number of live sequences across all shards.
+func (s *ShardedDB) Len() int { return s.eng.Len() }
+
+// DataBytes returns the logical size of the stored data, summed over
+// shards.
+func (s *ShardedDB) DataBytes() int64 { return s.eng.DataBytes() }
+
+// IndexPages returns the feature index size in pages, summed over shards.
+func (s *ShardedDB) IndexPages() int { return s.eng.IndexPages() }
+
+// ShardStats returns the per-shard statistics breakdown (for spotting
+// skew), indexed by shard ID.
+func (s *ShardedDB) ShardStats() []ShardStat { return s.eng.ShardStats() }
+
+// LastRepair aggregates the per-shard Open-time repair statistics.
+func (s *ShardedDB) LastRepair() RepairStats { return s.eng.LastRepair() }
+
+// Add stores one sequence, taking only the owning shard's write lock, and
+// returns its global ID.
+func (s *ShardedDB) Add(values []float64) (ID, error) { return s.eng.Add(values) }
+
+// AddBatch stores a batch split across shards (sub-batches load
+// concurrently) and returns every assigned ID in input order. The IDs are
+// interleaved across shards, not consecutive. A failed batch is rolled
+// back on every shard (see the engine's AddAll for the exact semantics).
+func (s *ShardedDB) AddBatch(values [][]float64) ([]ID, error) { return s.eng.AddAll(values) }
+
+// Remove deletes a sequence from its owning shard.
+func (s *ShardedDB) Remove(id ID) (bool, error) { return s.eng.Remove(id) }
+
+// Get fetches a stored sequence from its owning shard.
+func (s *ShardedDB) Get(id ID) ([]float64, error) { return s.eng.Get(id) }
+
+// Search runs the paper's range similarity query fanned out across all
+// shards concurrently; results merge to exactly the single-database
+// answer. Stats sum the per-shard work; Wall is the fan-out duration.
+func (s *ShardedDB) Search(query []float64, epsilon float64) (*Result, error) {
+	if epsilon < 0 {
+		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
+	}
+	return s.eng.Search(query, epsilon)
+}
+
+// NearestK runs the exact k-NN search across all shards, sharing a best-k
+// bound so laggard shards prune early; the merged result equals the
+// single-database answer.
+func (s *ShardedDB) NearestK(query []float64, k int) ([]Match, error) {
+	return s.eng.NearestK(query, k)
+}
+
+// SearchBatch runs many range queries concurrently (one worker per query,
+// each visiting shards serially — see the engine for why that maximizes
+// batch throughput). parallelism <= 0 selects GOMAXPROCS. The first error
+// aborts the batch promptly.
+func (s *ShardedDB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error) {
+	return s.eng.SearchBatch(queries, epsilon, parallelism)
+}
+
+// Distance computes the exact time warping distance between a stored
+// sequence and a query under the database's base distance.
+func (s *ShardedDB) Distance(id ID, query []float64) (float64, error) {
+	values, err := s.eng.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	return Distance(values, query, s.base), nil
+}
+
+// Verify runs every shard's full heap/index integrity check.
+func (s *ShardedDB) Verify() error { return s.eng.Verify() }
+
+// CheckInvariants validates every shard's index structure.
+func (s *ShardedDB) CheckInvariants() error { return s.eng.CheckInvariants() }
+
+// Flush persists every shard.
+func (s *ShardedDB) Flush() error { return s.eng.Flush() }
+
+// Close flushes and releases every shard.
+func (s *ShardedDB) Close() error { return s.eng.Close() }
