@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-shards bench-shards-smoke
+.PHONY: ci fmt vet build test race bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke
 
 # Full gate: formatting, static checks, build, the whole test suite
 # (including the fault-injection recovery tests) under the race detector,
-# and a short sharded-engine benchmark smoke.
-ci: fmt vet build race bench-shards-smoke
+# and short benchmark smokes for the sharded engine and the refine cascade.
+ci: fmt vet build race bench-shards-smoke bench-cascade-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -33,3 +33,14 @@ bench-shards:
 # Tiny workload, no output file: proves the harness runs end to end.
 bench-shards-smoke:
 	$(GO) run ./cmd/benchshards -smoke >/dev/null
+
+# Refine-cascade benchmark: DTW-call reduction, per-tier prune counts,
+# kernel ns/op vs the pre-kernel baseline, and steady-state allocs/op on the
+# benchshards workload plus a mixed-length variant; writes BENCH_cascade.json.
+bench-cascade:
+	$(GO) run ./cmd/benchcascade
+
+# Tiny workload, no output file or kernel timings; also verifies cascade and
+# baseline results are bit-identical on the smoke corpus.
+bench-cascade-smoke:
+	$(GO) run ./cmd/benchcascade -smoke >/dev/null

@@ -88,6 +88,6 @@ func (db *DB) NearestKShared(query []float64, k int, bound *SharedBound) ([]Matc
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
-	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
+	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base, NoCascade: db.opts.DisableCascade}
 	return m.NearestKShared(seq.Sequence(query), k, bound)
 }

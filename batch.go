@@ -41,7 +41,7 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
+			m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base, NoCascade: db.opts.DisableCascade}
 			for i := range work {
 				if failed() {
 					continue // drain: the batch is already doomed

@@ -3,7 +3,6 @@ package core
 import (
 	"time"
 
-	"repro/internal/dtw"
 	"repro/internal/seq"
 	"repro/internal/seqdb"
 )
@@ -49,24 +48,29 @@ func (a *AdaptiveSearch) Search(q seq.Sequence, epsilon float64) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	candidates, err := a.Index.RangeQuery(fq, epsilon)
+	entries, err := a.Index.RangeQueryEntries(fq, epsilon)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
-	res.Stats.Candidates = len(candidates)
+	res.Stats.Candidates = len(entries)
 
-	if a.useSweep(len(candidates), cm) {
-		candSet := make(map[seq.ID]bool, len(candidates))
-		for _, id := range candidates {
-			candSet[id] = true
+	if a.useSweep(len(entries), cm) {
+		c := newCascade(q, a.Base, false)
+		defer c.close()
+		// Tier 0 runs while building the sweep's membership set, so pruned
+		// candidates never even get their heap record inspected.
+		candSet := make(map[seq.ID]bool, len(entries))
+		for _, e := range entries {
+			if c.admitPoint(e.Point, epsilon, &res.Stats) {
+				candSet[e.ID] = true
+			}
 		}
 		err = a.DB.Scan(func(id seq.ID, s seq.Sequence) error {
 			if !candSet[id] {
 				return nil
 			}
-			res.Stats.DTWCalls++
-			if d, ok := dtw.DistanceWithin(s, q, a.Base, epsilon); ok {
+			if d, ok := c.verify(s, epsilon, &res.Stats); ok {
 				res.Matches = append(res.Matches, Match{ID: id, Dist: d})
 			}
 			return nil
@@ -76,7 +80,7 @@ func (a *AdaptiveSearch) Search(q seq.Sequence, epsilon float64) (*Result, error
 		}
 		sortMatches(res.Matches)
 	} else {
-		res.Matches, err = refine(a.DB, a.Base, q, epsilon, candidates, &res.Stats)
+		res.Matches, err = refine(a.DB, a.Base, q, epsilon, entries, false, &res.Stats)
 		if err != nil {
 			return nil, err
 		}

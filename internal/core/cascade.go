@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dtw"
+	"repro/internal/seq"
+)
+
+// cascade is the tiered filter-and-refine engine every exact search method
+// funnels candidates through. Tiers run cheapest first, and each one is a
+// true lower bound of the unconstrained time warping distance, so a
+// dismissal at any tier can never be a false dismissal (the guarantee the
+// paper's Theorem 1 establishes for the index filter extends to every tier):
+//
+//	Tier 0  admitPoint — LB_Kim on the stored index 4-tuple, no heap fetch
+//	Tier 1  verify     — LB_Keogh vs. the per-query global envelope (the
+//	                     S-side of LB_Yi), then the completed two-sided LB_Yi
+//	Tier 2  verify     — the sparse alive-run corridor (dtw.Refiner), which
+//	                     proves Dtw > cutoff while visiting only the cells
+//	                     whose exact DP value stays within the cutoff
+//	Tier 3  verify     — the exact distance, produced by the same fused
+//	                     pass when the corridor survives to the final cell
+//
+// The cutoff is the query tolerance for range search and the shrinking
+// k-th-best bound for k-NN (including the cross-shard SharedBound), so the
+// tiers tighten as a k-NN search proceeds.
+//
+// A cascade holds a pooled dtw.Refiner; build one per query with newCascade
+// and close it when the query completes. Not safe for concurrent use.
+type cascade struct {
+	q        seq.Sequence
+	base     seq.Base
+	fq       [4]float64
+	fqOK     bool
+	env      dtw.Envelope
+	refiner  *dtw.Refiner
+	disabled bool
+}
+
+// newCascade prepares the per-query state: the query feature vector
+// (Tier 0), the global envelope (Tier 1, computed once per query), and a
+// pooled refiner (Tiers 2–3). With disabled=true every candidate goes
+// straight to the exact DP — the seed's behavior, kept for benchmarks and
+// oracle tests.
+func newCascade(q seq.Sequence, base seq.Base, disabled bool) *cascade {
+	c := &cascade{q: q, base: base, disabled: disabled}
+	if disabled {
+		return c
+	}
+	if f, err := seq.ExtractFeature(q); err == nil {
+		c.fq = f.Vector()
+		c.fqOK = true
+	}
+	c.env = dtw.GlobalEnvelope(q)
+	c.refiner = dtw.AcquireRefiner()
+	return c
+}
+
+func (c *cascade) close() {
+	if c.refiner != nil {
+		c.refiner.Release()
+		c.refiner = nil
+	}
+}
+
+// admitPoint is Tier 0: LB_Kim evaluated between the query feature and a
+// candidate's stored index point — no heap fetch needed. Sound per
+// Theorem 1 (L∞ base) and because every feature difference is bounded by
+// some single matched-pair cost on any warping path (L1); for L2Sq that
+// single pair contributes its square to the additive total, so the bound
+// must be squared before comparing.
+func (c *cascade) admitPoint(pt [4]float64, cutoff float64, stats *QueryStats) bool {
+	if c.disabled || !c.fqOK || math.IsInf(cutoff, 1) {
+		return true
+	}
+	lb := 0.0
+	for i := range pt {
+		d := pt[i] - c.fq[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > lb {
+			lb = d
+		}
+	}
+	if c.base == seq.L2Sq {
+		lb = lb * lb
+	}
+	if lb > cutoff {
+		stats.LBKimPruned++
+		return false
+	}
+	return true
+}
+
+// admitLB is Tier 0 when the caller already holds the LB_Kim value (the
+// k-NN walk streams it). For the additive L2Sq base the comparable bound is
+// the square, which can exceed a cutoff the raw value stays under.
+func (c *cascade) admitLB(lb, cutoff float64, stats *QueryStats) bool {
+	if c.disabled || math.IsInf(cutoff, 1) {
+		return true
+	}
+	if c.base == seq.L2Sq {
+		lb = lb * lb
+	}
+	if lb > cutoff {
+		stats.LBKimPruned++
+		return false
+	}
+	return true
+}
+
+// verify runs Tiers 1–3 on a fetched candidate: it returns (d, true) with
+// the exact distance iff Dtw(s, q) ≤ cutoff, bit-identical to
+// dtw.DistanceWithin, while attributing each dismissal to the tier that
+// made it. Only real DP invocations increment DTWCalls.
+func (c *cascade) verify(s seq.Sequence, cutoff float64, stats *QueryStats) (float64, bool) {
+	if c.disabled {
+		stats.DTWCalls++
+		d, ok := dtw.DistanceWithin(s, c.q, c.base, cutoff)
+		if !ok {
+			stats.DTWAbandoned++
+		}
+		return d, ok
+	}
+	if s.Empty() {
+		// No range to bound against; the refiner handles the degenerate
+		// case with the DP's own empty-input convention.
+		return c.verifyDP(s, cutoff, stats)
+	}
+	// Tier 1a: the S-side of LB_Yi via the global envelope — O(|S|), no
+	// min/max of s needed yet.
+	kS := dtw.LBKeoghSafe(s, c.env, c.base)
+	if kS > cutoff {
+		stats.LBKeoghPruned++
+		return dtw.Inf, false
+	}
+	// Tier 1b: complete the two-sided Yi et al. bound with the Q-side.
+	if c.yiComplete(s, kS) > cutoff {
+		stats.LBYiPruned++
+		return dtw.Inf, false
+	}
+	return c.verifyDP(s, cutoff, stats)
+}
+
+// verifyDP runs only Tiers 2–3 (the fused sparse DP). LB-Scan uses
+// this directly: its own LB_Yi filter already ran, so re-running Tier 1
+// would double-count work without pruning anything new.
+func (c *cascade) verifyDP(s seq.Sequence, cutoff float64, stats *QueryStats) (float64, bool) {
+	if c.disabled {
+		stats.DTWCalls++
+		d, ok := dtw.DistanceWithin(s, c.q, c.base, cutoff)
+		if !ok {
+			stats.DTWAbandoned++
+		}
+		return d, ok
+	}
+	d, verdict := c.refiner.DistanceWithin(s, c.q, c.base, cutoff)
+	switch verdict {
+	case dtw.VerdictPruned:
+		stats.CorridorPruned++
+		return dtw.Inf, false
+	case dtw.VerdictAbandoned:
+		stats.DTWCalls++
+		stats.DTWAbandoned++
+		return dtw.Inf, false
+	default:
+		stats.DTWCalls++
+		return d, true
+	}
+}
+
+// yiComplete finishes LB_Yi given the already-computed S-side: it scans q
+// against the range of s and combines per the base. The combined value
+// equals dtw.LBYi(s, q, base) exactly — the two-pass split changes the
+// evaluation order of Lemire's two passes, not the bound.
+func (c *cascade) yiComplete(s seq.Sequence, kS float64) float64 {
+	sMin, sMax := s.MinMax()
+	if c.base == seq.LInf {
+		max := kS
+		for _, v := range c.q {
+			if d := seq.DistToRange(v, sMin, sMax); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	sumQ := 0.0
+	for _, v := range c.q {
+		sumQ += c.base.Elem(0, seq.DistToRange(v, sMin, sMax))
+	}
+	return math.Max(kS, sumQ)
+}

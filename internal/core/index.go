@@ -199,6 +199,32 @@ func (fi *FeatureIndex) RangeQuery(fq seq.Feature, epsilon float64) ([]seq.ID, e
 	return ids, err
 }
 
+// RangeQueryEntries is RangeQuery returning each candidate's stored point
+// alongside its ID. The refinement cascade's Tier 0 re-evaluates Dtw-lb
+// against these points without fetching the heap record, so the filter
+// tolerance and the (possibly tighter) pruning cutoff can diverge for free.
+func (fi *FeatureIndex) RangeQueryEntries(fq seq.Feature, epsilon float64) ([]IndexEntry, error) {
+	center := fq.Vector()
+	lo := make([]float64, 4)
+	hi := make([]float64, 4)
+	for i := range center {
+		lo[i] = center[i] - epsilon
+		hi[i] = center[i] + epsilon
+	}
+	query, err := rtree.NewRect(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	var entries []IndexEntry
+	err = fi.tree.Search(query, func(r rtree.Rect, id uint32) bool {
+		var pt [4]float64
+		copy(pt[:], r.Lo)
+		entries = append(entries, IndexEntry{ID: seq.ID(id), Point: pt})
+		return true
+	})
+	return entries, err
+}
+
 // NearestWalk streams sequence IDs in non-decreasing Dtw-lb order from the
 // query feature. The L∞ norm makes the stream order consistent with the
 // lower-bound metric, enabling exact k-NN refinement.

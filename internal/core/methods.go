@@ -22,16 +22,49 @@ type Searcher interface {
 	Search(q seq.Sequence, epsilon float64) (*Result, error)
 }
 
-// refine runs the post-processing of Algorithm 1 (Step-4..7): fetch each
-// candidate sequence and keep it when the exact early-abandoning DTW is
-// within epsilon. Matches are returned sorted by distance then ID.
+// refine runs the post-processing of Algorithm 1 (Step-4..7) through the
+// tiered cascade: each candidate passes Tier 0 (LB_Kim on its stored index
+// point, before any heap fetch), is fetched, and then runs Tiers 1–3 (see
+// cascade). The matches are exactly {S : Dtw(S,Q) ≤ ε}, bit-identical to
+// the plain fetch-and-DTW loop, sorted by distance then ID.
 //
 // Candidates whose heap record is gone (deleted or never durably written —
 // a dangling index entry from an interrupted write) are skipped rather
 // than failing the query: dropping them cannot cause a false dismissal,
 // and it keeps reads available until the next Repair removes the entries.
+// Skipped candidates never touch DTWCalls — the counter reflects only DP
+// invocations that actually ran.
 func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
-	candidates []seq.ID, stats *QueryStats) ([]Match, error) {
+	entries []IndexEntry, noCascade bool, stats *QueryStats) ([]Match, error) {
+	c := newCascade(q, base, noCascade)
+	defer c.close()
+	var matches []Match
+	for _, e := range entries {
+		if !c.admitPoint(e.Point, epsilon, stats) {
+			continue
+		}
+		s, err := db.Get(e.ID)
+		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if d, ok := c.verify(s, epsilon, stats); ok {
+			matches = append(matches, Match{ID: e.ID, Dist: d})
+		}
+	}
+	sortMatches(matches)
+	return matches, nil
+}
+
+// refineIDs is refine for methods whose filter produces bare IDs with no
+// stored feature point (FastMap, ST-Filter): Tier 0 is skipped, Tiers 1–3
+// run after the fetch.
+func refineIDs(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
+	candidates []seq.ID, noCascade bool, stats *QueryStats) ([]Match, error) {
+	c := newCascade(q, base, noCascade)
+	defer c.close()
 	var matches []Match
 	for _, id := range candidates {
 		s, err := db.Get(id)
@@ -41,8 +74,7 @@ func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 		if err != nil {
 			return nil, err
 		}
-		stats.DTWCalls++
-		if d, ok := dtw.DistanceWithin(s, q, base, epsilon); ok {
+		if d, ok := c.verify(s, epsilon, stats); ok {
 			matches = append(matches, Match{ID: id, Dist: d})
 		}
 	}
@@ -112,14 +144,18 @@ func (l *LBScan) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 	start := time.Now()
 	before := l.DB.Stats()
 	res := &Result{}
+	// LB-Scan's own filter IS the cascade's Tier 1 (the two-sided Yi
+	// bound), so survivors go straight to Tiers 2–3; re-running the
+	// envelope tiers would recompute the same bound.
+	c := newCascade(q, l.Base, false)
+	defer c.close()
 	err := l.DB.Scan(func(id seq.ID, s seq.Sequence) error {
 		res.Stats.LowerBoundCalls++
 		if dtw.LBYi(s, q, l.Base) > epsilon {
 			return nil
 		}
 		res.Stats.Candidates++
-		res.Stats.DTWCalls++
-		if d, ok := dtw.DistanceWithin(s, q, l.Base, epsilon); ok {
+		if d, ok := c.verifyDP(s, epsilon, &res.Stats); ok {
 			res.Matches = append(res.Matches, Match{ID: id, Dist: d})
 		}
 		return nil
@@ -144,6 +180,11 @@ type TWSimSearch struct {
 	DB    *seqdb.DB
 	Index *FeatureIndex
 	Base  seq.Base
+	// NoCascade disables the tiered refinement cascade, sending every
+	// candidate straight to the exact early-abandoning DP (the pre-cascade
+	// behavior). Results are bit-identical either way; the flag exists for
+	// benchmarks and equivalence tests.
+	NoCascade bool
 }
 
 // Name implements Searcher.
@@ -158,13 +199,13 @@ func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	candidates, err := t.Index.RangeQuery(fq, epsilon)
+	entries, err := t.Index.RangeQueryEntries(fq, epsilon)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
-	res.Stats.Candidates = len(candidates)
-	res.Matches, err = refine(t.DB, t.Base, q, epsilon, candidates, &res.Stats)
+	res.Stats.Candidates = len(entries)
+	res.Matches, err = refine(t.DB, t.Base, q, epsilon, entries, t.NoCascade, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -198,6 +239,15 @@ func (t *TWSimSearch) NearestK(q seq.Sequence, k int) ([]Match, error) {
 // (at most k, ascending); under a shared bound they are a superset-filter
 // for the merged top-k, not necessarily the partition's own true top-k.
 func (t *TWSimSearch) NearestKShared(q seq.Sequence, k int, shared *SharedBound) ([]Match, error) {
+	var stats QueryStats
+	return t.nearestKShared(q, k, shared, &stats)
+}
+
+// nearestKShared is NearestKShared with the per-tier work counters
+// exposed. Once k survivors exist the cutoff is finite and every candidate
+// runs the full cascade against it (and against the cross-shard bound when
+// present), so the tiers tighten as the search proceeds.
+func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound, stats *QueryStats) ([]Match, error) {
 	fq, err := seq.ExtractFeature(q)
 	if err != nil {
 		return nil, err
@@ -205,6 +255,8 @@ func (t *TWSimSearch) NearestKShared(q seq.Sequence, k int, shared *SharedBound)
 	if k <= 0 {
 		return nil, nil
 	}
+	c := newCascade(q, t.Base, t.NoCascade)
+	defer c.close()
 	var best []Match // sorted ascending by Dist
 	var walkErr error
 	err = t.Index.NearestWalk(fq, func(id seq.ID, lb float64) bool {
@@ -220,6 +272,12 @@ func (t *TWSimSearch) NearestKShared(q seq.Sequence, k int, shared *SharedBound)
 		if lb > cutoff {
 			return false // every later candidate has Dtw >= lb > cutoff
 		}
+		// Tier 0 on the walk's own lower bound: for the L2Sq base the
+		// squared bound can dismiss this candidate even though the
+		// unsquared walk-stop above did not.
+		if !c.admitLB(lb, cutoff, stats) {
+			return true
+		}
 		s, err := t.DB.Get(id)
 		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
 			return true // dangling index entry; skip, do not fail the walk
@@ -230,10 +288,11 @@ func (t *TWSimSearch) NearestKShared(q seq.Sequence, k int, shared *SharedBound)
 		}
 		var d float64
 		if math.IsInf(cutoff, 1) {
+			stats.DTWCalls++
 			d = dtw.Distance(s, q, t.Base)
 		} else {
 			var ok bool
-			d, ok = dtw.DistanceWithin(s, q, t.Base, cutoff)
+			d, ok = c.verify(s, cutoff, stats)
 			if !ok {
 				return true
 			}

@@ -275,8 +275,11 @@ func TestLBScanStats(t *testing.T) {
 	if res.Stats.LowerBoundCalls != 50 {
 		t.Errorf("LowerBoundCalls = %d, want 50", res.Stats.LowerBoundCalls)
 	}
-	if res.Stats.DTWCalls != res.Stats.Candidates {
-		t.Errorf("DTWCalls %d != Candidates %d", res.Stats.DTWCalls, res.Stats.Candidates)
+	// Every candidate is either corridor-pruned or runs the DP; the DTW
+	// counter records only the invocations that actually ran.
+	if res.Stats.DTWCalls+res.Stats.CorridorPruned != res.Stats.Candidates {
+		t.Errorf("DTWCalls %d + CorridorPruned %d != Candidates %d",
+			res.Stats.DTWCalls, res.Stats.CorridorPruned, res.Stats.Candidates)
 	}
 	if res.Stats.DataReads == 0 {
 		t.Error("scan reported no data page reads")

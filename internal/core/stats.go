@@ -36,10 +36,36 @@ type QueryStats struct {
 	// Results is the number of qualifying sequences.
 	Results int
 	// DTWCalls counts exact DTW evaluations during refinement
-	// (early-abandoned evaluations included).
+	// (early-abandoned evaluations included). Candidates dismissed by a
+	// cascade tier — or whose heap record turned out to be dangling — are
+	// not counted: only invocations that actually ran the DP are.
 	DTWCalls int
 	// LowerBoundCalls counts scan-time lower-bound evaluations (LB-Scan).
 	LowerBoundCalls int
+	// LBKimPruned counts candidates the cascade dismissed on Tier 0: the
+	// paper's Dtw-lb (LB_Kim) re-evaluated against the stored index point,
+	// before the heap record is fetched. Nonzero only when the pruning
+	// cutoff has tightened below the filter tolerance (k-NN) or the bound
+	// is strictly stronger than the filter's (the L2Sq base).
+	LBKimPruned int
+	// LBKeoghPruned counts candidates dismissed on Tier 1a: the
+	// global-envelope LB_Keogh bound (the S-side half of LB_Yi), computed
+	// after the fetch but before the query-side scan.
+	LBKeoghPruned int
+	// LBYiPruned counts candidates dismissed on Tier 1b: the completed
+	// two-sided Yi et al. bound.
+	LBYiPruned int
+	// CorridorPruned counts candidates dismissed on Tier 2: the fused
+	// sparse DP's alive region died before the final cell, proving
+	// Dtw > epsilon while visiting only the within-cutoff part of the
+	// matrix (this subsumes the O(1) endpoint pre-check and everything a
+	// dense DP would have early-abandoned).
+	CorridorPruned int
+	// DTWAbandoned counts dense DP invocations that early-abandoned
+	// (included in DTWCalls). With the cascade enabled those rejections
+	// surface as CorridorPruned instead, so this is nonzero mainly when
+	// the cascade is disabled.
+	DTWAbandoned int
 	// TreeNodes counts suffix tree nodes visited (ST-Filter).
 	TreeNodes int
 	// TreePages is the modeled number of suffix-tree pages a disk-resident
@@ -73,6 +99,11 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.Results += other.Results
 	s.DTWCalls += other.DTWCalls
 	s.LowerBoundCalls += other.LowerBoundCalls
+	s.LBKimPruned += other.LBKimPruned
+	s.LBKeoghPruned += other.LBKeoghPruned
+	s.LBYiPruned += other.LBYiPruned
+	s.CorridorPruned += other.CorridorPruned
+	s.DTWAbandoned += other.DTWAbandoned
 	s.TreeNodes += other.TreeNodes
 	s.TreePages += other.TreePages
 	s.DataReads += other.DataReads
@@ -95,8 +126,9 @@ func (s QueryStats) CandidateRatio(n int) float64 {
 
 // String renders a compact summary.
 func (s QueryStats) String() string {
-	return fmt.Sprintf("cand=%d res=%d dtw=%d lb=%d nodes=%d dataIO=%d/%d idxIO=%d/%d wall=%v",
-		s.Candidates, s.Results, s.DTWCalls, s.LowerBoundCalls, s.TreeNodes,
+	return fmt.Sprintf("cand=%d res=%d dtw=%d(ab=%d) lb=%d pruned=%d/%d/%d/%d nodes=%d dataIO=%d/%d idxIO=%d/%d wall=%v",
+		s.Candidates, s.Results, s.DTWCalls, s.DTWAbandoned, s.LowerBoundCalls,
+		s.LBKimPruned, s.LBKeoghPruned, s.LBYiPruned, s.CorridorPruned, s.TreeNodes,
 		s.DataReads, s.DataMisses, s.IndexReads, s.IndexMisses, s.Wall)
 }
 

@@ -28,6 +28,10 @@ var Inf = math.Inf(1)
 // maximum element-pair difference along it, and the distance is the minimum
 // over all paths. For seq.L1/seq.L2Sq costs accumulate additively
 // (Definition 1).
+//
+// The DP rows come from a sync.Pool and the inner loop is specialized per
+// base (see kernel.go), so steady-state calls allocate nothing for
+// sequences up to PooledRowCap.
 func Distance(s, q seq.Sequence, base seq.Base) float64 {
 	switch {
 	case s.Empty() && q.Empty():
@@ -39,33 +43,16 @@ func Distance(s, q seq.Sequence, base seq.Base) float64 {
 	if len(q) > len(s) {
 		s, q = q, s
 	}
-	prev := make([]float64, len(q))
-	cur := make([]float64, len(q))
-	for j := range prev {
-		e := base.Elem(s[0], q[j])
-		if j == 0 {
-			prev[j] = e
-		} else {
-			prev[j] = base.Combine(e, prev[j-1])
-		}
+	switch base {
+	case seq.LInf:
+		return distKernelLInf(s, q)
+	case seq.L1:
+		return distKernelAdd(s, q, false)
+	case seq.L2Sq:
+		return distKernelAdd(s, q, true)
+	default:
+		return distanceGeneric(s, q, base)
 	}
-	for i := 1; i < len(s); i++ {
-		for j := range cur {
-			e := base.Elem(s[i], q[j])
-			best := prev[j] // advance in s only
-			if j > 0 {
-				if cur[j-1] < best { // advance in q only
-					best = cur[j-1]
-				}
-				if prev[j-1] < best { // advance in both
-					best = prev[j-1]
-				}
-			}
-			cur[j] = base.Combine(e, best)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(q)-1]
 }
 
 // DistanceWithin computes the time warping distance but abandons as soon as
@@ -96,51 +83,16 @@ func DistanceWithin(s, q seq.Sequence, base seq.Base, epsilon float64) (float64,
 	if len(q) > len(s) {
 		s, q = q, s
 	}
-	prev := make([]float64, len(q))
-	cur := make([]float64, len(q))
-	alive := false
-	for j := range prev {
-		e := base.Elem(s[0], q[j])
-		if j == 0 {
-			prev[j] = e
-		} else {
-			prev[j] = base.Combine(e, prev[j-1])
-		}
-		if prev[j] <= epsilon {
-			alive = true
-		}
+	switch base {
+	case seq.LInf:
+		return withinKernelLInf(s, q, epsilon)
+	case seq.L1:
+		return withinKernelAdd(s, q, false, epsilon)
+	case seq.L2Sq:
+		return withinKernelAdd(s, q, true, epsilon)
+	default:
+		return withinGeneric(s, q, base, epsilon)
 	}
-	if !alive {
-		return Inf, false
-	}
-	for i := 1; i < len(s); i++ {
-		alive = false
-		for j := range cur {
-			e := base.Elem(s[i], q[j])
-			best := prev[j]
-			if j > 0 {
-				if cur[j-1] < best {
-					best = cur[j-1]
-				}
-				if prev[j-1] < best {
-					best = prev[j-1]
-				}
-			}
-			cur[j] = base.Combine(e, best)
-			if cur[j] <= epsilon {
-				alive = true
-			}
-		}
-		if !alive {
-			return Inf, false
-		}
-		prev, cur = cur, prev
-	}
-	d := prev[len(q)-1]
-	if d > epsilon {
-		return Inf, false
-	}
-	return d, true
 }
 
 // Within reports whether Dtw(s,q) ≤ epsilon, abandoning early when possible.
@@ -188,8 +140,9 @@ func BandDistance(s, q seq.Sequence, base seq.Base, r int) float64 {
 	if minHalf := int(math.Ceil(slope)) / 2; minHalf > halfWidth {
 		halfWidth = minHalf
 	}
-	prev := make([]float64, m)
-	cur := make([]float64, m)
+	rp := acquireRows(m)
+	defer releaseRows(rp)
+	prev, cur := rp.prev, rp.cur
 	for j := range prev {
 		prev[j] = Inf
 		cur[j] = Inf

@@ -74,6 +74,10 @@ func LBYi(s, q seq.Sequence, base seq.Base) float64 {
 // band of half-width r: Upper[i] = max(q[i-r..i+r]), Lower[i] = min(...).
 type Envelope struct {
 	Lower, Upper []float64
+	// full marks a GlobalEnvelope: every window is the whole query's range,
+	// which is the only envelope shape whose bound survives unconstrained
+	// (band-free) warping and unequal lengths. See LBKeoghSafe.
+	full bool
 }
 
 // NewEnvelope builds the envelope of q for band half-width r in O(|Q|·r)
@@ -106,6 +110,70 @@ func NewEnvelope(q seq.Sequence, r int) Envelope {
 		env.Lower[i], env.Upper[i] = min, max
 	}
 	return env
+}
+
+// GlobalEnvelope builds the degenerate full-band envelope of q: every window
+// is [Smallest(Q), Greatest(Q)]. Unlike a banded envelope it lower-bounds the
+// *unconstrained* time warping distance of the paper, because any warping
+// path matches each element of S to some element of Q, which necessarily lies
+// inside the global range — no band assumption needed. It is also the only
+// envelope that remains sound when |S| ≠ |Q| (the window is
+// position-independent). The resulting LBKeoghSafe value equals the S-side
+// of LBYi; the cascade uses it as the first half of the two-pass Yi bound so
+// the cheap half can prune before s.MinMax() is ever taken.
+func GlobalEnvelope(q seq.Sequence) Envelope {
+	n := len(q)
+	env := Envelope{Lower: make([]float64, n), Upper: make([]float64, n), full: true}
+	if n == 0 {
+		return env
+	}
+	min, max := q.MinMax()
+	for i := range env.Lower {
+		env.Lower[i], env.Upper[i] = min, max
+	}
+	return env
+}
+
+// LBKeoghSafe is the cascade-safe form of LBKeogh: it never exceeds the
+// unconstrained Dtw(s, q, base), so pruning on it can never falsely dismiss.
+//
+// Two cases make this sound where plain LBKeogh is not:
+//
+//   - Banded envelopes only bound the *banded* distance, which is ≥ the
+//     unconstrained one (a counterexample: s = 0…0,5 and q = 0,5…5 have
+//     Dtw = 0 under L∞ but banded LBKeogh ≈ 5). A banded envelope is
+//     therefore only usable on equal lengths as a bound for callers who also
+//     search with the same band; for the unconstrained distance this
+//     function falls back to 0 (the vacuous bound) unless the envelope is a
+//     GlobalEnvelope.
+//   - On unequal lengths a positional envelope is undefined; the
+//     GlobalEnvelope window is position-independent, so s is simply scanned
+//     against the constant window.
+//
+// Returns 0 (prunes nothing, dismisses nothing) whenever soundness cannot be
+// established for the given envelope/lengths.
+func LBKeoghSafe(s seq.Sequence, env Envelope, base seq.Base) float64 {
+	if len(env.Lower) == 0 || s.Empty() {
+		return 0
+	}
+	if !env.full {
+		return 0
+	}
+	lo, hi := env.Lower[0], env.Upper[0]
+	if base == seq.LInf {
+		max := 0.0
+		for _, v := range s {
+			if d := seq.DistToRange(v, lo, hi); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	acc := 0.0
+	for _, v := range s {
+		acc += base.Elem(0, seq.DistToRange(v, lo, hi))
+	}
+	return acc
 }
 
 // LBKeogh computes Keogh's envelope lower bound of the *banded* time warping

@@ -17,8 +17,11 @@
 // write path is serialized behind one lock (the library's concurrency
 // rule); with a *twsim.ShardedDB writes lock per shard inside the engine,
 // so POSTs to different shards proceed concurrently, and /stats adds a
-// per-shard breakdown ("shards": [{id, sequences, pages, repair}, ...])
-// for spotting skew. The subsequence endpoints require a single-database
+// per-shard breakdown ("shards": [{id, sequences, pages, repair, queries},
+// ...]) for spotting skew. /stats always carries "query_totals" — the
+// cumulative /search work counters including the refinement cascade's
+// per-tier prune counts, which each /search response also reports for its
+// own query. The subsequence endpoints require a single-database
 // backend and answer 501 otherwise. Every error returns JSON
 // {"error": "..."} with an appropriate status code.
 package server
@@ -32,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	twsim "repro"
 )
@@ -50,7 +54,45 @@ type Server struct {
 	locked *lockedDB
 	smu    sync.RWMutex       // guards subseq
 	subseq *twsim.SubseqIndex // built on demand via /subseq/build
+	totals queryTotals        // cumulative /search work since the server started
 	mux    *http.ServeMux
+}
+
+// queryTotals accumulates the work counters of every /search the server has
+// answered, lock-free so concurrent searches never serialize on accounting.
+// /stats reports the snapshot as "query_totals", giving operators the
+// cascade's prune rates in production without scraping per-query responses.
+type queryTotals struct {
+	searches, candidates, results          atomic.Int64
+	dtwCalls, dtwAbandoned                 atomic.Int64
+	lbKimPruned, lbKeoghPruned, lbYiPruned atomic.Int64
+	corridorPruned                         atomic.Int64
+}
+
+func (t *queryTotals) accumulate(st twsim.QueryStats) {
+	t.searches.Add(1)
+	t.candidates.Add(int64(st.Candidates))
+	t.results.Add(int64(st.Results))
+	t.dtwCalls.Add(int64(st.DTWCalls))
+	t.dtwAbandoned.Add(int64(st.DTWAbandoned))
+	t.lbKimPruned.Add(int64(st.LBKimPruned))
+	t.lbKeoghPruned.Add(int64(st.LBKeoghPruned))
+	t.lbYiPruned.Add(int64(st.LBYiPruned))
+	t.corridorPruned.Add(int64(st.CorridorPruned))
+}
+
+func (t *queryTotals) json() map[string]any {
+	return map[string]any{
+		"searches":        t.searches.Load(),
+		"candidates":      t.candidates.Load(),
+		"results":         t.results.Load(),
+		"dtw_calls":       t.dtwCalls.Load(),
+		"dtw_abandoned":   t.dtwAbandoned.Load(),
+		"lb_kim_pruned":   t.lbKimPruned.Load(),
+		"lb_keogh_pruned": t.lbKeoghPruned.Load(),
+		"lb_yi_pruned":    t.lbYiPruned.Load(),
+		"corridor_pruned": t.corridorPruned.Load(),
+	}
 }
 
 // lockedDB adapts a *twsim.DB to the Backend concurrency contract the
@@ -195,12 +237,19 @@ type SubMatchJSON struct {
 	Dist   float64 `json:"dist"`
 }
 
-// StatsJSON summarizes per-query work on the wire.
+// StatsJSON summarizes per-query work on the wire. The per-tier prune
+// counters were added with the refinement cascade; they are additive
+// fields, so pre-cascade clients keep decoding the original shape.
 type StatsJSON struct {
-	Candidates int   `json:"candidates"`
-	Results    int   `json:"results"`
-	DTWCalls   int   `json:"dtw_calls"`
-	WallMicros int64 `json:"wall_us"`
+	Candidates     int   `json:"candidates"`
+	Results        int   `json:"results"`
+	DTWCalls       int   `json:"dtw_calls"`
+	LBKimPruned    int   `json:"lb_kim_pruned"`
+	LBKeoghPruned  int   `json:"lb_keogh_pruned"`
+	LBYiPruned     int   `json:"lb_yi_pruned"`
+	CorridorPruned int   `json:"corridor_pruned"`
+	DTWAbandoned   int   `json:"dtw_abandoned"`
+	WallMicros     int64 `json:"wall_us"`
 }
 
 // SearchResponse is the /search reply.
@@ -213,6 +262,19 @@ type SearchResponse struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func shardQueriesJSON(qt twsim.QueryTotals) map[string]any {
+	return map[string]any{
+		"searches":        qt.Searches,
+		"candidates":      qt.Candidates,
+		"dtw_calls":       qt.DTWCalls,
+		"dtw_abandoned":   qt.DTWAbandoned,
+		"lb_kim_pruned":   qt.LBKimPruned,
+		"lb_keogh_pruned": qt.LBKeoghPruned,
+		"lb_yi_pruned":    qt.LBYiPruned,
+		"corridor_pruned": qt.CorridorPruned,
+	}
 }
 
 func repairJSON(rs twsim.RepairStats) map[string]any {
@@ -231,13 +293,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := map[string]any{
-		"sequences":   s.backend.Len(),
-		"data_bytes":  s.backend.DataBytes(),
-		"index_pages": s.backend.IndexPages(),
-		"repair":      repairJSON(s.backend.LastRepair()),
+		"sequences":    s.backend.Len(),
+		"data_bytes":   s.backend.DataBytes(),
+		"index_pages":  s.backend.IndexPages(),
+		"repair":       repairJSON(s.backend.LastRepair()),
+		"query_totals": s.totals.json(),
 	}
 	// Sharded backends additionally report a per-shard breakdown so
-	// operators can spot skew; the single-DB shape stays flat.
+	// operators can spot skew — in storage (sequences, pages) and in query
+	// work (the engine's own cumulative counters, which also cover
+	// NearestK and batch traffic the flat totals see only as one search);
+	// the single-DB shape stays flat.
 	if sb, ok := s.backend.(interface{ ShardStats() []twsim.ShardStat }); ok {
 		stats := sb.ShardStats()
 		shards := make([]map[string]any, len(stats))
@@ -248,6 +314,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				"data_bytes": st.DataBytes,
 				"pages":      st.IndexPages,
 				"repair":     repairJSON(st.Repair),
+				"queries":    shardQueriesJSON(st.Queries),
 			}
 		}
 		out["shards"] = shards
@@ -350,6 +417,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.totals.accumulate(res.Stats)
 	writeJSON(w, http.StatusOK, toSearchResponse(res))
 }
 
@@ -476,10 +544,15 @@ func toSearchResponse(res *twsim.Result) SearchResponse {
 	out := SearchResponse{
 		Matches: make([]MatchJSON, len(res.Matches)),
 		Stats: StatsJSON{
-			Candidates: res.Stats.Candidates,
-			Results:    res.Stats.Results,
-			DTWCalls:   res.Stats.DTWCalls,
-			WallMicros: res.Stats.Wall.Microseconds(),
+			Candidates:     res.Stats.Candidates,
+			Results:        res.Stats.Results,
+			DTWCalls:       res.Stats.DTWCalls,
+			LBKimPruned:    res.Stats.LBKimPruned,
+			LBKeoghPruned:  res.Stats.LBKeoghPruned,
+			LBYiPruned:     res.Stats.LBYiPruned,
+			CorridorPruned: res.Stats.CorridorPruned,
+			DTWAbandoned:   res.Stats.DTWAbandoned,
+			WallMicros:     res.Stats.Wall.Microseconds(),
 		},
 	}
 	for i, m := range res.Matches {

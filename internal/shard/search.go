@@ -31,6 +31,7 @@ func (e *Engine) search(query []float64, epsilon float64, parallel bool) (*core.
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)
 		}
+		e.counters[si].accumulate(res.Stats)
 		results[si] = res
 		return nil
 	}

@@ -56,8 +56,9 @@ type Store interface {
 type Engine struct {
 	stores      []Store
 	locks       []sync.RWMutex
-	next        atomic.Uint32 // insertion counter; placement = next mod N
-	parallelism int           // fan-out worker bound per search
+	counters    []queryCounters // cumulative per-shard query work
+	next        atomic.Uint32   // insertion counter; placement = next mod N
+	parallelism int             // fan-out worker bound per search
 }
 
 // New builds an engine over the given shards. parallelism bounds the
@@ -72,6 +73,7 @@ func New(stores []Store, parallelism int) (*Engine, error) {
 	e := &Engine{
 		stores:      stores,
 		locks:       make([]sync.RWMutex, len(stores)),
+		counters:    make([]queryCounters, len(stores)),
 		parallelism: parallelism,
 	}
 	// Start the insertion counter past the current contents so placement

@@ -1,6 +1,58 @@
 package shard
 
-import "repro/internal/core"
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// QueryTotals are one shard's cumulative query work counters since the
+// engine was built: how many range searches touched the shard, how many
+// index candidates they produced, and where the refinement cascade
+// dismissed them. Operators read the breakdown to spot skew (a shard doing
+// disproportionate DTW work) and to see the cascade's prune rates in
+// production rather than only in benchmarks.
+type QueryTotals struct {
+	Searches       int64
+	Candidates     int64
+	DTWCalls       int64
+	DTWAbandoned   int64
+	LBKimPruned    int64
+	LBKeoghPruned  int64
+	LBYiPruned     int64
+	CorridorPruned int64
+}
+
+// queryCounters is the lock-free accumulation form of QueryTotals; the
+// fan-out workers of concurrent searches update it without coordination.
+type queryCounters struct {
+	searches, candidates, dtwCalls, dtwAbandoned atomic.Int64
+	lbKim, lbKeogh, lbYi, corridor               atomic.Int64
+}
+
+func (c *queryCounters) accumulate(qs core.QueryStats) {
+	c.searches.Add(1)
+	c.candidates.Add(int64(qs.Candidates))
+	c.dtwCalls.Add(int64(qs.DTWCalls))
+	c.dtwAbandoned.Add(int64(qs.DTWAbandoned))
+	c.lbKim.Add(int64(qs.LBKimPruned))
+	c.lbKeogh.Add(int64(qs.LBKeoghPruned))
+	c.lbYi.Add(int64(qs.LBYiPruned))
+	c.corridor.Add(int64(qs.CorridorPruned))
+}
+
+func (c *queryCounters) snapshot() QueryTotals {
+	return QueryTotals{
+		Searches:       c.searches.Load(),
+		Candidates:     c.candidates.Load(),
+		DTWCalls:       c.dtwCalls.Load(),
+		DTWAbandoned:   c.dtwAbandoned.Load(),
+		LBKimPruned:    c.lbKim.Load(),
+		LBKeoghPruned:  c.lbKeogh.Load(),
+		LBYiPruned:     c.lbYi.Load(),
+		CorridorPruned: c.corridor.Load(),
+	}
+}
 
 // ShardStat is one shard's contribution to the database statistics —
 // operators watch the per-shard breakdown for skew (a hot shard shows up as
@@ -16,6 +68,9 @@ type ShardStat struct {
 	IndexPages int
 	// Repair is what the shard's Open-time reconciliation had to fix.
 	Repair core.RepairStats
+	// Queries is the shard's cumulative query work since the engine was
+	// built, including the per-tier cascade prune counters.
+	Queries QueryTotals
 }
 
 // ShardStats returns the per-shard breakdown, indexed by shard ID.
@@ -29,6 +84,7 @@ func (e *Engine) ShardStats() []ShardStat {
 			DataBytes:  e.stores[si].DataBytes(),
 			IndexPages: e.stores[si].IndexPages(),
 			Repair:     e.stores[si].LastRepair(),
+			Queries:    e.counters[si].snapshot(),
 		}
 		e.locks[si].RUnlock()
 	}

@@ -33,6 +33,10 @@ func (o ShardedOptions) shardCount() int {
 // ShardStat is one shard's contribution to the database statistics.
 type ShardStat = shard.ShardStat
 
+// QueryTotals are a shard's cumulative query work counters, including the
+// refinement cascade's per-tier prune counts (ShardStat.Queries).
+type QueryTotals = shard.QueryTotals
+
 // ShardedDB is a hash-partitioned sequence database: N independent shards
 // (each a full DB with its own heap file, feature index, and buffer pools)
 // behind one Backend. Searches fan out across shards concurrently and

@@ -62,6 +62,12 @@ type Options struct {
 	PoolPages int
 	// Split is the R-tree split heuristic (default quadratic).
 	Split SplitStrategy
+	// DisableCascade turns off the tiered lower-bound cascade in the
+	// refinement step, sending every index candidate straight to the exact
+	// early-abandoning DTW. Matches and distances are bit-identical either
+	// way — the cascade only skips work, never answers — so the flag exists
+	// for benchmarking and verification, not correctness.
+	DisableCascade bool
 }
 
 // RepairStats summarizes the Open-time reconciliation between the sequence
@@ -354,7 +360,7 @@ func (db *DB) Search(query []float64, epsilon float64) (*Result, error) {
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
 	}
-	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
+	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base, NoCascade: db.opts.DisableCascade}
 	return m.Search(seq.Sequence(query), epsilon)
 }
 
@@ -365,7 +371,7 @@ func (db *DB) NearestK(query []float64, k int) ([]Match, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
-	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base}
+	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base, NoCascade: db.opts.DisableCascade}
 	return m.NearestK(seq.Sequence(query), k)
 }
 
