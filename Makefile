@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke
+.PHONY: ci fmt vet build test race bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke
 
 # Full gate: formatting, static checks, build, the whole test suite
 # (including the fault-injection recovery tests) under the race detector,
-# and short benchmark smokes for the sharded engine and the refine cascade.
-ci: fmt vet build race bench-shards-smoke bench-cascade-smoke
+# and short benchmark smokes for the sharded engine, the refine cascade,
+# and intra-query parallel refinement.
+ci: fmt vet build race bench-shards-smoke bench-cascade-smoke bench-refine-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -44,3 +45,14 @@ bench-cascade:
 # baseline results are bit-identical on the smoke corpus.
 bench-cascade-smoke:
 	$(GO) run ./cmd/benchcascade -smoke >/dev/null
+
+# Intra-query parallel refinement + decoded-sequence cache: qps/latency and
+# pool/cache hit rates at 1/2/4/GOMAXPROCS refine workers on the benchshards
+# workload; writes BENCH_refine.json.
+bench-refine:
+	$(GO) run ./cmd/benchrefine
+
+# Tiny workload, no output file; also verifies every worker budget's results
+# are bit-identical to the serial baseline on the smoke corpus.
+bench-refine-smoke:
+	$(GO) run ./cmd/benchrefine -smoke >/dev/null

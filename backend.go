@@ -39,6 +39,9 @@ type Backend interface {
 	IndexPages() int
 	// LastRepair reports what the Open-time reconciliation fixed.
 	LastRepair() RepairStats
+	// StorageStats snapshots the buffer pool and decoded-sequence cache
+	// counters (summed over shards for a sharded backend).
+	StorageStats() StorageStats
 	// Verify runs the full heap/index integrity check.
 	Verify() error
 	// Flush persists all state.
@@ -85,9 +88,16 @@ func NewSharedBound() *SharedBound { return core.NewSharedBound() }
 // returned matches are the walk's survivors (at most k, ascending); under
 // a shared bound they need not be this partition's own true top-k.
 func (db *DB) NearestKShared(query []float64, k int, bound *SharedBound) ([]Match, error) {
+	return db.NearestKSharedWorkers(query, k, bound, db.opts.refineWorkers())
+}
+
+// NearestKSharedWorkers is NearestKShared with an explicit intra-query
+// verification worker count for this call (≤ 1 means serial), overriding
+// Options.RefineWorkers. The sharded engine uses it to spread one refine
+// budget across shards; results are bit-identical at every worker count.
+func (db *DB) NearestKSharedWorkers(query []float64, k int, bound *SharedBound, workers int) ([]Match, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
-	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base, NoCascade: db.opts.DisableCascade}
-	return m.NearestKShared(seq.Sequence(query), k, bound)
+	return db.searcher(workers).NearestKShared(seq.Sequence(query), k, bound)
 }

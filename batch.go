@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/core"
 	"repro/internal/seq"
 )
 
@@ -41,7 +40,9 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base, NoCascade: db.opts.DisableCascade}
+			// One worker per query already fills the machine; nesting
+			// intra-query refine workers under that would oversubscribe.
+			m := db.searcher(1)
 			for i := range work {
 				if failed() {
 					continue // drain: the batch is already doomed

@@ -1,0 +1,234 @@
+// Command benchrefine measures intra-query parallel refinement and the
+// decoded-sequence cache on a synthetic random-walk workload (the paper's
+// §5.1 generator), writing the results as JSON.
+//
+// Usage:
+//
+//	go run ./cmd/benchrefine                    # full run, writes BENCH_refine.json
+//	go run ./cmd/benchrefine -smoke             # small CI smoke run (no file)
+//	go run ./cmd/benchrefine -seqs 8000 -len 256 -queries 128
+//
+// Unlike benchshards, which measures inter-query batch throughput, this
+// harness runs queries one at a time so each query's refinement step — the
+// candidate fetch + lower-bound cascade + exact DTW — is the only source of
+// parallelism. Every worker budget in {1, 2, 4, GOMAXPROCS} (deduplicated)
+// gets a fresh database over the same fixed-seed data. Per configuration the
+// harness runs three passes over the query set:
+//
+//  1. an untimed warm pass (fills the buffer pools and the decoded-sequence
+//     cache),
+//  2. a timed repeated-query pass (the steady state: hot pools, hot cache),
+//  3. in -smoke mode only, a verification pass comparing every result
+//     against the workers=1 baseline match-for-match.
+//
+// Reported per configuration: queries/sec, per-query p50/p99 latency, DTW
+// call count, buffer-pool hit ratio, and the decoded-sequence cache hit
+// ratio over the repeated-query pass (expected near 1.0 once the working
+// set fits the cache budget). The "gomaxprocs" field records how many cores
+// the run actually had — on a 1-core runner the multi-worker configurations
+// show scheduling overhead, not speedup, so judge scaling only against that
+// field.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	twsim "repro"
+	"repro/internal/synth"
+)
+
+type config struct {
+	Workers      int     `json:"workers"`
+	QPS          float64 `json:"queries_per_sec"`
+	WallMS       float64 `json:"wall_ms"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	DTWCalls     int     `json:"dtw_calls"`
+	Candidates   int     `json:"candidates"`
+	Matches      int     `json:"matches"`
+	PoolHitRate  float64 `json:"pool_hit_rate"`
+	CacheHitRate float64 `json:"repeat_cache_hit_rate"`
+	SpeedupVs1W  float64 `json:"speedup_vs_1_worker"`
+}
+
+type report struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Sequences  int      `json:"sequences"`
+	SeqLen     int      `json:"seq_len"`
+	Queries    int      `json:"queries"`
+	Epsilon    float64  `json:"epsilon"`
+	CacheMB    int      `json:"seq_cache_mb"`
+	Smoke      bool     `json:"smoke"`
+	Configs    []config `json:"configs"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_refine.json", "result file (empty = stdout only)")
+		smoke   = flag.Bool("smoke", false, "small fast run for CI with result verification; implies -out \"\"")
+		seqs    = flag.Int("seqs", 4000, "number of random-walk sequences")
+		seqLen  = flag.Int("len", 128, "sequence length")
+		queries = flag.Int("queries", 64, "queries per pass")
+		eps     = flag.Float64("eps", 0.35, "search tolerance (paper's epsilon)")
+		cacheMB = flag.Int("cache-mb", 8, "decoded-sequence cache budget in MiB")
+	)
+	flag.Parse()
+	if *smoke {
+		*out = ""
+		*seqs, *seqLen, *queries = 300, 64, 8
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	data := synth.RandomWalkSet(rng, *seqs, *seqLen)
+	values := make([][]float64, len(data))
+	for i, s := range data {
+		values[i] = s
+	}
+	qs := synth.Queries(rng, data, *queries)
+	queryVals := make([][]float64, len(qs))
+	for i, q := range qs {
+		queryVals[i] = q
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Sequences:  *seqs,
+		SeqLen:     *seqLen,
+		Queries:    *queries,
+		Epsilon:    *eps,
+		CacheMB:    *cacheMB,
+		Smoke:      *smoke,
+	}
+	var baseline []*twsim.Result // workers=1 results, the verification oracle
+	for _, w := range workerCounts(rep.GOMAXPROCS) {
+		c, results, err := runConfig(w, values, queryVals, *eps, int64(*cacheMB)<<20)
+		if err != nil {
+			log.Fatalf("benchrefine: workers=%d: %v", w, err)
+		}
+		if *smoke {
+			if baseline == nil {
+				baseline = results
+			} else if err := compareResults(baseline, results); err != nil {
+				log.Fatalf("benchrefine: workers=%d not bit-identical to workers=1: %v", w, err)
+			}
+		}
+		if len(rep.Configs) > 0 {
+			c.SpeedupVs1W = c.QPS / rep.Configs[0].QPS
+		} else {
+			c.SpeedupVs1W = 1
+		}
+		rep.Configs = append(rep.Configs, c)
+		log.Printf("workers=%d: %.1f queries/sec (p50 %.2f ms, p99 %.2f ms, %d DTW calls, pool hit %.1f%%, repeat cache hit %.1f%%)",
+			c.Workers, c.QPS, c.P50MS, c.P99MS, c.DTWCalls, 100*c.PoolHitRate, 100*c.CacheHitRate)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("benchrefine: writing %s: %v", *out, err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}
+
+// workerCounts returns {1, 2, 4, GOMAXPROCS} deduplicated and sorted, so
+// the serial baseline always runs first.
+func workerCounts(maxprocs int) []int {
+	set := map[int]bool{1: true, 2: true, 4: true, maxprocs: true}
+	var out []int
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func runConfig(workers int, data, queries [][]float64, eps float64, cacheBytes int64) (config, []*twsim.Result, error) {
+	db, err := twsim.OpenMem(twsim.Options{RefineWorkers: workers, SeqCacheBytes: cacheBytes})
+	if err != nil {
+		return config{}, nil, err
+	}
+	defer db.Close()
+	if _, err := db.AddAll(data); err != nil {
+		return config{}, nil, err
+	}
+
+	// Warm pass: fills the buffer pools and the decoded-sequence cache so
+	// the timed pass below measures the repeated-query steady state.
+	for _, q := range queries {
+		if _, err := db.Search(q, eps); err != nil {
+			return config{}, nil, err
+		}
+	}
+
+	before := db.StorageStats()
+	results := make([]*twsim.Result, len(queries))
+	start := time.Now()
+	for i, q := range queries {
+		r, err := db.Search(q, eps)
+		if err != nil {
+			return config{}, nil, err
+		}
+		results[i] = r
+	}
+	wall := time.Since(start)
+	after := db.StorageStats()
+
+	lat := make([]time.Duration, len(results))
+	c := config{Workers: workers}
+	for i, r := range results {
+		lat[i] = r.Stats.Wall
+		c.DTWCalls += r.Stats.DTWCalls
+		c.Candidates += r.Stats.Candidates
+		c.Matches += len(r.Matches)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	c.WallMS = float64(wall.Microseconds()) / 1e3
+	c.QPS = float64(len(queries)) / wall.Seconds()
+	c.P50MS = float64(lat[len(lat)/2].Microseconds()) / 1e3
+	c.P99MS = float64(lat[len(lat)*99/100].Microseconds()) / 1e3
+
+	// Hit ratios over the timed pass only (counter deltas), so the cold
+	// load and warm pass don't dilute the steady-state numbers.
+	reads := (after.Data.Reads + after.Index.Reads) - (before.Data.Reads + before.Index.Reads)
+	misses := (after.Data.Misses + after.Index.Misses) - (before.Data.Misses + before.Index.Misses)
+	if reads > 0 {
+		c.PoolHitRate = 1 - float64(misses)/float64(reads)
+	}
+	hits := after.Cache.Hits - before.Cache.Hits
+	cmisses := after.Cache.Misses - before.Cache.Misses
+	if hits+cmisses > 0 {
+		c.CacheHitRate = float64(hits) / float64(hits+cmisses)
+	}
+	return c, results, nil
+}
+
+// compareResults demands match-for-match equality: parallel refinement must
+// be bit-identical to the serial path at every worker budget.
+func compareResults(want, got []*twsim.Result) error {
+	for qi := range want {
+		if len(want[qi].Matches) != len(got[qi].Matches) {
+			return fmt.Errorf("query %d: %d matches, want %d", qi, len(got[qi].Matches), len(want[qi].Matches))
+		}
+		for i := range want[qi].Matches {
+			if want[qi].Matches[i] != got[qi].Matches[i] {
+				return fmt.Errorf("query %d match %d: %+v, want %+v", qi, i, got[qi].Matches[i], want[qi].Matches[i])
+			}
+		}
+	}
+	return nil
+}

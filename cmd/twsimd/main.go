@@ -17,6 +17,17 @@
 // the number of cores you want one query's DTW verification to use (see
 // the README's sharding section).
 //
+// -refine-workers B is the total intra-query refinement budget per search
+// (candidate fetch + cascade + exact DTW run on up to B goroutines; on a
+// sharded database the budget is split across the shards a search fans out
+// to). 0, the default, means GOMAXPROCS; 1 forces the serial path. Results
+// are bit-identical at every setting.
+//
+// -seq-cache-mb M sizes the decoded-sequence cache in MiB per partition
+// (default 4, 0 disables): repeat queries serve hot sequences from memory
+// without page I/O or deserialization. The cache+pool hit ratios are
+// reported under "storage" in GET /stats.
+//
 // Shut down with SIGINT/SIGTERM; the database is flushed on exit.
 package main
 
@@ -38,35 +49,38 @@ import (
 
 func main() {
 	var (
-		dbDir  = flag.String("db", "", "database directory")
-		addr   = flag.String("addr", ":7474", "listen address")
-		create = flag.Bool("create", false, "create the database if it does not exist")
-		mem    = flag.Bool("mem", false, "serve an ephemeral in-memory database")
-		shards = flag.Int("shards", 0, "shard count for -create/-mem (0 = unsharded); on open, must match the existing layout")
-		verify = flag.Bool("verify", false, "run a full heap/index integrity check before serving")
+		dbDir   = flag.String("db", "", "database directory")
+		addr    = flag.String("addr", ":7474", "listen address")
+		create  = flag.Bool("create", false, "create the database if it does not exist")
+		mem     = flag.Bool("mem", false, "serve an ephemeral in-memory database")
+		shards  = flag.Int("shards", 0, "shard count for -create/-mem (0 = unsharded); on open, must match the existing layout")
+		verify  = flag.Bool("verify", false, "run a full heap/index integrity check before serving")
+		workers = flag.Int("refine-workers", 0, "intra-query refinement worker budget per search (0 = GOMAXPROCS, 1 = serial)")
+		cacheMB = flag.Int("seq-cache-mb", 4, "decoded-sequence cache size in MiB per partition (0 = disabled)")
 	)
 	flag.Parse()
 
+	opts := twsim.Options{RefineWorkers: *workers, SeqCacheBytes: int64(*cacheMB) << 20}
 	var db twsim.Backend
 	var single *twsim.DB // non-nil when serving an unsharded database
 	var err error
-	sharded := twsim.ShardedOptions{Shards: *shards}
+	sharded := twsim.ShardedOptions{Options: opts, Shards: *shards}
 	switch {
 	case *mem && *shards > 0:
 		db, err = twsim.OpenMemSharded(sharded)
 	case *mem:
-		single, err = twsim.OpenMem(twsim.Options{})
+		single, err = twsim.OpenMem(opts)
 	case *dbDir == "":
 		fmt.Fprintln(os.Stderr, "twsimd: provide -db <dir> or -mem")
 		os.Exit(2)
 	case *create && *shards > 0:
 		db, err = twsim.CreateSharded(*dbDir, sharded)
 	case *create:
-		single, err = twsim.Create(*dbDir, twsim.Options{})
+		single, err = twsim.Create(*dbDir, opts)
 	case *shards > 0 || twsim.IsSharded(*dbDir):
 		db, err = twsim.OpenSharded(*dbDir, sharded)
 	default:
-		single, err = twsim.Open(*dbDir, twsim.Options{})
+		single, err = twsim.Open(*dbDir, opts)
 	}
 	if single != nil {
 		db = single

@@ -79,4 +79,23 @@
 // satisfy the Backend interface; CreateSharded, OpenSharded, and
 // OpenMemSharded mirror the single-database constructors, with per-shard
 // crash reconciliation on open.
+//
+// # Intra-query parallelism and caching
+//
+// Options.RefineWorkers sets the per-query refinement budget: the
+// candidate fetch, lower-bound cascade, and exact DTW verification run on
+// up to that many goroutines (0 selects GOMAXPROCS; 1 is the exact serial
+// path). On a sharded database the budget is divided among the shards a
+// query fans out to, so fan-out times refine workers never exceeds the
+// budget. Results are bit-identical at every setting — for range queries
+// the fixed tolerance makes each candidate's verdict order-independent,
+// and for k-NN the shrinking cutoff is only ever read conservatively
+// (stale reads admit extra candidates, never dismiss true neighbors).
+//
+// The storage layer supports the worker pool with a lock-striped buffer
+// pool (pages hash to independently locked stripes, so concurrent faults
+// on different pages do not serialize) and an optional decoded-sequence
+// cache (Options.SeqCacheBytes) whose hits skip page I/O and
+// deserialization entirely; DB.StorageStats exposes wait-free hit-ratio
+// counters for both.
 package twsim

@@ -48,7 +48,7 @@ func (a *AdaptiveSearch) Search(q seq.Sequence, epsilon float64) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	entries, err := a.Index.RangeQueryEntries(fq, epsilon)
+	entries, err := a.Index.RangeQueryEntries(fq, filterRadius(a.Base, epsilon))
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +80,7 @@ func (a *AdaptiveSearch) Search(q seq.Sequence, epsilon float64) (*Result, error
 		}
 		sortMatches(res.Matches)
 	} else {
-		res.Matches, err = refine(a.DB, a.Base, q, epsilon, entries, false, &res.Stats)
+		res.Matches, err = refine(a.DB, a.Base, q, epsilon, entries, false, 1, &res.Stats)
 		if err != nil {
 			return nil, err
 		}

@@ -94,21 +94,18 @@ func (c *cascade) admitPoint(pt [4]float64, cutoff float64, stats *QueryStats) b
 	return true
 }
 
-// admitLB is Tier 0 when the caller already holds the LB_Kim value (the
-// k-NN walk streams it). For the additive L2Sq base the comparable bound is
-// the square, which can exceed a cutoff the raw value stays under.
-func (c *cascade) admitLB(lb, cutoff float64, stats *QueryStats) bool {
-	if c.disabled || math.IsInf(cutoff, 1) {
-		return true
+// comparableLB converts a raw LB_Kim feature distance into the form
+// comparable against a DTW distance under base: for the additive L2Sq base
+// the single matched pair the bound describes contributes its squared
+// difference, so the comparable bound is the square. Used by the k-NN
+// walk-stop test; since x ↦ x² is monotone on the walk's nonnegative
+// ascending bounds, the converted stream stays ascending and stopping on
+// it is sound.
+func comparableLB(base seq.Base, lb float64) float64 {
+	if base == seq.L2Sq {
+		return lb * lb
 	}
-	if c.base == seq.L2Sq {
-		lb = lb * lb
-	}
-	if lb > cutoff {
-		stats.LBKimPruned++
-		return false
-	}
-	return true
+	return lb
 }
 
 // verify runs Tiers 1–3 on a fetched candidate: it returns (d, true) with

@@ -34,8 +34,18 @@ type Searcher interface {
 // and it keeps reads available until the next Repair removes the entries.
 // Skipped candidates never touch DTWCalls — the counter reflects only DP
 // invocations that actually ran.
+//
+// With workers > 1 the candidates fan out to a bounded worker pool (see
+// refineParallel); the matches and the aggregated stats are bit-identical
+// to the serial loop because the pruning cutoff is the fixed tolerance ε,
+// so every candidate's verdict is independent of evaluation order.
 func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
-	entries []IndexEntry, noCascade bool, stats *QueryStats) ([]Match, error) {
+	entries []IndexEntry, noCascade bool, workers int, stats *QueryStats) ([]Match, error) {
+	if workers > 1 && len(entries) > 1 {
+		return refineParallel(db, base, q, epsilon, len(entries),
+			func(i int) (seq.ID, [4]float64, bool) { return entries[i].ID, entries[i].Point, true },
+			noCascade, workers, stats)
+	}
 	c := newCascade(q, base, noCascade)
 	defer c.close()
 	var matches []Match
@@ -62,7 +72,12 @@ func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 // stored feature point (FastMap, ST-Filter): Tier 0 is skipped, Tiers 1–3
 // run after the fetch.
 func refineIDs(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
-	candidates []seq.ID, noCascade bool, stats *QueryStats) ([]Match, error) {
+	candidates []seq.ID, noCascade bool, workers int, stats *QueryStats) ([]Match, error) {
+	if workers > 1 && len(candidates) > 1 {
+		return refineParallel(db, base, q, epsilon, len(candidates),
+			func(i int) (seq.ID, [4]float64, bool) { return candidates[i], [4]float64{}, false },
+			noCascade, workers, stats)
+	}
 	c := newCascade(q, base, noCascade)
 	defer c.close()
 	var matches []Match
@@ -80,6 +95,21 @@ func refineIDs(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 	}
 	sortMatches(matches)
 	return matches, nil
+}
+
+// filterRadius converts a query tolerance into the index filter radius.
+// The index stores unsquared feature values and Dtw-lb bounds the cost of
+// one matched pair, so for the additive L2Sq base — where a matched pair
+// contributes the square of its difference — a candidate with feature
+// distance f qualifies whenever f² ≤ ε, i.e. f ≤ √ε. The seed passed ε
+// through unchanged, which false-dismisses for ε < 1 (where √ε > ε) and
+// over-admits for ε > 1; √ε is exact for all ε. The other bases charge the
+// pair its absolute difference, so the radius is ε itself.
+func filterRadius(base seq.Base, epsilon float64) float64 {
+	if base == seq.L2Sq {
+		return math.Sqrt(epsilon)
+	}
+	return epsilon
 }
 
 func sortMatches(matches []Match) {
@@ -185,6 +215,12 @@ type TWSimSearch struct {
 	// behavior). Results are bit-identical either way; the flag exists for
 	// benchmarks and equivalence tests.
 	NoCascade bool
+	// Workers bounds the intra-query refinement parallelism. Values ≤ 1
+	// keep the historical serial execution (the zero value is serial, so
+	// direct constructions — including the experiment drivers, whose
+	// per-query I/O accounting depends on a deterministic fetch order —
+	// are unchanged). The public layer resolves its default to GOMAXPROCS.
+	Workers int
 }
 
 // Name implements Searcher.
@@ -199,13 +235,13 @@ func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries, err := t.Index.RangeQueryEntries(fq, epsilon)
+	entries, err := t.Index.RangeQueryEntries(fq, filterRadius(t.Base, epsilon))
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
 	res.Stats.Candidates = len(entries)
-	res.Matches, err = refine(t.DB, t.Base, q, epsilon, entries, t.NoCascade, &res.Stats)
+	res.Matches, err = refine(t.DB, t.Base, q, epsilon, entries, t.NoCascade, t.Workers, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +283,16 @@ func (t *TWSimSearch) NearestKShared(q seq.Sequence, k int, shared *SharedBound)
 // exposed. Once k survivors exist the cutoff is finite and every candidate
 // runs the full cascade against it (and against the cross-shard bound when
 // present), so the tiers tighten as the search proceeds.
+//
+// The walk streams candidates in ascending lower-bound order, so the stop
+// test compares the base-comparable form of the bound (squared for L2Sq,
+// where a single matched pair contributes its squared difference to the
+// additive total) against the cutoff: the comparable bound is monotone in
+// the walk order, so stopping dismisses only candidates whose exact
+// distance is already above the cutoff. The seed compared the raw bound,
+// which for L2Sq cutoffs < 1 kept walking (and fetching) candidates a
+// sound bound dismisses — and, worse, was the same unsquared comparison
+// the range filter made (see filterRadius).
 func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound, stats *QueryStats) ([]Match, error) {
 	fq, err := seq.ExtractFeature(q)
 	if err != nil {
@@ -254,6 +300,9 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 	}
 	if k <= 0 {
 		return nil, nil
+	}
+	if t.Workers > 1 {
+		return t.nearestKParallel(q, fq, k, t.Workers, shared, stats)
 	}
 	c := newCascade(q, t.Base, t.NoCascade)
 	defer c.close()
@@ -269,14 +318,8 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 				cutoff = g
 			}
 		}
-		if lb > cutoff {
-			return false // every later candidate has Dtw >= lb > cutoff
-		}
-		// Tier 0 on the walk's own lower bound: for the L2Sq base the
-		// squared bound can dismiss this candidate even though the
-		// unsquared walk-stop above did not.
-		if !c.admitLB(lb, cutoff, stats) {
-			return true
+		if comparableLB(t.Base, lb) > cutoff {
+			return false // every later candidate has Dtw >= comparable lb > cutoff
 		}
 		s, err := t.DB.Get(id)
 		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {

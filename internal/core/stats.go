@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/pagefile"
 	"repro/internal/seq"
+	"repro/internal/seqdb"
 )
 
 // CostModel converts buffer pool misses into modeled disk time so elapsed
@@ -130,6 +132,24 @@ func (s QueryStats) String() string {
 		s.Candidates, s.Results, s.DTWCalls, s.DTWAbandoned, s.LowerBoundCalls,
 		s.LBKimPruned, s.LBKeoghPruned, s.LBYiPruned, s.CorridorPruned, s.TreeNodes,
 		s.DataReads, s.DataMisses, s.IndexReads, s.IndexMisses, s.Wall)
+}
+
+// StorageStats is a point-in-time snapshot of the storage-layer counters:
+// the heap file's and index's buffer pools plus the decoded-sequence
+// cache. Each component snapshot is wait-free for its counters and the
+// three are taken one after another, so the whole is weakly consistent —
+// good for monitoring ratios, not for exact cross-component accounting.
+type StorageStats struct {
+	Data  pagefile.Stats
+	Index pagefile.Stats
+	Cache seqdb.CacheStats
+}
+
+// Add accumulates other into s (used to aggregate across shards).
+func (s *StorageStats) Add(other StorageStats) {
+	s.Data.Add(other.Data)
+	s.Index.Add(other.Index)
+	s.Cache.Add(other.Cache)
 }
 
 // Match is one qualifying sequence with its exact time warping distance.

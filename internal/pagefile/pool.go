@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats accumulates buffer pool activity. Reads counts logical page
@@ -57,21 +58,71 @@ type frame struct {
 	buf   []byte
 	pins  int
 	dirty bool
-	elem  *list.Element // position in the LRU list when unpinned
+	elem  *list.Element // position in the stripe's LRU list when unpinned
+}
+
+// stripe is one lock-striped partition of the pool: it owns the frames of
+// the pages hashed to it, with its own LRU list, mutex, and frame budget,
+// so fetches of pages in different stripes never contend.
+type stripe struct {
+	mu       sync.Mutex
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; holds only unpinned frames
+	capacity int
+	_        [32]byte // pad to a cache line so stripe locks don't false-share
+}
+
+const (
+	// minStripeCapacity is the smallest frame budget a stripe may have.
+	// Multi-page operations (an R-tree split holds a parent and two fresh
+	// children pinned) must fit in one stripe even when every page they
+	// touch hashes to the same stripe, so this stays comfortably above the
+	// pool-wide minimum of 4.
+	minStripeCapacity = 8
+	// maxStripes bounds the stripe count; beyond ~16 ways the residual
+	// contention is dwarfed by the backend I/O itself.
+	maxStripes = 16
+)
+
+// stripeCount picks the largest power-of-two stripe count (≤ maxStripes)
+// that still leaves every stripe at least minStripeCapacity frames. A
+// 4-page pool therefore degenerates to a single stripe, which behaves
+// exactly like the historical single-mutex pool.
+func stripeCount(capacity int) int {
+	n := 1
+	for n*2 <= capacity/minStripeCapacity && n*2 <= maxStripes {
+		n *= 2
+	}
+	return n
 }
 
 // Pool is an LRU buffer pool over a Backend. All methods are safe for
 // concurrent use.
+//
+// The pool is lock-striped: pages hash to one of NumStripes independent
+// partitions (stripe = id mod NumStripes, so a sequential scan round-robins
+// across stripes), each with its own mutex, frame map, LRU list, and frame
+// budget. Pin, unpin, and eviction all take only the owning stripe's lock;
+// the activity counters are atomics, so Stats never blocks queries.
 type Pool struct {
 	backend  Backend
 	pageSize int
 	capacity int
 
-	mu       sync.Mutex
-	frames   map[PageID]*frame
-	lru      *list.List // front = most recently used; holds only unpinned frames
-	stats    Stats
-	lastMiss PageID // previously missed page, for sequential-read detection
+	stripes []stripe
+	mask    uint32 // len(stripes)-1; stripe counts are powers of two
+
+	// Activity counters. Kept as atomics so the hot path never serializes
+	// on accounting and Stats() is wait-free.
+	reads     atomic.Int64
+	misses    atomic.Int64
+	seqMisses atomic.Int64
+	writes    atomic.Int64
+	// lastMiss is the previously missed page, for sequential-read
+	// detection. A single pool-wide register (not per-stripe state) so a
+	// serial sequential scan is detected exactly even though consecutive
+	// pages hash to different stripes.
+	lastMiss atomic.Uint32
 }
 
 // NewPool creates a buffer pool with room for capacity pages of the given
@@ -85,14 +136,26 @@ func NewPool(backend Backend, pageSize, capacity int) (*Pool, error) {
 	if pageSize <= crcLen+8 {
 		return nil, fmt.Errorf("pagefile: page size %d too small", pageSize)
 	}
-	return &Pool{
+	n := stripeCount(capacity)
+	p := &Pool{
 		backend:  backend,
 		pageSize: pageSize,
 		capacity: capacity,
-		frames:   make(map[PageID]*frame, capacity),
-		lru:      list.New(),
-		lastMiss: InvalidPage,
-	}, nil
+		stripes:  make([]stripe, n),
+		mask:     uint32(n - 1),
+	}
+	base, extra := capacity/n, capacity%n
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.capacity = base
+		if i < extra {
+			st.capacity++
+		}
+		st.frames = make(map[PageID]*frame, st.capacity)
+		st.lru = list.New()
+	}
+	p.lastMiss.Store(uint32(InvalidPage))
+	return p, nil
 }
 
 // PageSize returns the configured page size.
@@ -101,18 +164,32 @@ func (p *Pool) PageSize() int { return p.pageSize }
 // PayloadSize returns the number of caller-usable bytes per page.
 func (p *Pool) PayloadSize() int { return p.pageSize - crcLen }
 
-// Stats returns a snapshot of the accumulated counters.
+// NumStripes returns the number of lock stripes the pool was built with.
+func (p *Pool) NumStripes() int { return len(p.stripes) }
+
+func (p *Pool) stripeOf(id PageID) *stripe { return &p.stripes[uint32(id)&p.mask] }
+
+// Stats returns a snapshot of the accumulated counters. The snapshot is
+// wait-free — it takes no locks and never blocks (or is blocked by)
+// concurrent fetches — and therefore only weakly consistent: each counter
+// is read atomically, but the four reads are not a single atomic cut, so a
+// fetch racing the snapshot may appear in Reads and not yet in Misses.
+// Counters are monotone, so successive snapshots never go backwards.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Reads:     p.reads.Load(),
+		Misses:    p.misses.Load(),
+		SeqMisses: p.seqMisses.Load(),
+		Writes:    p.writes.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (used between experiment runs).
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.reads.Store(0)
+	p.misses.Store(0)
+	p.seqMisses.Store(0)
+	p.writes.Store(0)
 }
 
 // NumPages returns the number of allocated pages in the backing store.
@@ -124,9 +201,10 @@ func (p *Pool) Alloc() (*Page, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, err := p.installLocked(id)
+	st := p.stripeOf(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f, err := p.installLocked(st, id)
 	if err != nil {
 		return nil, err
 	}
@@ -137,81 +215,82 @@ func (p *Pool) Alloc() (*Page, error) {
 	return &Page{id: id, frame: f, pool: p}, nil
 }
 
-// Fetch pins page id, reading it from the backend on a miss.
+// Fetch pins page id, reading it from the backend on a miss. Fetches of
+// pages in different stripes proceed fully in parallel; a miss blocks only
+// its own stripe while the backend read is in flight.
 func (p *Pool) Fetch(id PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Reads++
-	if f, ok := p.frames[id]; ok {
+	st := p.stripeOf(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p.reads.Add(1)
+	if f, ok := st.frames[id]; ok {
 		f.pins++
 		if f.elem != nil {
-			p.lru.Remove(f.elem)
+			st.lru.Remove(f.elem)
 			f.elem = nil
 		}
 		return &Page{id: id, frame: f, pool: p}, nil
 	}
-	p.stats.Misses++
-	if p.lastMiss != InvalidPage && id == p.lastMiss+1 {
-		p.stats.SeqMisses++
+	p.misses.Add(1)
+	if prev := PageID(p.lastMiss.Swap(uint32(id))); prev != InvalidPage && id == prev+1 {
+		p.seqMisses.Add(1)
 	}
-	p.lastMiss = id
-	f, err := p.installLocked(id)
+	f, err := p.installLocked(st, id)
 	if err != nil {
 		return nil, err
 	}
 	if err := p.backend.ReadPage(id, f.buf); err != nil {
-		p.dropLocked(f)
+		delete(st.frames, f.id)
 		return nil, err
 	}
 	if err := verifyCRC(f.buf); err != nil {
-		p.dropLocked(f)
+		delete(st.frames, f.id)
 		return nil, fmt.Errorf("%w (page %d)", err, id)
 	}
 	return &Page{id: id, frame: f, pool: p}, nil
 }
 
-// installLocked obtains a frame for id (evicting if necessary) and registers
-// it pinned once. Caller holds p.mu.
-func (p *Pool) installLocked(id PageID) (*frame, error) {
+// installLocked obtains a frame for id within stripe st (evicting the
+// stripe's LRU victim if the stripe is at its budget) and registers it
+// pinned once. Caller holds st.mu.
+func (p *Pool) installLocked(st *stripe, id PageID) (*frame, error) {
 	var buf []byte
-	if len(p.frames) >= p.capacity {
-		victim := p.lru.Back()
+	if len(st.frames) >= st.capacity {
+		victim := st.lru.Back()
 		if victim == nil {
-			return nil, fmt.Errorf("pagefile: buffer pool exhausted (%d pages, all pinned)", p.capacity)
+			return nil, fmt.Errorf("pagefile: buffer pool stripe exhausted (%d of %d pages, all pinned)",
+				st.capacity, p.capacity)
 		}
 		vf := victim.Value.(*frame)
 		if err := p.flushLocked(vf); err != nil {
 			return nil, err
 		}
-		p.lru.Remove(victim)
-		delete(p.frames, vf.id)
+		st.lru.Remove(victim)
+		delete(st.frames, vf.id)
 		buf = vf.buf
 	} else {
 		buf = make([]byte, p.pageSize)
 	}
 	f := &frame{id: id, buf: buf, pins: 1}
-	p.frames[id] = f
+	st.frames[id] = f
 	return f, nil
 }
 
-// dropLocked removes a freshly installed frame after a failed read.
-func (p *Pool) dropLocked(f *frame) {
-	delete(p.frames, f.id)
-}
-
 func (p *Pool) unpin(f *frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	st := p.stripeOf(f.id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if f.pins <= 0 {
 		panic("pagefile: unpin of unpinned page")
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.elem = p.lru.PushFront(f)
+		f.elem = st.lru.PushFront(f)
 	}
 }
 
-// flushLocked writes a dirty frame back through the backend.
+// flushLocked writes a dirty frame back through the backend. Caller holds
+// the owning stripe's mutex.
 func (p *Pool) flushLocked(f *frame) error {
 	if !f.dirty {
 		return nil
@@ -221,18 +300,24 @@ func (p *Pool) flushLocked(f *frame) error {
 		return err
 	}
 	f.dirty = false
-	p.stats.Writes++
+	p.writes.Add(1)
 	return nil
 }
 
-// FlushAll writes back every dirty frame (pinned or not) without evicting.
+// FlushAll writes back every dirty frame (pinned or not) without evicting,
+// visiting the stripes one at a time so concurrent fetches in other stripes
+// keep flowing.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if err := p.flushLocked(f); err != nil {
-			return err
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.mu.Lock()
+		for _, f := range st.frames {
+			if err := p.flushLocked(f); err != nil {
+				st.mu.Unlock()
+				return err
+			}
 		}
+		st.mu.Unlock()
 	}
 	return nil
 }

@@ -29,6 +29,9 @@ func (db *DB) Delete(id seq.ID) (bool, error) {
 	}
 	db.tombstones[id] = true
 	db.live--
+	if db.cache != nil {
+		db.cache.invalidate(id)
+	}
 	return true, nil
 }
 

@@ -1,0 +1,158 @@
+package seqdb
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/seq"
+)
+
+// CacheStats reports decoded-sequence cache activity. Hits and Misses count
+// only Get calls made while the cache is enabled; Bytes and Entries are the
+// current residency. Like pagefile.Stats, a snapshot is wait-free for the
+// counters and therefore weakly consistent.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Bytes   int64
+	Entries int64
+}
+
+// Add accumulates other into s.
+func (s *CacheStats) Add(other CacheStats) {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Bytes += other.Bytes
+	s.Entries += other.Entries
+}
+
+const cacheShards = 8
+
+// cacheEntrySize estimates the resident cost of a cached sequence: the
+// float64 payload plus map/list/header overhead.
+func cacheEntrySize(s seq.Sequence) int64 { return int64(8*len(s)) + 64 }
+
+// seqCache is a sharded, byte-budgeted LRU of decoded sequences. A hit in
+// DB.Get skips both the page-layer I/O and the varint deserialization.
+//
+// Cached sequences are shared: callers of DB.Get on a cache-enabled
+// database must treat the returned sequence as immutable (the public API
+// layer copies before handing data to users).
+type seqCache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	items  map[seq.ID]*list.Element
+	lru    *list.List // front = most recently used; values are *cacheItem
+}
+
+type cacheItem struct {
+	id   seq.ID
+	s    seq.Sequence
+	size int64
+}
+
+func newSeqCache(budget int64) *seqCache {
+	if budget <= 0 {
+		return nil
+	}
+	c := &seqCache{}
+	per := budget / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.budget = per
+		sh.items = make(map[seq.ID]*list.Element)
+		sh.lru = list.New()
+	}
+	return c
+}
+
+func (c *seqCache) shardOf(id seq.ID) *cacheShard {
+	return &c.shards[uint32(id)%cacheShards]
+}
+
+// get returns the cached sequence for id, or nil.
+func (c *seqCache) get(id seq.ID) seq.Sequence {
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	el, ok := sh.items[id]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	sh.lru.MoveToFront(el)
+	s := el.Value.(*cacheItem).s
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return s
+}
+
+// put inserts (or refreshes) id → s, evicting LRU entries from the shard
+// until it is back under budget. Sequences larger than the whole shard
+// budget are not cached.
+func (c *seqCache) put(id seq.ID, s seq.Sequence) {
+	size := cacheEntrySize(s)
+	sh := c.shardOf(id)
+	if size > sh.budget {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[id]; ok {
+		it := el.Value.(*cacheItem)
+		sh.bytes += size - it.size
+		it.s, it.size = s, size
+		sh.lru.MoveToFront(el)
+	} else {
+		el := sh.lru.PushFront(&cacheItem{id: id, s: s, size: size})
+		sh.items[id] = el
+		sh.bytes += size
+	}
+	for sh.bytes > sh.budget {
+		victim := sh.lru.Back()
+		if victim == nil {
+			break
+		}
+		it := victim.Value.(*cacheItem)
+		sh.lru.Remove(victim)
+		delete(sh.items, it.id)
+		sh.bytes -= it.size
+	}
+}
+
+// invalidate drops id from the cache (after Delete or RollbackLast, whose
+// ID reuse would otherwise serve a stale sequence).
+func (c *seqCache) invalidate(id seq.ID) {
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[id]; ok {
+		it := el.Value.(*cacheItem)
+		sh.lru.Remove(el)
+		delete(sh.items, it.id)
+		sh.bytes -= it.size
+	}
+}
+
+func (c *seqCache) stats() CacheStats {
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Bytes += sh.bytes
+		st.Entries += int64(len(sh.items))
+		sh.mu.Unlock()
+	}
+	return st
+}

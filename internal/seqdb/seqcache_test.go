@@ -1,0 +1,262 @@
+package seqdb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func newCachedMem(t *testing.T, cacheBytes int64) *DB {
+	t.Helper()
+	db, err := NewMem(Options{PageSize: 256, PoolPages: 16, CacheBytes: cacheBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func walk(rng *rand.Rand, n int) seq.Sequence {
+	s := make(seq.Sequence, n)
+	v := rng.Float64()
+	for i := range s {
+		v += rng.Float64() - 0.5
+		s[i] = v
+	}
+	return s
+}
+
+// TestCacheHitSkipsPageIO: the second Get of a sequence is served from the
+// decoded-sequence cache — the buffer pool sees zero additional reads and
+// the cache counters record exactly one miss then one hit.
+func TestCacheHitSkipsPageIO(t *testing.T) {
+	db := newCachedMem(t, 1<<20)
+	rng := rand.New(rand.NewSource(1))
+	s := walk(rng, 50)
+	id, err := db.Append(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db.ResetStats()
+	first, err := db.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := db.Stats().Reads
+	if reads == 0 {
+		t.Fatal("cold Get touched no pool pages")
+	}
+	second, err := db.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Reads; got != reads {
+		t.Fatalf("cached Get performed %d pool reads", got-reads)
+	}
+	for i := range s {
+		if first[i] != s[i] || second[i] != s[i] {
+			t.Fatalf("element %d: cold %g, cached %g, want %g", i, first[i], second[i], s[i])
+		}
+	}
+	cs := db.CacheStats()
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss / 1 entry", cs)
+	}
+	if want := cacheEntrySize(s); cs.Bytes != want {
+		t.Fatalf("cache holds %d bytes, want %d", cs.Bytes, want)
+	}
+}
+
+// TestCacheDisabledByDefault: the zero-value Options keep the cache off so
+// the paper's experiments see exact page-level I/O accounting.
+func TestCacheDisabledByDefault(t *testing.T) {
+	db, err := NewMem(Options{PageSize: 256, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	id, err := db.Append(seq.Sequence{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs := db.CacheStats(); cs != (CacheStats{}) {
+		t.Fatalf("disabled cache recorded activity: %+v", cs)
+	}
+}
+
+// TestCacheDeleteInvalidates: Delete drops the cached copy, so a deleted
+// sequence can never be served stale from memory.
+func TestCacheDeleteInvalidates(t *testing.T) {
+	db := newCachedMem(t, 1<<20)
+	id, err := db.Append(seq.Sequence{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(id); err != nil { // populate the cache
+		t.Fatal(err)
+	}
+	if _, err := db.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(id); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("Get after Delete = %v, want ErrDeleted", err)
+	}
+	if cs := db.CacheStats(); cs.Entries != 0 {
+		t.Fatalf("deleted sequence still resident: %+v", cs)
+	}
+}
+
+// TestCacheRollbackInvalidates: RollbackLast frees the ID for reuse by the
+// next Append; a stale cache entry under that ID would silently corrupt
+// reads of the successor sequence.
+func TestCacheRollbackInvalidates(t *testing.T) {
+	db := newCachedMem(t, 1<<20)
+	old := seq.Sequence{1, 1, 1}
+	id, err := db.Append(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get(id); err != nil { // cache the doomed sequence
+		t.Fatal(err)
+	}
+	if err := db.RollbackLast(id); err != nil {
+		t.Fatal(err)
+	}
+	fresh := seq.Sequence{9, 9, 9}
+	id2, err := db.Append(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("rollback did not free the ID: got %d, want %d", id2, id)
+	}
+	got, err := db.Get(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh {
+		if got[i] != fresh[i] {
+			t.Fatalf("Get after rollback+reuse returned the stale sequence: %v", got)
+		}
+	}
+}
+
+// TestCacheRespectsByteBudget: residency never exceeds the configured
+// budget; old entries are evicted LRU as new ones arrive.
+func TestCacheRespectsByteBudget(t *testing.T) {
+	const budget = 8 << 10
+	db := newCachedMem(t, budget)
+	rng := rand.New(rand.NewSource(7))
+	var ids []seq.ID
+	for i := 0; i < 200; i++ {
+		id, err := db.Append(walk(rng, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := db.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := db.CacheStats()
+	if cs.Bytes > budget {
+		t.Fatalf("cache holds %d bytes over the %d budget", cs.Bytes, budget)
+	}
+	if cs.Entries == 0 || cs.Entries >= int64(len(ids)) {
+		t.Fatalf("eviction never ran: %d of %d entries resident", cs.Entries, len(ids))
+	}
+}
+
+// TestCacheOversizedEntryNotCached: a sequence bigger than a whole cache
+// shard's budget is served correctly but never admitted (it would evict an
+// entire shard for a single entry).
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	db := newCachedMem(t, 1024) // 128 bytes per shard
+	rng := rand.New(rand.NewSource(9))
+	s := walk(rng, 100) // 864 bytes > shard budget
+	id, err := db.Append(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := db.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != s[0] {
+			t.Fatalf("Get returned wrong data: %g", got[0])
+		}
+	}
+	if cs := db.CacheStats(); cs.Entries != 0 || cs.Hits != 0 {
+		t.Fatalf("oversized sequence was cached: %+v", cs)
+	}
+}
+
+// TestCacheConcurrentGetDelete storms Get against Delete under -race: a
+// reader may see the sequence or ErrDeleted, never stale or torn data, and
+// after the storm every deleted ID is gone from the cache.
+func TestCacheConcurrentGetDelete(t *testing.T) {
+	db := newCachedMem(t, 1<<20)
+	rng := rand.New(rand.NewSource(11))
+	const n = 64
+	ids := make([]seq.ID, n)
+	want := make([]seq.Sequence, n)
+	for i := range ids {
+		want[i] = walk(rng, 16)
+		id, err := db.Append(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				j := r.Intn(n)
+				s, err := db.Get(ids[j])
+				if errors.Is(err, ErrDeleted) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if s[0] != want[j][0] {
+					t.Errorf("id %d: read %g, want %g", ids[j], s[0], want[j][0])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < n; j += 2 {
+			if _, err := db.Delete(ids[j]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for j := 0; j < n; j += 2 {
+		if _, err := db.Get(ids[j]); !errors.Is(err, ErrDeleted) {
+			t.Fatalf("id %d deleted but Get = %v", ids[j], err)
+		}
+	}
+}

@@ -29,6 +29,11 @@ type Options struct {
 	// buffer pool is built on it. Fault-injection tests use it to fail
 	// storage operations at chosen points.
 	WrapBackend func(pagefile.Backend) pagefile.Backend
+	// CacheBytes, when positive, enables a decoded-sequence cache of
+	// roughly that many bytes: Get serves hot IDs without touching the page
+	// layer or re-deserializing. Zero disables the cache (the default, so
+	// the paper's per-method disk-access accounting stays exact).
+	CacheBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -56,7 +61,8 @@ const (
 type DB struct {
 	mu      sync.RWMutex
 	pool    *pagefile.Pool
-	dirPath string // empty for purely in-memory databases
+	cache   *seqCache // nil unless Options.CacheBytes > 0
+	dirPath string    // empty for purely in-memory databases
 
 	offsets []int64 // byte offset of record i in the logical stream
 	total   int64   // logical stream length in bytes
@@ -78,7 +84,7 @@ func NewMem(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{pool: pool}, nil
+	return &DB{pool: pool, cache: newSeqCache(opts.CacheBytes)}, nil
 }
 
 // Create creates a new on-disk database inside directory dir (which is
@@ -101,7 +107,7 @@ func Create(dir string, opts Options) (*DB, error) {
 		backend.Close()
 		return nil, err
 	}
-	db := &DB{pool: pool, dirPath: filepath.Join(dir, dirFile)}
+	db := &DB{pool: pool, cache: newSeqCache(opts.CacheBytes), dirPath: filepath.Join(dir, dirFile)}
 	if err := db.saveDirectory(); err != nil {
 		pool.Close()
 		return nil, err
@@ -128,7 +134,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		backend.Close()
 		return nil, err
 	}
-	db := &DB{pool: pool, dirPath: filepath.Join(dir, dirFile)}
+	db := &DB{pool: pool, cache: newSeqCache(opts.CacheBytes), dirPath: filepath.Join(dir, dirFile)}
 	if err := db.loadDirectory(); err != nil {
 		pool.Close()
 		return nil, err
@@ -159,6 +165,15 @@ func (db *DB) Bytes() int64 {
 
 // Stats returns the buffer pool counters for the data file.
 func (db *DB) Stats() pagefile.Stats { return db.pool.Stats() }
+
+// CacheStats returns the decoded-sequence cache counters (zero value when
+// the cache is disabled).
+func (db *DB) CacheStats() CacheStats {
+	if db.cache == nil {
+		return CacheStats{}
+	}
+	return db.cache.stats()
+}
 
 // ResetStats zeroes the buffer pool counters (between experiment runs).
 func (db *DB) ResetStats() { db.pool.ResetStats() }
@@ -201,7 +216,9 @@ func (db *DB) AppendAll(ss []seq.Sequence) (seq.ID, error) {
 	return first, nil
 }
 
-// Get fetches the sequence with the given ID.
+// Get fetches the sequence with the given ID. When the decoded-sequence
+// cache is enabled, the returned sequence may be shared with other callers
+// and must be treated as immutable.
 func (db *DB) Get(id seq.ID) (seq.Sequence, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -210,6 +227,11 @@ func (db *DB) Get(id seq.ID) (seq.Sequence, error) {
 	}
 	if db.tombstones[id] {
 		return nil, fmt.Errorf("%w: id %d", ErrDeleted, id)
+	}
+	if db.cache != nil {
+		if s := db.cache.get(id); s != nil {
+			return s, nil
+		}
 	}
 	start := db.offsets[id]
 	end := db.total
@@ -221,6 +243,9 @@ func (db *DB) Get(id seq.ID) (seq.Sequence, error) {
 		return nil, err
 	}
 	s, _, err := seq.Decode(buf)
+	if err == nil && db.cache != nil {
+		db.cache.put(id, s)
+	}
 	return s, err
 }
 

@@ -168,6 +168,12 @@ func (l *lockedDB) LastRepair() twsim.RepairStats {
 	return l.db.LastRepair()
 }
 
+func (l *lockedDB) StorageStats() twsim.StorageStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.StorageStats()
+}
+
 func (l *lockedDB) Verify() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -277,6 +283,40 @@ func shardQueriesJSON(qt twsim.QueryTotals) map[string]any {
 	}
 }
 
+// storageJSON renders the storage-layer counters with derived hit ratios:
+// pool hit ratio = 1 - misses/reads, cache hit ratio = hits/(hits+misses).
+// Ratios are 0 before any traffic.
+func storageJSON(st twsim.StorageStats) map[string]any {
+	poolJSON := func(reads, misses, seqMisses, writes int64) map[string]any {
+		hit := 0.0
+		if reads > 0 {
+			hit = 1 - float64(misses)/float64(reads)
+		}
+		return map[string]any{
+			"reads":      reads,
+			"misses":     misses,
+			"seq_misses": seqMisses,
+			"writes":     writes,
+			"hit_ratio":  hit,
+		}
+	}
+	cacheHit := 0.0
+	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
+		cacheHit = float64(st.Cache.Hits) / float64(lookups)
+	}
+	return map[string]any{
+		"data_pool":  poolJSON(st.Data.Reads, st.Data.Misses, st.Data.SeqMisses, st.Data.Writes),
+		"index_pool": poolJSON(st.Index.Reads, st.Index.Misses, st.Index.SeqMisses, st.Index.Writes),
+		"seq_cache": map[string]any{
+			"hits":      st.Cache.Hits,
+			"misses":    st.Cache.Misses,
+			"bytes":     st.Cache.Bytes,
+			"entries":   st.Cache.Entries,
+			"hit_ratio": cacheHit,
+		},
+	}
+}
+
 func repairJSON(rs twsim.RepairStats) map[string]any {
 	return map[string]any{
 		"repaired":           rs.Repaired(),
@@ -298,6 +338,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"index_pages":  s.backend.IndexPages(),
 		"repair":       repairJSON(s.backend.LastRepair()),
 		"query_totals": s.totals.json(),
+		"storage":      storageJSON(s.backend.StorageStats()),
 	}
 	// Sharded backends additionally report a per-shard breakdown so
 	// operators can spot skew — in storage (sequences, pages) and in query

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"testing"
+
+	twsim "repro"
+)
+
+// TestStatsStorageSection: /stats exposes the storage-layer counters — both
+// buffer pools and the decoded-sequence cache — with hit ratios a monitor
+// can alert on directly.
+func TestStatsStorageSection(t *testing.T) {
+	db, err := twsim.OpenMem(twsim.Options{SeqCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	data := shardedWalks(29, 50, 10, 30)
+	if _, err := db.AddBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	// Two identical searches: the second runs against warm pools and a warm
+	// sequence cache, so every ratio below must end up strictly positive.
+	postSearch(t, srv, data[0], 0.4)
+	postSearch(t, srv, data[0], 0.4)
+
+	stats := getStats(t, srv)
+	storage, ok := stats["storage"].(map[string]any)
+	if !ok {
+		t.Fatalf(`/stats has no "storage" object: %v`, stats)
+	}
+	for _, pool := range []string{"data_pool", "index_pool"} {
+		p, ok := storage[pool].(map[string]any)
+		if !ok {
+			t.Fatalf("storage has no %q object: %v", pool, storage)
+		}
+		if reads, _ := p["reads"].(float64); reads <= 0 {
+			t.Errorf("%s.reads = %v, want > 0", pool, p["reads"])
+		}
+		ratio, _ := p["hit_ratio"].(float64)
+		if ratio <= 0 || ratio > 1 {
+			t.Errorf("%s.hit_ratio = %v, want in (0, 1]", pool, p["hit_ratio"])
+		}
+	}
+	cache, ok := storage["seq_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf(`storage has no "seq_cache" object: %v`, storage)
+	}
+	if hits, _ := cache["hits"].(float64); hits <= 0 {
+		t.Errorf("seq_cache.hits = %v, want > 0 after a repeated query", cache["hits"])
+	}
+	if ratio, _ := cache["hit_ratio"].(float64); ratio <= 0 || ratio > 1 {
+		t.Errorf("seq_cache.hit_ratio = %v, want in (0, 1]", cache["hit_ratio"])
+	}
+}
+
+// TestStatsStorageSharded: the sharded backend aggregates storage counters
+// across shards in the same /stats section.
+func TestStatsStorageSharded(t *testing.T) {
+	db, err := twsim.OpenMemSharded(twsim.ShardedOptions{
+		Shards:  3,
+		Options: twsim.Options{SeqCacheBytes: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewBackend(db)
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	data := shardedWalks(31, 60, 10, 30)
+	if _, err := db.AddBatch(data); err != nil {
+		t.Fatal(err)
+	}
+	postSearch(t, srv, data[0], 0.4)
+	postSearch(t, srv, data[0], 0.4)
+
+	stats := getStats(t, srv)
+	storage, ok := stats["storage"].(map[string]any)
+	if !ok {
+		t.Fatalf(`sharded /stats has no "storage" object: %v`, stats)
+	}
+	p, ok := storage["data_pool"].(map[string]any)
+	if !ok {
+		t.Fatalf("storage has no data_pool: %v", storage)
+	}
+	if reads, _ := p["reads"].(float64); reads <= 0 {
+		t.Errorf("aggregated data_pool.reads = %v, want > 0", p["reads"])
+	}
+}

@@ -21,12 +21,36 @@ func (e *Engine) Search(query []float64, epsilon float64) (*core.Result, error) 
 	return e.search(query, epsilon, true)
 }
 
+// perShardWorkers splits the engine's refine budget across the shards one
+// search visits concurrently: with C = min(parallelism, shards) shard
+// workers in flight, each may spend ⌊budget/C⌋ (at least 1) intra-query
+// refinement workers, so one search runs at most ~budget refinement
+// goroutines no matter how the shard count and fan-out pool are
+// configured. Serial shard visits (SearchBatch's per-query workers) get 1:
+// the batch dispatcher already runs one worker per query, and nesting
+// intra-query pools under that is what the budget exists to prevent.
+func (e *Engine) perShardWorkers(parallel bool) int {
+	if !parallel {
+		return 1
+	}
+	conc := e.parallelism
+	if conc > len(e.stores) {
+		conc = len(e.stores)
+	}
+	per := e.refineWorkers / conc
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
 func (e *Engine) search(query []float64, epsilon float64, parallel bool) (*core.Result, error) {
 	start := time.Now()
+	workers := e.perShardWorkers(parallel)
 	results := make([]*core.Result, len(e.stores))
 	run := func(si int) error {
 		e.locks[si].RLock()
-		res, err := e.stores[si].Search(query, epsilon)
+		res, err := e.stores[si].SearchWorkers(query, epsilon, workers)
 		e.locks[si].RUnlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)
@@ -72,10 +96,11 @@ func (e *Engine) NearestK(query []float64, k int) ([]core.Match, error) {
 		return nil, nil
 	}
 	bound := core.NewSharedBound()
+	workers := e.perShardWorkers(true)
 	perShard := make([][]core.Match, len(e.stores))
 	err := e.fanOut(func(si int) error {
 		e.locks[si].RLock()
-		ms, err := e.stores[si].NearestKShared(query, k, bound)
+		ms, err := e.stores[si].NearestKSharedWorkers(query, k, bound, workers)
 		e.locks[si].RUnlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)

@@ -38,8 +38,13 @@ type Store interface {
 	AddAll(values [][]float64) (seq.ID, error)
 	Remove(id seq.ID) (bool, error)
 	Get(id seq.ID) ([]float64, error)
-	Search(query []float64, epsilon float64) (*core.Result, error)
-	NearestKShared(query []float64, k int, bound *core.SharedBound) ([]core.Match, error)
+	// SearchWorkers and NearestKSharedWorkers take the number of
+	// intra-query refinement workers the shard may use for this call; the
+	// engine computes it from its refine budget so fan-out × intra-query
+	// parallelism never oversubscribes (workers ≤ 1 means serial).
+	SearchWorkers(query []float64, epsilon float64, workers int) (*core.Result, error)
+	NearestKSharedWorkers(query []float64, k int, bound *core.SharedBound, workers int) ([]core.Match, error)
+	StorageStats() core.StorageStats
 	Len() int
 	DataBytes() int64
 	IndexPages() int
@@ -54,27 +59,36 @@ type Store interface {
 // is safe for fully concurrent use: readers never block each other, and
 // writers block only writers of the same shard.
 type Engine struct {
-	stores      []Store
-	locks       []sync.RWMutex
-	counters    []queryCounters // cumulative per-shard query work
-	next        atomic.Uint32   // insertion counter; placement = next mod N
-	parallelism int             // fan-out worker bound per search
+	stores        []Store
+	locks         []sync.RWMutex
+	counters      []queryCounters // cumulative per-shard query work
+	next          atomic.Uint32   // insertion counter; placement = next mod N
+	parallelism   int             // fan-out worker bound per search
+	refineWorkers int             // total intra-query refinement budget per search
 }
 
 // New builds an engine over the given shards. parallelism bounds the
-// per-search fan-out worker pool (<= 0 means GOMAXPROCS).
-func New(stores []Store, parallelism int) (*Engine, error) {
+// per-search fan-out worker pool; refineWorkers is the total intra-query
+// refinement budget one search may spend across all shards it fans out to,
+// so fan-out and refinement parallelism multiply to at most
+// max(parallelism, refineWorkers) goroutines rather than their product
+// (<= 0 means GOMAXPROCS for either).
+func New(stores []Store, parallelism, refineWorkers int) (*Engine, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("shard: no shards")
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	if refineWorkers <= 0 {
+		refineWorkers = runtime.GOMAXPROCS(0)
+	}
 	e := &Engine{
-		stores:      stores,
-		locks:       make([]sync.RWMutex, len(stores)),
-		counters:    make([]queryCounters, len(stores)),
-		parallelism: parallelism,
+		stores:        stores,
+		locks:         make([]sync.RWMutex, len(stores)),
+		counters:      make([]queryCounters, len(stores)),
+		parallelism:   parallelism,
+		refineWorkers: refineWorkers,
 	}
 	// Start the insertion counter past the current contents so placement
 	// stays balanced when an existing database is reopened.
@@ -220,6 +234,18 @@ func (e *Engine) IndexPages() int {
 	for i := range e.stores {
 		e.locks[i].RLock()
 		total += e.stores[i].IndexPages()
+		e.locks[i].RUnlock()
+	}
+	return total
+}
+
+// StorageStats aggregates the storage-layer counters (buffer pools and
+// decoded-sequence caches) across shards.
+func (e *Engine) StorageStats() core.StorageStats {
+	var total core.StorageStats
+	for i := range e.stores {
+		e.locks[i].RLock()
+		total.Add(e.stores[i].StorageStats())
 		e.locks[i].RUnlock()
 	}
 	return total

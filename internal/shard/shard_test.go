@@ -68,13 +68,15 @@ func (f *fakeStore) Get(id seq.ID) ([]float64, error) {
 	return v, nil
 }
 
-func (f *fakeStore) Search(query []float64, epsilon float64) (*core.Result, error) {
+func (f *fakeStore) SearchWorkers(query []float64, epsilon float64, workers int) (*core.Result, error) {
 	return &core.Result{}, nil
 }
 
-func (f *fakeStore) NearestKShared(query []float64, k int, bound *core.SharedBound) ([]core.Match, error) {
+func (f *fakeStore) NearestKSharedWorkers(query []float64, k int, bound *core.SharedBound, workers int) ([]core.Match, error) {
 	return nil, nil
 }
+
+func (f *fakeStore) StorageStats() core.StorageStats { return core.StorageStats{} }
 
 func (f *fakeStore) Len() int {
 	f.mu.Lock()
@@ -98,7 +100,7 @@ func newFakeEngine(t *testing.T, n int) (*Engine, []*fakeStore) {
 		fakes[i] = newFakeStore()
 		stores[i] = fakes[i]
 	}
-	e, err := New(stores, 2)
+	e, err := New(stores, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +182,7 @@ func TestAddAllIDsInInputOrder(t *testing.T) {
 
 // TestEngineRequiresShards: an empty shard set is rejected.
 func TestEngineRequiresShards(t *testing.T) {
-	if _, err := New(nil, 0); err == nil {
+	if _, err := New(nil, 0, 0); err == nil {
 		t.Fatal("New with no shards succeeded")
 	}
 }

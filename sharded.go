@@ -102,7 +102,7 @@ func newShardedDB(dbs []*DB, dir string, opts ShardedOptions) (*ShardedDB, error
 	for i, db := range dbs {
 		stores[i] = db
 	}
-	eng, err := shard.New(stores, opts.Parallelism)
+	eng, err := shard.New(stores, opts.Parallelism, opts.refineWorkers())
 	if err != nil {
 		closeAll(dbs)
 		return nil, err
@@ -209,6 +209,9 @@ func (s *ShardedDB) ShardStats() []ShardStat { return s.eng.ShardStats() }
 
 // LastRepair aggregates the per-shard Open-time repair statistics.
 func (s *ShardedDB) LastRepair() RepairStats { return s.eng.LastRepair() }
+
+// StorageStats snapshots the storage-layer counters summed over shards.
+func (s *ShardedDB) StorageStats() StorageStats { return s.eng.StorageStats() }
 
 // Add stores one sequence, taking only the owning shard's write lock, and
 // returns its global ID.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/rtree"
@@ -38,6 +39,11 @@ type Result = core.Result
 // evaluations, page I/O, wall time).
 type QueryStats = core.QueryStats
 
+// StorageStats snapshots the storage-layer counters: the data heap's and
+// feature index's buffer pools plus the decoded-sequence cache. Snapshots
+// are wait-free and weakly consistent (see the core type's godoc).
+type StorageStats = core.StorageStats
+
 // CostModel converts buffer pool misses into modeled disk time.
 type CostModel = core.CostModel
 
@@ -68,6 +74,28 @@ type Options struct {
 	// way — the cascade only skips work, never answers — so the flag exists
 	// for benchmarking and verification, not correctness.
 	DisableCascade bool
+	// RefineWorkers bounds the intra-query parallelism of the refinement
+	// step (candidate fetch + cascade + exact DTW): 0 means GOMAXPROCS,
+	// 1 restores the fully serial execution, and results are bit-identical
+	// at every setting. On a sharded database this is the total budget one
+	// query spends across the shards it fans out to, so fan-out × refine
+	// parallelism never oversubscribes the machine.
+	RefineWorkers int
+	// SeqCacheBytes sizes the decoded-sequence cache (per shard, for a
+	// sharded database): hot sequences are served from memory without page
+	// I/O or deserialization. 0 disables the cache, keeping the paper's
+	// per-query disk-access accounting exact — which is why it is opt-in.
+	SeqCacheBytes int64
+}
+
+// refineWorkers resolves the intra-query parallelism default. The public
+// layer (not core) owns the GOMAXPROCS resolution so zero-valued direct
+// core constructions stay serial and deterministic.
+func (o Options) refineWorkers() int {
+	if o.RefineWorkers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.RefineWorkers
 }
 
 // RepairStats summarizes the Open-time reconciliation between the sequence
@@ -91,7 +119,7 @@ const indexFileName = "feature.rtree"
 // OpenMem creates an ephemeral in-memory database (page layout and buffer
 // accounting identical to the on-disk form).
 func OpenMem(opts Options) (*DB, error) {
-	store, err := seqdb.NewMem(seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	store, err := seqdb.NewMem(seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages, CacheBytes: opts.SeqCacheBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +137,7 @@ func OpenMem(opts Options) (*DB, error) {
 
 // Create creates a new on-disk database in directory dir.
 func Create(dir string, opts Options) (*DB, error) {
-	store, err := seqdb.Create(dir, seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	store, err := seqdb.Create(dir, seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages, CacheBytes: opts.SeqCacheBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +164,7 @@ func Create(dir string, opts Options) (*DB, error) {
 // scanning the heap. The heap is the source of truth; the index is always
 // derivable from it. LastRepair reports what, if anything, was fixed.
 func Open(dir string, opts Options) (*DB, error) {
-	store, err := seqdb.Open(dir, seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages})
+	store, err := seqdb.Open(dir, seqdb.Options{PageSize: opts.PageSize, PoolPages: opts.PoolPages, CacheBytes: opts.SeqCacheBytes})
 	if err != nil {
 		return nil, fmt.Errorf("twsim: %s does not contain a database: %w", dir, err)
 	}
@@ -347,21 +375,43 @@ func (db *DB) Remove(id ID) (bool, error) {
 // Get fetches a stored sequence by ID.
 func (db *DB) Get(id ID) ([]float64, error) {
 	s, err := db.store.Get(id)
-	return []float64(s), err
+	if err != nil {
+		return nil, err
+	}
+	if db.opts.SeqCacheBytes > 0 {
+		// The store may have served a cached sequence shared with concurrent
+		// readers; hand the caller a private copy it is free to mutate.
+		return append([]float64(nil), s...), nil
+	}
+	return []float64(s), nil
+}
+
+// searcher builds the query engine with the given intra-query worker
+// count.
+func (db *DB) searcher(workers int) *core.TWSimSearch {
+	return &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base,
+		NoCascade: db.opts.DisableCascade, Workers: workers}
 }
 
 // Search finds every sequence whose time warping distance to query is at
 // most epsilon, using the paper's TW-Sim-Search (Algorithm 1): index range
 // query with Dtw-lb, then exact DTW refinement. No false dismissal.
 func (db *DB) Search(query []float64, epsilon float64) (*Result, error) {
+	return db.SearchWorkers(query, epsilon, db.opts.refineWorkers())
+}
+
+// SearchWorkers is Search with an explicit intra-query refinement worker
+// count for this call (≤ 1 means serial), overriding Options.RefineWorkers.
+// The sharded engine uses it to spread one refine budget across shards;
+// results are bit-identical at every worker count.
+func (db *DB) SearchWorkers(query []float64, epsilon float64, workers int) (*Result, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
 	}
-	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base, NoCascade: db.opts.DisableCascade}
-	return m.Search(seq.Sequence(query), epsilon)
+	return db.searcher(workers).Search(seq.Sequence(query), epsilon)
 }
 
 // NearestK returns the k sequences with the smallest exact time warping
@@ -371,8 +421,13 @@ func (db *DB) NearestK(query []float64, k int) ([]Match, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
-	m := &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base, NoCascade: db.opts.DisableCascade}
-	return m.NearestK(seq.Sequence(query), k)
+	return db.searcher(db.opts.refineWorkers()).NearestK(seq.Sequence(query), k)
+}
+
+// StorageStats snapshots the storage-layer counters: data and index buffer
+// pools plus the decoded-sequence cache (zero when disabled).
+func (db *DB) StorageStats() StorageStats {
+	return StorageStats{Data: db.store.Stats(), Index: db.index.Stats(), Cache: db.store.CacheStats()}
 }
 
 // Distance computes the exact time warping distance between a stored
