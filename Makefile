@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke
+.PHONY: ci fmt vet build test race metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke
 
 # Full gate: formatting, static checks, build, the whole test suite
 # (including the fault-injection recovery tests) under the race detector,
-# and short benchmark smokes for the sharded engine, the refine cascade,
-# and intra-query parallel refinement.
-ci: fmt vet build race bench-shards-smoke bench-cascade-smoke bench-refine-smoke
+# the observability smoke (boots twsimd, scrapes /metrics, validates the
+# exposition), and short benchmark smokes for the sharded engine, the
+# refine cascade, and intra-query parallel refinement.
+ci: fmt vet build race metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke
+
+# Boots a real twsimd on an ephemeral port, drives traffic, and verifies
+# GET /metrics is valid Prometheus exposition with the key series present
+# (including the candidates = pruned + dtw_calls conservation law).
+metrics-smoke:
+	$(GO) build -o bin/twsimd ./cmd/twsimd
+	$(GO) run ./cmd/metricssmoke -bin ./bin/twsimd
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -29,6 +29,10 @@ type Backend interface {
 	Search(query []float64, epsilon float64) (*Result, error)
 	// NearestK runs the exact k-NN extension.
 	NearestK(query []float64, k int) ([]Match, error)
+	// NearestKStats is NearestK returning the full Result — matches plus
+	// work counters and the request ID — so serving layers can export k-NN
+	// traffic into the same metrics as range searches.
+	NearestKStats(query []float64, k int) (*Result, error)
 	// SearchBatch runs many range queries concurrently.
 	SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error)
 	// Len returns the number of live sequences.
@@ -96,8 +100,21 @@ func (db *DB) NearestKShared(query []float64, k int, bound *SharedBound) ([]Matc
 // Options.RefineWorkers. The sharded engine uses it to spread one refine
 // budget across shards; results are bit-identical at every worker count.
 func (db *DB) NearestKSharedWorkers(query []float64, k int, bound *SharedBound, workers int) ([]Match, error) {
+	ms, _, err := db.NearestKStatsWorkers(query, k, bound, workers)
+	return ms, err
+}
+
+// NearestKStatsWorkers is NearestKSharedWorkers with the query's work
+// counters returned alongside the matches. It is the form the sharded
+// engine calls per shard, so k-NN work shows up in per-shard counters and
+// the exported conservation law (Candidates = ΣPruned + DTWCalls) covers
+// k-NN traffic too.
+func (db *DB) NearestKStatsWorkers(query []float64, k int, bound *SharedBound, workers int) ([]Match, QueryStats, error) {
 	if len(query) == 0 {
-		return nil, seq.ErrEmpty
+		return nil, QueryStats{}, seq.ErrEmpty
 	}
-	return db.searcher(workers).NearestKShared(seq.Sequence(query), k, bound)
+	if err := seq.CheckFinite(query); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return db.searcher(workers).NearestKSharedStats(seq.Sequence(query), k, bound)
 }

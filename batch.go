@@ -11,9 +11,16 @@ import (
 // SearchBatch runs many whole-matching queries concurrently (the DB is safe
 // for concurrent readers) and returns one Result per query, in input order.
 // parallelism <= 0 selects GOMAXPROCS. The first error aborts the batch.
+// Every query is validated for non-finite elements upfront (ErrNonFinite);
+// each Result gets its own RequestID and slow-query log line.
 func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error) {
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
+	}
+	for i, q := range queries {
+		if err := seq.CheckFinite(q); err != nil {
+			return nil, fmt.Errorf("twsim: query %d: %w", i, err)
+		}
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -72,6 +79,10 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	for i, res := range out {
+		res.RequestID = nextRequestID()
+		db.opts.logSlowQuery("batch", res.RequestID, len(queries[i]), fmt.Sprintf("epsilon=%g", epsilon), res.Stats)
 	}
 	return out, nil
 }

@@ -26,7 +26,24 @@
 // -seq-cache-mb M sizes the decoded-sequence cache in MiB per partition
 // (default 4, 0 disables): repeat queries serve hot sequences from memory
 // without page I/O or deserialization. The cache+pool hit ratios are
-// reported under "storage" in GET /stats.
+// reported under "storage" in GET /stats and as gauges on GET /metrics.
+//
+// Observability:
+//
+//   - GET /metrics serves the Prometheus text exposition (per-endpoint
+//     request counters and latency histograms, query/cascade counters,
+//     pool and cache counters).
+//   - -slow-query-ms T logs every query whose wall time reaches T
+//     milliseconds as one flat key=value line carrying the request_id the
+//     response also returns (0, the default, disables the log).
+//   - -pprof-addr starts net/http/pprof on a separate listener (empty, the
+//     default, keeps profiling off). The profiling listener shares nothing
+//     with the API listener, so it can be bound to localhost only.
+//
+// The API http.Server runs with read/write/idle timeouts and a header
+// budget (flag-overridable via -read-timeout, -write-timeout,
+// -idle-timeout, -max-header-bytes) so slow or stalled clients cannot pin
+// connections indefinitely.
 //
 // Shut down with SIGINT/SIGTERM; the database is flushed on exit.
 package main
@@ -37,7 +54,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,10 +76,22 @@ func main() {
 		verify  = flag.Bool("verify", false, "run a full heap/index integrity check before serving")
 		workers = flag.Int("refine-workers", 0, "intra-query refinement worker budget per search (0 = GOMAXPROCS, 1 = serial)")
 		cacheMB = flag.Int("seq-cache-mb", 4, "decoded-sequence cache size in MiB per partition (0 = disabled)")
+
+		slowMS    = flag.Int("slow-query-ms", 0, "log queries at or above this wall time in milliseconds (0 = disabled)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+
+		readTimeout    = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (whole request, headers+body)")
+		writeTimeout   = flag.Duration("write-timeout", 60*time.Second, "http.Server WriteTimeout (response deadline)")
+		idleTimeout    = flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout (keep-alive connections)")
+		maxHeaderBytes = flag.Int("max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
 	)
 	flag.Parse()
 
-	opts := twsim.Options{RefineWorkers: *workers, SeqCacheBytes: int64(*cacheMB) << 20}
+	opts := twsim.Options{
+		RefineWorkers:      *workers,
+		SeqCacheBytes:      int64(*cacheMB) << 20,
+		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+	}
 	var db twsim.Backend
 	var single *twsim.DB // non-nil when serving an unsharded database
 	var err error
@@ -100,9 +131,44 @@ func main() {
 
 	srv := server.NewBackend(db)
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	}
+
+	// Listen before serving so the actual bound address can be logged —
+	// with -addr 127.0.0.1:0 (tests, the CI smoke) the kernel picks the
+	// port and the "listening on" line is how callers learn it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("twsimd: listen %s: %v", *addr, err)
+	}
+
+	// pprof lives on its own listener and mux: profiling endpoints never
+	// share a port (or an exposure decision) with the API, and the default
+	// off means zero new surface unless explicitly requested.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("twsimd: pprof listen %s: %v", *pprofAddr, err)
+		}
+		log.Printf("twsimd: pprof listening on %s", pln.Addr())
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("twsimd: pprof server: %v", err)
+			}
+		}()
 	}
 
 	done := make(chan os.Signal, 1)
@@ -112,17 +178,22 @@ func main() {
 		log.Println("twsimd: shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if pprofSrv != nil {
+			if err := pprofSrv.Shutdown(ctx); err != nil {
+				log.Printf("twsimd: pprof shutdown: %v", err)
+			}
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("twsimd: shutdown: %v", err)
 		}
 	}()
 
 	if sdb, ok := db.(*twsim.ShardedDB); ok {
-		log.Printf("twsimd: serving %d sequences across %d shards on %s", db.Len(), sdb.NumShards(), *addr)
+		log.Printf("twsimd: serving %d sequences across %d shards, listening on %s", db.Len(), sdb.NumShards(), ln.Addr())
 	} else {
-		log.Printf("twsimd: serving %d sequences on %s", db.Len(), *addr)
+		log.Printf("twsimd: serving %d sequences, listening on %s", db.Len(), ln.Addr())
 	}
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("twsimd: %v", err)
 	}
 	if err := srv.Close(); err != nil {

@@ -98,4 +98,25 @@
 // cache (Options.SeqCacheBytes) whose hits skip page I/O and
 // deserialization entirely; DB.StorageStats exposes wait-free hit-ratio
 // counters for both.
+//
+// # Input validation and observability
+//
+// Sequences must be finite: every write and query entry point rejects
+// data containing NaN or ±Inf with ErrNonFinite. The exactness guarantees
+// are only defined over the reals — a NaN slips through the kernels'
+// ordered comparisons as if it were −∞ or +∞ (depending on the kernel)
+// and through the R-tree's rectangle predicates arbitrarily, so a single
+// stored NaN once made two provably-exact search methods silently return
+// different answers. Verify and CheckInvariants flag non-finite features
+// that reach the index some other way (DESIGN.md §10 has the full story).
+//
+// For production serving, every query Result carries a process-unique
+// RequestID, and Options.SlowQueryThreshold enables a slow-query log (one
+// flat key=value line per offending query, carrying that same request ID
+// plus per-phase timings and the cascade's work counters; destination
+// Options.SlowQueryLogger, default log.Default()). QueryStats splits wall
+// time into FilterWall and RefineWall, and the HTTP server in
+// internal/server exports the whole pipeline — request counters, latency
+// histograms, cascade/pool/cache counters — as a Prometheus /metrics
+// endpoint built on the dependency-free internal/obs package.
 package twsim

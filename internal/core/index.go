@@ -247,8 +247,27 @@ func (fi *FeatureIndex) Stats() pagefile.Stats { return fi.tree.Stats() }
 // ResetStats zeroes the index buffer pool counters.
 func (fi *FeatureIndex) ResetStats() { fi.tree.ResetStats() }
 
-// CheckInvariants validates the underlying R-tree structure.
-func (fi *FeatureIndex) CheckInvariants() error { return fi.tree.CheckInvariants() }
+// CheckInvariants validates the stored feature points and the underlying
+// R-tree structure. The point check runs first: an entry whose feature is
+// not Valid (a NaN or ±Inf component, or Smallest/Greatest out of order)
+// is invisible to MBR comparisons — the sequence can never be returned by
+// an index query, a silent false dismissal — and it also degrades the
+// structural check's MBR arithmetic, so diagnosing it by name beats the
+// cryptic rect-mismatch error the tree walk would produce. Databases
+// poisoned by non-finite inserts predating input validation surface here.
+func (fi *FeatureIndex) CheckInvariants() error {
+	entries, err := fi.Entries()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		f := seq.Feature{First: e.Point[0], Last: e.Point[1], Greatest: e.Point[2], Smallest: e.Point[3]}
+		if !f.Valid() {
+			return fmt.Errorf("core: index entry for sequence %d has invalid feature %+v (non-finite or inconsistent); the sequence is unreachable through the index", e.ID, f)
+		}
+	}
+	return fi.tree.CheckInvariants()
+}
 
 // Flush persists the index.
 func (fi *FeatureIndex) Flush() error { return fi.tree.Flush() }

@@ -240,11 +240,14 @@ func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
+	res.Stats.FilterWall = time.Since(start)
 	res.Stats.Candidates = len(entries)
+	refineStart := time.Now()
 	res.Matches, err = refine(t.DB, t.Base, q, epsilon, entries, t.NoCascade, t.Workers, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
+	res.Stats.RefineWall = time.Since(refineStart)
 	dbAfter := t.DB.Stats()
 	idxAfter := t.Index.Stats()
 	res.Stats.Results = len(res.Matches)
@@ -275,8 +278,27 @@ func (t *TWSimSearch) NearestK(q seq.Sequence, k int) ([]Match, error) {
 // (at most k, ascending); under a shared bound they are a superset-filter
 // for the merged top-k, not necessarily the partition's own true top-k.
 func (t *TWSimSearch) NearestKShared(q seq.Sequence, k int, shared *SharedBound) ([]Match, error) {
+	ms, _, err := t.NearestKSharedStats(q, k, shared)
+	return ms, err
+}
+
+// NearestKSharedStats is NearestKShared with the query's work counters
+// returned alongside the matches — the serving layer accumulates them into
+// its exported totals and latency histograms, and the sharded engine into
+// its per-shard skew breakdown. Candidates counts every streamed candidate
+// that was actually fetched and evaluated, so the conservation law
+// Candidates = ΣPruned + DTWCalls holds for k-NN exactly as for range
+// search. Wall and RefineWall cover the whole walk (filtering and
+// refinement interleave in a k-NN walk, so there is no separate filter
+// phase to time).
+func (t *TWSimSearch) NearestKSharedStats(q seq.Sequence, k int, shared *SharedBound) ([]Match, QueryStats, error) {
 	var stats QueryStats
-	return t.nearestKShared(q, k, shared, &stats)
+	start := time.Now()
+	ms, err := t.nearestKShared(q, k, shared, &stats)
+	stats.Wall = time.Since(start)
+	stats.RefineWall = stats.Wall
+	stats.Results = len(ms)
+	return ms, stats, err
 }
 
 // nearestKShared is NearestKShared with the per-tier work counters
@@ -329,6 +351,7 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 			walkErr = err
 			return false
 		}
+		stats.Candidates++
 		var d float64
 		if math.IsInf(cutoff, 1) {
 			stats.DTWCalls++

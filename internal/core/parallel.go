@@ -165,6 +165,7 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 					failed.Store(true)
 					continue
 				}
+				ws.Candidates++
 				cut := cutoff()
 				var d float64
 				if math.IsInf(cut, 1) {

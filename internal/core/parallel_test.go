@@ -18,7 +18,7 @@ import (
 // identical, because with a fixed cutoff every candidate's verdict is
 // independent of evaluation order.
 func scrubIO(s QueryStats) QueryStats {
-	s.Wall = 0
+	s.Wall, s.FilterWall, s.RefineWall = 0, 0, 0
 	s.DataReads, s.DataMisses, s.DataSeqMisses = 0, 0, 0
 	s.IndexReads, s.IndexMisses, s.IndexSeqMisses = 0, 0, 0
 	return s

@@ -83,6 +83,15 @@ type QueryStats struct {
 	IndexReads, IndexMisses, IndexSeqMisses int64
 	// Wall is the measured wall-clock duration.
 	Wall time.Duration
+	// FilterWall is the wall time of the filtering phase (feature
+	// extraction plus the index range query for TW-Sim-Search; zero for
+	// methods without a separate filter phase). Together with RefineWall it
+	// feeds the serving layer's per-phase latency histograms.
+	FilterWall time.Duration
+	// RefineWall is the wall time of the refinement phase (candidate
+	// fetches, the lower-bound cascade, and exact DTW; for k-NN it covers
+	// the whole index walk, whose filtering and refinement interleave).
+	RefineWall time.Duration
 }
 
 // Modeled returns the modeled elapsed time: measured wall time plus the
@@ -115,6 +124,8 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.IndexMisses += other.IndexMisses
 	s.IndexSeqMisses += other.IndexSeqMisses
 	s.Wall += other.Wall
+	s.FilterWall += other.FilterWall
+	s.RefineWall += other.RefineWall
 }
 
 // CandidateRatio returns Candidates divided by the database size n
@@ -162,6 +173,11 @@ type Match struct {
 type Result struct {
 	Matches []Match
 	Stats   QueryStats
+	// RequestID is a process-unique query identifier the public layer
+	// stamps on every search. The serving layer returns it to the client
+	// and the slow-query log records it, so a slow request in the log can
+	// be joined with the response that produced it.
+	RequestID uint64
 }
 
 // IDs returns the matched sequence IDs in result order.

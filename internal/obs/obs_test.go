@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// 0 and sub-microsecond observations land in bucket 0 (le = 1µs).
+	h.Observe(0)
+	h.Observe(500 * time.Nanosecond)
+	// 1µs has bit length 1 -> bucket 1 (le = 2µs).
+	h.Observe(1 * time.Microsecond)
+	// 3µs -> bucket 2 (le = 4µs).
+	h.Observe(3 * time.Microsecond)
+	// An absurd duration clamps into the last bucket.
+	h.Observe(200 * time.Hour)
+	counts, total := h.snapshot()
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 || counts[histBuckets-1] != 1 {
+		t.Fatalf("bucket counts = %v", counts)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v", q)
+	}
+	// 90 fast observations (~2µs) and 10 slow ones (~1ms): p50 must land in
+	// a small bucket, p99 in the millisecond range.
+	for i := 0; i < 90; i++ {
+		h.Observe(2 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	if p50 := h.Quantile(0.50); p50 > 8*time.Microsecond {
+		t.Fatalf("p50 = %v, want within the fast buckets", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 1*time.Millisecond || p99 > 4*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1-2ms bucket bound", p99)
+	}
+	if h.Quantile(1.0) < p99 {
+		t.Fatalf("quantiles not monotone")
+	}
+}
+
+func TestRegistryRenderAndParse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("twsim_test_total", `endpoint="search"`, "a test counter")
+	c2 := r.Counter("twsim_test_total", `endpoint="knn"`, "a test counter")
+	g := r.Gauge("twsim_test_gauge", "", "a gauge")
+	h := r.Histogram("twsim_test_seconds", `endpoint="search"`, "a histogram")
+	r.CounterFunc("twsim_test_fn_total", "", "a collector", func() float64 { return 42 })
+	c.Add(3)
+	c2.Inc()
+	g.Set(1.5)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(70 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE twsim_test_total counter",
+		"# TYPE twsim_test_seconds histogram",
+		`twsim_test_total{endpoint="search"} 3`,
+		`twsim_test_total{endpoint="knn"} 1`,
+		"twsim_test_gauge 1.5",
+		"twsim_test_fn_total 42",
+		`le="+Inf"} 2`,
+		"twsim_test_seconds_count{" + `endpoint="search"` + "} 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParseText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("rendered exposition does not parse: %v", err)
+	}
+	if v, ok := samples.Value("twsim_test_total", map[string]string{"endpoint": "search"}); !ok || v != 3 {
+		t.Fatalf("parsed counter = %v, %v", v, ok)
+	}
+	if v, ok := samples.Value("twsim_test_seconds_count", map[string]string{"endpoint": "search"}); !ok || v != 2 {
+		t.Fatalf("parsed histogram count = %v, %v", v, ok)
+	}
+	sum, ok := samples.Value("twsim_test_seconds_sum", nil)
+	if !ok || sum < 72e-6 || sum > 74e-6 {
+		t.Fatalf("parsed histogram sum = %v, %v", sum, ok)
+	}
+	// The 3µs observation is ≤ the 4µs bucket; the 70µs one is not.
+	if v, ok := samples.Value("twsim_test_seconds_bucket", map[string]string{"le": "4e-06"}); !ok || v != 1 {
+		t.Fatalf("le=4e-06 bucket = %v, %v", v, ok)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"1leading_digit 3\n",
+		"name{unterminated 3\n",
+		`name{l=unquoted} 3` + "\n",
+		"name notafloat\n",
+	} {
+		if _, err := ParseText([]byte(bad)); err == nil {
+			t.Fatalf("ParseText accepted %q", bad)
+		}
+	}
+}
+
+func TestParseTextRejectsNonCumulativeBuckets(t *testing.T) {
+	bad := "x_bucket{le=\"1\"} 5\nx_bucket{le=\"2\"} 3\n"
+	if _, err := ParseText([]byte(bad)); err == nil {
+		t.Fatal("ParseText accepted a shrinking bucket series")
+	}
+}
+
+func TestRegistryPanicsOnConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind conflict")
+		}
+	}()
+	r.Histogram("x_total", "", "")
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("twsim_conc_seconds", "", "")
+	c := r.Counter("twsim_conc_total", "", "")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(wid)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(time.Duration(rng.Intn(1000)) * time.Microsecond)
+				c.Inc()
+			}
+		}(w)
+	}
+	// Scrapes race the writers; every rendered snapshot must still parse
+	// and be internally cumulative.
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseText(buf.Bytes()); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if h.Count() != c.Value() {
+		t.Fatalf("count mismatch: hist %d, counter %d", h.Count(), c.Value())
+	}
+}
+
+// TestObserveZeroAllocs pins the acceptance bar: recording one latency
+// sample and bumping one counter allocate nothing in steady state.
+func TestObserveZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	var h Histogram
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(123 * time.Microsecond)
+		c.Inc()
+	}); n != 0 {
+		t.Fatalf("%v allocs per Observe+Inc", n)
+	}
+}

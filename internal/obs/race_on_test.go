@@ -1,0 +1,9 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its allocation tracking makes some atomic paths allocate, so the
+// zero-allocation regression tests are skipped under -race (the race run
+// covers correctness; `go test` covers the alloc budget).
+const raceEnabled = true

@@ -29,6 +29,15 @@ func (s *Stats) Add(other Stats) {
 	s.Writes += other.Writes
 }
 
+// HitRatio returns the fraction of logical reads served from the pool
+// (1 - Misses/Reads), or 0 before any read has happened.
+func (s Stats) HitRatio() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return 1 - float64(s.Misses)/float64(s.Reads)
+}
+
 // Page is a pinned buffer frame. The caller must Unpin it when done; dirty
 // pages must be marked via MarkDirty before Unpin or the mutation may be
 // lost on eviction.

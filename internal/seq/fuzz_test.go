@@ -32,8 +32,10 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
-// FuzzFeature ensures feature extraction is total on non-empty input and
-// produces internally consistent features for non-NaN data.
+// FuzzFeature ensures feature extraction is total on non-empty input,
+// produces internally consistent features for finite data, and flags any
+// non-finite input as invalid (such features make the sequence unreachable
+// through the index's range queries).
 func FuzzFeature(f *testing.F) {
 	f.Add(float64(1), float64(2), float64(3))
 	f.Add(float64(-1), math.Inf(1), float64(0))
@@ -43,7 +45,10 @@ func FuzzFeature(f *testing.F) {
 		if err != nil {
 			t.Fatalf("non-empty sequence rejected: %v", err)
 		}
-		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+		if CheckFinite(s) != nil {
+			if feat.Valid() {
+				t.Fatalf("feature %+v of non-finite %v reported valid", feat, s)
+			}
 			return
 		}
 		if !feat.Valid() {

@@ -25,6 +25,29 @@ type Sequence []float64
 // ErrEmpty is returned by operations that are undefined on empty sequences.
 var ErrEmpty = errors.New("seq: empty sequence")
 
+// ErrNonFinite is returned by the validating entry points when a sequence
+// or query contains a NaN or ±Inf element. Non-finite values poison the
+// similarity machinery silently — a NaN feature component makes every
+// R-tree MBR comparison false, so the sequence becomes unfindable through
+// the index while the L∞ DTW kernels (whose max-style comparisons drop NaN
+// costs) can still match it in a sequential scan — an index/scan divergence
+// that would break the paper's no-false-dismissal guarantee. Rejecting the
+// values at the boundary is what keeps Theorem 1 sound.
+var ErrNonFinite = errors.New("seq: non-finite element (NaN or ±Inf)")
+
+// CheckFinite returns nil when every element of s is finite, and an error
+// wrapping ErrNonFinite identifying the first offending element otherwise.
+// The scan is a single branch per element (v-v is NaN exactly for NaN and
+// ±Inf), so validating at every Add/Search boundary costs one pass.
+func CheckFinite(s Sequence) error {
+	for i, v := range s {
+		if v-v != 0 {
+			return fmt.Errorf("%w: element %d is %v", ErrNonFinite, i, v)
+		}
+	}
+	return nil
+}
+
 // Len returns the number of elements, |S| in the paper's notation.
 func (s Sequence) Len() int { return len(s) }
 
@@ -189,11 +212,12 @@ func (f Feature) DistLInf(g Feature) float64 {
 	return d
 }
 
-// Valid reports whether the feature is internally consistent
-// (Smallest ≤ First,Last ≤ Greatest and no NaNs).
+// Valid reports whether the feature is internally consistent: every
+// component finite (a NaN or ±Inf component makes the R-tree entry
+// unreachable or its MBRs degenerate) and Smallest ≤ First,Last ≤ Greatest.
 func (f Feature) Valid() bool {
 	for _, v := range f.Vector() {
-		if math.IsNaN(v) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return false
 		}
 	}

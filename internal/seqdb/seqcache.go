@@ -27,6 +27,15 @@ func (s *CacheStats) Add(other CacheStats) {
 	s.Entries += other.Entries
 }
 
+// HitRatio returns Hits/(Hits+Misses), or 0 before any lookup has happened.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 const cacheShards = 8
 
 // cacheEntrySize estimates the resident cost of a cached sequence: the

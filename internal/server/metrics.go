@@ -1,0 +1,160 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	twsim "repro"
+	"repro/internal/obs"
+	"repro/internal/pagefile"
+)
+
+// endpointNames is the fixed set of instrumented endpoints; per-endpoint
+// instruments are registered once at construction so the request path only
+// touches pre-wired atomics.
+var endpointNames = []string{
+	"healthz", "stats", "metrics",
+	"sequences", "sequence_by_id", "batch",
+	"search", "knn",
+	"subseq_build", "subseq_search",
+}
+
+// endpointMetrics are one endpoint's pre-registered instruments: request
+// counters split by status class and one latency histogram.
+type endpointMetrics struct {
+	ok, clientErr, serverErr *obs.Counter
+	latency                  *obs.Histogram
+}
+
+// serverMetrics is the server's obs registry plus the instruments the
+// request path writes into. Everything else — query totals, buffer pool and
+// cache counters, database size — is exported through scrape-time collector
+// functions reading the counters the subsystems already keep, so serving
+// traffic pays no second accounting path.
+type serverMetrics struct {
+	reg       *obs.Registry
+	endpoints map[string]*endpointMetrics
+	filter    *obs.Histogram // per-query filter-phase latency (/search)
+	refine    *obs.Histogram // per-query refine-phase latency (/search and /knn)
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg, endpoints: make(map[string]*endpointMetrics, len(endpointNames))}
+
+	for _, ep := range endpointNames {
+		label := `endpoint="` + ep + `"`
+		m.endpoints[ep] = &endpointMetrics{
+			ok:        reg.Counter("twsim_http_requests_total", label+`,code="2xx"`, "HTTP requests served, by endpoint and status class."),
+			clientErr: reg.Counter("twsim_http_requests_total", label+`,code="4xx"`, ""),
+			serverErr: reg.Counter("twsim_http_requests_total", label+`,code="5xx"`, ""),
+			latency:   reg.Histogram("twsim_http_request_duration_seconds", label, "HTTP request latency, by endpoint."),
+		}
+	}
+
+	m.filter = reg.Histogram("twsim_query_filter_seconds", "", "Filter-phase latency (feature extraction + index range query) per /search.")
+	m.refine = reg.Histogram("twsim_query_refine_seconds", "", "Refine-phase latency (candidate fetch + cascade + exact DTW) per /search and /knn.")
+
+	// Query-work totals: scrape-time reads of the same atomics /stats
+	// reports, so the conservation law
+	// candidates = lb_kim + lb_keogh + lb_yi + corridor + dtw_calls
+	// holds between the exported series exactly as it does per query.
+	counterOf := func(v *atomic.Int64) func() float64 { return func() float64 { return float64(v.Load()) } }
+	reg.CounterFunc("twsim_queries_total", "", "Similarity queries served (/search and /knn).", counterOf(&s.totals.searches))
+	reg.CounterFunc("twsim_query_candidates_total", "", "Index candidates produced across all queries.", counterOf(&s.totals.candidates))
+	reg.CounterFunc("twsim_query_results_total", "", "Query results returned across all queries.", counterOf(&s.totals.results))
+	reg.CounterFunc("twsim_dtw_calls_total", "", "Exact DTW evaluations during refinement.", counterOf(&s.totals.dtwCalls))
+	reg.CounterFunc("twsim_dtw_abandoned_total", "", "Dense DTW evaluations that early-abandoned (subset of dtw_calls).", counterOf(&s.totals.dtwAbandoned))
+	reg.CounterFunc("twsim_lb_kim_pruned_total", "", "Candidates dismissed by cascade Tier 0 (LB_Kim on the stored index point).", counterOf(&s.totals.lbKimPruned))
+	reg.CounterFunc("twsim_lb_keogh_pruned_total", "", "Candidates dismissed by cascade Tier 1a (LB_Keogh envelope bound).", counterOf(&s.totals.lbKeoghPruned))
+	reg.CounterFunc("twsim_lb_yi_pruned_total", "", "Candidates dismissed by cascade Tier 1b (two-sided Yi bound).", counterOf(&s.totals.lbYiPruned))
+	reg.CounterFunc("twsim_corridor_pruned_total", "", "Candidates dismissed by cascade Tiers 2-3 (sparse corridor DP).", counterOf(&s.totals.corridorPruned))
+
+	// Database size gauges.
+	reg.GaugeFunc("twsim_sequences", "", "Live sequences stored.", func() float64 { return float64(s.backend.Len()) })
+	reg.GaugeFunc("twsim_data_bytes", "", "Logical bytes of stored sequence data.", func() float64 { return float64(s.backend.DataBytes()) })
+	reg.GaugeFunc("twsim_index_pages", "", "Feature index size in pages.", func() float64 { return float64(s.backend.IndexPages()) })
+
+	// Storage-layer counters: buffer pools and the decoded-sequence cache.
+	// Each collector snapshots StorageStats at scrape time; snapshots are
+	// weakly consistent (see twsim.StorageStats), which is fine for ratios.
+	pool := func(sel func(twsim.StorageStats) float64) func() float64 {
+		return func() float64 { return sel(s.backend.StorageStats()) }
+	}
+	for _, p := range []struct {
+		name string
+		get  func(twsim.StorageStats) pagefile.Stats
+	}{
+		{"data", func(st twsim.StorageStats) pagefile.Stats { return st.Data }},
+		{"index", func(st twsim.StorageStats) pagefile.Stats { return st.Index }},
+	} {
+		get := p.get
+		label := `pool="` + p.name + `"`
+		reg.CounterFunc("twsim_pool_reads_total", label, "Logical page reads, by buffer pool.", pool(func(st twsim.StorageStats) float64 { return float64(get(st).Reads) }))
+		reg.CounterFunc("twsim_pool_misses_total", label, "Page reads that went to the backend, by buffer pool.", pool(func(st twsim.StorageStats) float64 { return float64(get(st).Misses) }))
+		reg.CounterFunc("twsim_pool_writes_total", label, "Physical page write-backs, by buffer pool.", pool(func(st twsim.StorageStats) float64 { return float64(get(st).Writes) }))
+		reg.GaugeFunc("twsim_pool_hit_ratio", label, "Buffer pool hit ratio (1 - misses/reads).", pool(func(st twsim.StorageStats) float64 { return get(st).HitRatio() }))
+	}
+	reg.CounterFunc("twsim_seq_cache_hits_total", "", "Decoded-sequence cache hits.", pool(func(st twsim.StorageStats) float64 { return float64(st.Cache.Hits) }))
+	reg.CounterFunc("twsim_seq_cache_misses_total", "", "Decoded-sequence cache misses.", pool(func(st twsim.StorageStats) float64 { return float64(st.Cache.Misses) }))
+	reg.GaugeFunc("twsim_seq_cache_bytes", "", "Bytes resident in the decoded-sequence cache.", pool(func(st twsim.StorageStats) float64 { return float64(st.Cache.Bytes) }))
+	reg.GaugeFunc("twsim_seq_cache_entries", "", "Sequences resident in the decoded-sequence cache.", pool(func(st twsim.StorageStats) float64 { return float64(st.Cache.Entries) }))
+	reg.GaugeFunc("twsim_seq_cache_hit_ratio", "", "Decoded-sequence cache hit ratio.", pool(func(st twsim.StorageStats) float64 { return st.Cache.HitRatio() }))
+
+	return m
+}
+
+// observeQuery records one answered query's phase timings into the latency
+// histograms (filter only when the query had a distinct filter phase; k-NN
+// walks report refine time only).
+func (m *serverMetrics) observeQuery(st twsim.QueryStats, hasFilterPhase bool) {
+	if hasFilterPhase {
+		m.filter.Observe(st.FilterWall)
+	}
+	m.refine.Observe(st.RefineWall)
+}
+
+// statusRecorder captures the status code a handler wrote so the
+// instrumentation can classify the request.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the endpoint's request counter and
+// latency histogram. The observation is two atomic adds plus one counter
+// increment; the recorder is the only per-request allocation.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		em.latency.Observe(time.Since(start))
+		switch {
+		case rec.status >= 500:
+			em.serverErr.Inc()
+		case rec.status >= 400:
+			em.clientErr.Inc()
+		default:
+			em.ok.Inc()
+		}
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition of every registered
+// instrument.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WriteText(w)
+}

@@ -3,6 +3,7 @@
 // embedded in a service rather than a process. Endpoints:
 //
 //	GET    /healthz                       liveness probe
+//	GET    /metrics                       Prometheus text exposition
 //	GET    /stats                         database statistics
 //	POST   /sequences                     {"values": [...]} -> {"id": n}
 //	POST   /sequences/batch               {"sequences": [[...], ...]} -> {"first_id": n, "count": k, "ids": [...]}
@@ -23,7 +24,15 @@
 // per-tier prune counts, which each /search response also reports for its
 // own query. The subsequence endpoints require a single-database
 // backend and answer 501 otherwise. Every error returns JSON
-// {"error": "..."} with an appropriate status code.
+// {"error": "..."} with an appropriate status code; queries containing NaN
+// or ±Inf are rejected with 400 (twsim.ErrNonFinite).
+//
+// Observability: every endpoint is instrumented with request counters (by
+// status class) and latency histograms, exported together with the query
+// totals, cascade prune counters, buffer pool and sequence-cache counters
+// on GET /metrics in the Prometheus text format (see metrics.go for the
+// catalog). /search and /knn responses carry the request_id the slow-query
+// log records.
 package server
 
 import (
@@ -38,6 +47,7 @@ import (
 	"sync/atomic"
 
 	twsim "repro"
+	"repro/internal/pagefile"
 )
 
 // MaxBodyBytes bounds request bodies to keep a misbehaving client from
@@ -50,18 +60,23 @@ type Server struct {
 	// db and locked are non-nil only for single-database backends: db
 	// powers the subsequence endpoints, locked is the write serialization
 	// wrapped around it (a ShardedDB synchronizes internally instead).
-	db     *twsim.DB
-	locked *lockedDB
-	smu    sync.RWMutex       // guards subseq
-	subseq *twsim.SubseqIndex // built on demand via /subseq/build
-	totals queryTotals        // cumulative /search work since the server started
-	mux    *http.ServeMux
+	db      *twsim.DB
+	locked  *lockedDB
+	smu     sync.RWMutex       // guards subseq
+	subseq  *twsim.SubseqIndex // built on demand via /subseq/build
+	totals  queryTotals        // cumulative /search + /knn work since the server started
+	metrics *serverMetrics     // obs registry + per-endpoint instruments (/metrics)
+	mux     *http.ServeMux
 }
 
-// queryTotals accumulates the work counters of every /search the server has
-// answered, lock-free so concurrent searches never serialize on accounting.
-// /stats reports the snapshot as "query_totals", giving operators the
+// queryTotals accumulates the work counters of every /search and /knn the
+// server has answered, lock-free so concurrent searches never serialize on
+// accounting. /stats reports the snapshot as "query_totals" and /metrics
+// exports the same atomics as twsim_* counters, giving operators the
 // cascade's prune rates in production without scraping per-query responses.
+// The counters satisfy the conservation law
+// candidates = lb_kim + lb_keogh + lb_yi + corridor + dtw_calls
+// (dangling-entry skips aside), which the metrics tests assert.
 type queryTotals struct {
 	searches, candidates, results          atomic.Int64
 	dtwCalls, dtwAbandoned                 atomic.Int64
@@ -138,6 +153,12 @@ func (l *lockedDB) NearestK(query []float64, k int) ([]twsim.Match, error) {
 	return l.db.NearestK(query, k)
 }
 
+func (l *lockedDB) NearestKStats(query []float64, k int) (*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.NearestKStats(query, k)
+}
+
 func (l *lockedDB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*twsim.Result, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -209,15 +230,17 @@ func NewBackend(b twsim.Backend) *Server {
 		s.locked = &lockedDB{db: db}
 		s.backend = s.locked
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/sequences", s.handleSequences)
-	s.mux.HandleFunc("/sequences/", s.handleSequenceByID)
-	s.mux.HandleFunc("/sequences/batch", s.handleBatch)
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/knn", s.handleKNN)
-	s.mux.HandleFunc("/subseq/build", s.handleSubseqBuild)
-	s.mux.HandleFunc("/subseq/search", s.handleSubseqSearch)
+	s.metrics = newServerMetrics(s)
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("/sequences", s.instrument("sequences", s.handleSequences))
+	s.mux.HandleFunc("/sequences/", s.instrument("sequence_by_id", s.handleSequenceByID))
+	s.mux.HandleFunc("/sequences/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("/knn", s.instrument("knn", s.handleKNN))
+	s.mux.HandleFunc("/subseq/build", s.instrument("subseq_build", s.handleSubseqBuild))
+	s.mux.HandleFunc("/subseq/search", s.instrument("subseq_search", s.handleSubseqSearch))
 	return s
 }
 
@@ -258,10 +281,13 @@ type StatsJSON struct {
 	WallMicros     int64 `json:"wall_us"`
 }
 
-// SearchResponse is the /search reply.
+// SearchResponse is the /search (and /knn) reply. RequestID is the
+// process-unique query identifier the slow-query log records; joining the
+// two attributes a logged slow query to the client that sent it.
 type SearchResponse struct {
-	Matches []MatchJSON `json:"matches"`
-	Stats   StatsJSON   `json:"stats"`
+	Matches   []MatchJSON `json:"matches"`
+	Stats     StatsJSON   `json:"stats"`
+	RequestID uint64      `json:"request_id"`
 }
 
 // ---- handlers ----
@@ -283,36 +309,28 @@ func shardQueriesJSON(qt twsim.QueryTotals) map[string]any {
 	}
 }
 
-// storageJSON renders the storage-layer counters with derived hit ratios:
-// pool hit ratio = 1 - misses/reads, cache hit ratio = hits/(hits+misses).
-// Ratios are 0 before any traffic.
+// storageJSON renders the storage-layer counters with their derived hit
+// ratios (pagefile.Stats.HitRatio, seqdb.CacheStats.HitRatio — 0 before any
+// traffic).
 func storageJSON(st twsim.StorageStats) map[string]any {
-	poolJSON := func(reads, misses, seqMisses, writes int64) map[string]any {
-		hit := 0.0
-		if reads > 0 {
-			hit = 1 - float64(misses)/float64(reads)
-		}
+	poolJSON := func(p pagefile.Stats) map[string]any {
 		return map[string]any{
-			"reads":      reads,
-			"misses":     misses,
-			"seq_misses": seqMisses,
-			"writes":     writes,
-			"hit_ratio":  hit,
+			"reads":      p.Reads,
+			"misses":     p.Misses,
+			"seq_misses": p.SeqMisses,
+			"writes":     p.Writes,
+			"hit_ratio":  p.HitRatio(),
 		}
-	}
-	cacheHit := 0.0
-	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
-		cacheHit = float64(st.Cache.Hits) / float64(lookups)
 	}
 	return map[string]any{
-		"data_pool":  poolJSON(st.Data.Reads, st.Data.Misses, st.Data.SeqMisses, st.Data.Writes),
-		"index_pool": poolJSON(st.Index.Reads, st.Index.Misses, st.Index.SeqMisses, st.Index.Writes),
+		"data_pool":  poolJSON(st.Data),
+		"index_pool": poolJSON(st.Index),
 		"seq_cache": map[string]any{
 			"hits":      st.Cache.Hits,
 			"misses":    st.Cache.Misses,
 			"bytes":     st.Cache.Bytes,
 			"entries":   st.Cache.Entries,
-			"hit_ratio": cacheHit,
+			"hit_ratio": st.Cache.HitRatio(),
 		},
 	}
 }
@@ -459,6 +477,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.totals.accumulate(res.Stats)
+	s.metrics.observeQuery(res.Stats, true)
 	writeJSON(w, http.StatusOK, toSearchResponse(res))
 }
 
@@ -478,16 +497,14 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("k must be non-negative"))
 		return
 	}
-	matches, err := s.backend.NearestK(req.Query, req.K)
+	res, err := s.backend.NearestKStats(req.Query, req.K)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	out := make([]MatchJSON, len(matches))
-	for i, m := range matches {
-		out[i] = MatchJSON{ID: uint32(m.ID), Dist: m.Dist}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"matches": out})
+	s.totals.accumulate(res.Stats)
+	s.metrics.observeQuery(res.Stats, false)
+	writeJSON(w, http.StatusOK, toSearchResponse(res))
 }
 
 func (s *Server) handleSubseqBuild(w http.ResponseWriter, r *http.Request) {
@@ -583,7 +600,8 @@ func (s *Server) Close() error {
 
 func toSearchResponse(res *twsim.Result) SearchResponse {
 	out := SearchResponse{
-		Matches: make([]MatchJSON, len(res.Matches)),
+		RequestID: res.RequestID,
+		Matches:   make([]MatchJSON, len(res.Matches)),
 		Stats: StatsJSON{
 			Candidates:     res.Stats.Candidates,
 			Results:        res.Stats.Results,

@@ -92,37 +92,56 @@ func (e *Engine) search(query []float64, epsilon float64, parallel bool) (*core.
 // early. The per-shard survivor lists are merged, re-sorted, and truncated
 // to k — identical to the single-database result (modulo ID assignment).
 func (e *Engine) NearestK(query []float64, k int) ([]core.Match, error) {
+	ms, _, err := e.NearestKStats(query, k)
+	return ms, err
+}
+
+// NearestKStats is NearestK reporting the summed per-shard query work. The
+// per-shard statistics also feed the engine's cumulative counters, so k-NN
+// traffic shows up in ShardStats alongside range searches and the exported
+// conservation law (Candidates = ΣPruned + DTWCalls) covers both kinds of
+// query. Wall is the observed fan-out duration; RefineWall sums the shards'
+// walk times (filtering and refinement interleave in the k-NN walk, so
+// there is no separate filter phase to report).
+func (e *Engine) NearestKStats(query []float64, k int) ([]core.Match, core.QueryStats, error) {
+	var stats core.QueryStats
 	if k <= 0 {
-		return nil, nil
+		return nil, stats, nil
 	}
+	start := time.Now()
 	bound := core.NewSharedBound()
 	workers := e.perShardWorkers(true)
 	perShard := make([][]core.Match, len(e.stores))
+	perStats := make([]core.QueryStats, len(e.stores))
 	err := e.fanOut(func(si int) error {
 		e.locks[si].RLock()
-		ms, err := e.stores[si].NearestKSharedWorkers(query, k, bound, workers)
+		ms, qs, err := e.stores[si].NearestKStatsWorkers(query, k, bound, workers)
 		e.locks[si].RUnlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)
 		}
+		e.counters[si].accumulate(qs)
 		for i := range ms {
 			ms[i].ID = e.globalID(ms[i].ID, si)
 		}
-		perShard[si] = ms
+		perShard[si], perStats[si] = ms, qs
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	var merged []core.Match
-	for _, ms := range perShard {
+	for si, ms := range perShard {
 		merged = append(merged, ms...)
+		stats.Add(perStats[si])
 	}
 	sortMatches(merged)
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged, nil
+	stats.Results = len(merged)
+	stats.Wall = time.Since(start)
+	return merged, stats, nil
 }
 
 // SearchBatch runs many queries concurrently, one worker per query. Each

@@ -38,12 +38,14 @@ type Store interface {
 	AddAll(values [][]float64) (seq.ID, error)
 	Remove(id seq.ID) (bool, error)
 	Get(id seq.ID) ([]float64, error)
-	// SearchWorkers and NearestKSharedWorkers take the number of
+	// SearchWorkers and NearestKStatsWorkers take the number of
 	// intra-query refinement workers the shard may use for this call; the
 	// engine computes it from its refine budget so fan-out × intra-query
 	// parallelism never oversubscribes (workers ≤ 1 means serial).
+	// NearestKStatsWorkers reports the query work alongside the matches so
+	// the engine can accumulate k-NN traffic into the per-shard counters.
 	SearchWorkers(query []float64, epsilon float64, workers int) (*core.Result, error)
-	NearestKSharedWorkers(query []float64, k int, bound *core.SharedBound, workers int) ([]core.Match, error)
+	NearestKStatsWorkers(query []float64, k int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error)
 	StorageStats() core.StorageStats
 	Len() int
 	DataBytes() int64

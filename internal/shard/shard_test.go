@@ -72,8 +72,8 @@ func (f *fakeStore) SearchWorkers(query []float64, epsilon float64, workers int)
 	return &core.Result{}, nil
 }
 
-func (f *fakeStore) NearestKSharedWorkers(query []float64, k int, bound *core.SharedBound, workers int) ([]core.Match, error) {
-	return nil, nil
+func (f *fakeStore) NearestKStatsWorkers(query []float64, k int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error) {
+	return nil, core.QueryStats{}, nil
 }
 
 func (f *fakeStore) StorageStats() core.StorageStats { return core.StorageStats{} }

@@ -7,9 +7,9 @@ import (
 )
 
 // QueryTotals are one shard's cumulative query work counters since the
-// engine was built: how many range searches touched the shard, how many
-// index candidates they produced, and where the refinement cascade
-// dismissed them. Operators read the breakdown to spot skew (a shard doing
+// engine was built: how many queries (range searches and k-NN walks)
+// touched the shard, how many index candidates they produced, and where
+// the refinement cascade dismissed them. Operators read the breakdown to spot skew (a shard doing
 // disproportionate DTW work) and to see the cascade's prune rates in
 // production rather than only in benchmarks.
 type QueryTotals struct {

@@ -1,0 +1,103 @@
+package twsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// poisonDB builds a database holding finite sequences plus one NaN-bearing
+// sequence smuggled past the Add-time validation, the way the seed accepted
+// it: straight into the heap and the feature index.
+func poisonDB(t *testing.T) (*DB, ID) {
+	t.Helper()
+	db, err := OpenMem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for _, s := range [][]float64{{5, 6, 7}, {-3, -2, -1}, {10, 10, 10}} {
+		if _, err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	poisoned := seq.Sequence{math.NaN(), 1}
+	id, err := db.store.Append(poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.index.Insert(id, poisoned); err != nil {
+		t.Fatal(err)
+	}
+	return db, ID(id)
+}
+
+// TestNaNPoisonDivergence is the regression test for the headline bug: in
+// the seed, Add accepted sequences containing NaN, and the price was two
+// provably-exact search methods silently returning different answers —
+// the paper's Theorem 1 equivalence broken without any error surfacing.
+//
+// The witness: store S = [NaN, 1] and query Q = [1]. NaN loses every
+// ordered comparison, so it slips through the max-style recurrences as if
+// it were −∞: the exact L∞ DTW kernel drops the NaN path cost and
+// evaluates Dtw(S, Q) to the finite value 0, and the index + refine path
+// agrees, reporting S as a distance-0 match. The early-abandoning kernel
+// the sequential-scan baseline uses reaches the opposite verdict — in its
+// DP row for the NaN element no cell can test ≤ ε, so the row looks dead
+// and S is abandoned (NaN acting like +∞ this time). Same database, same
+// query, same ε: one exact method returns S, the other silently does not.
+//
+// With the fix, that state is unreachable through the public API (Add and
+// friends return ErrNonFinite; see TestNonFiniteRejected) and — should it
+// arise anyway via on-disk corruption — Verify and CheckInvariants both
+// flag it instead of staying silent.
+func TestNaNPoisonDivergence(t *testing.T) {
+	db, id := poisonDB(t)
+	q := []float64{1}
+	const eps = 0.5
+
+	// The system's own exact distance says S is a match at distance 0,
+	// and the index-filtered search duly returns it.
+	d, err := db.Distance(id, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("exact Dtw = %g for the poisoned pair, want 0; the witness no longer exercises the bug", d)
+	}
+	res, err := db.Search(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundIndex := false
+	for _, m := range res.Matches {
+		if m.ID == id {
+			foundIndex = true
+		}
+	}
+	if !foundIndex {
+		t.Fatal("index search dismissed the poisoned sequence; the divergence now runs the other way — update this test's direction, not its existence")
+	}
+
+	// The sequential-scan baseline — an exact method by contract —
+	// silently dismisses the very same match: no error, just a different
+	// answer than Search gave for identical inputs.
+	naive, err := db.BaselineNaiveScan().Search(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range naive.Matches {
+		if m.ID == id {
+			t.Fatalf("naive scan matched the poisoned sequence (%+v) — the exact and abandoning kernels now agree on NaN; update this test", m)
+		}
+	}
+
+	// The integrity checkers must refuse to bless the poisoned state.
+	if err := db.Verify(); err == nil {
+		t.Error("Verify passed on a database with a NaN-poisoned sequence")
+	}
+	if err := db.CheckInvariants(); err == nil {
+		t.Error("CheckInvariants passed on an index with a NaN feature entry")
+	}
+}

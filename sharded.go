@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/seq"
 	"repro/internal/shard"
 )
 
@@ -49,7 +50,8 @@ type QueryTotals = shard.QueryTotals
 type ShardedDB struct {
 	eng  *shard.Engine
 	base Base
-	dir  string // empty when in-memory
+	dir  string  // empty when in-memory
+	opts Options // per-shard options; also carries the slow-query config
 }
 
 const shardManifestName = "shards.json"
@@ -107,7 +109,7 @@ func newShardedDB(dbs []*DB, dir string, opts ShardedOptions) (*ShardedDB, error
 		closeAll(dbs)
 		return nil, err
 	}
-	return &ShardedDB{eng: eng, base: opts.Base, dir: dir}, nil
+	return &ShardedDB{eng: eng, base: opts.Base, dir: dir, opts: opts.Options}, nil
 }
 
 func closeAll(dbs []*DB) {
@@ -214,14 +216,30 @@ func (s *ShardedDB) LastRepair() RepairStats { return s.eng.LastRepair() }
 func (s *ShardedDB) StorageStats() StorageStats { return s.eng.StorageStats() }
 
 // Add stores one sequence, taking only the owning shard's write lock, and
-// returns its global ID.
-func (s *ShardedDB) Add(values []float64) (ID, error) { return s.eng.Add(values) }
+// returns its global ID. Sequences containing NaN or ±Inf are rejected with
+// ErrNonFinite before the placement counter advances, so an invalid Add
+// burns no ID.
+func (s *ShardedDB) Add(values []float64) (ID, error) {
+	if err := seq.CheckFinite(values); err != nil {
+		return seq.InvalidID, err
+	}
+	return s.eng.Add(values)
+}
 
 // AddBatch stores a batch split across shards (sub-batches load
 // concurrently) and returns every assigned ID in input order. The IDs are
 // interleaved across shards, not consecutive. A failed batch is rolled
 // back on every shard (see the engine's AddAll for the exact semantics).
-func (s *ShardedDB) AddBatch(values [][]float64) ([]ID, error) { return s.eng.AddAll(values) }
+// The whole batch is validated for non-finite elements upfront, before any
+// shard is touched or any ID is burned.
+func (s *ShardedDB) AddBatch(values [][]float64) ([]ID, error) {
+	for i, v := range values {
+		if err := seq.CheckFinite(v); err != nil {
+			return nil, fmt.Errorf("twsim: batch sequence %d: %w", i, err)
+		}
+	}
+	return s.eng.AddAll(values)
+}
 
 // Remove deletes a sequence from its owning shard.
 func (s *ShardedDB) Remove(id ID) (bool, error) { return s.eng.Remove(id) }
@@ -231,27 +249,78 @@ func (s *ShardedDB) Get(id ID) ([]float64, error) { return s.eng.Get(id) }
 
 // Search runs the paper's range similarity query fanned out across all
 // shards concurrently; results merge to exactly the single-database
-// answer. Stats sum the per-shard work; Wall is the fan-out duration.
+// answer. Stats sum the per-shard work; Wall is the fan-out duration. The
+// Result carries a process-unique RequestID; queries at or above
+// Options.SlowQueryThreshold are logged with it.
 func (s *ShardedDB) Search(query []float64, epsilon float64) (*Result, error) {
+	if len(query) == 0 {
+		return nil, seq.ErrEmpty
+	}
+	if err := seq.CheckFinite(query); err != nil {
+		return nil, err
+	}
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
 	}
-	return s.eng.Search(query, epsilon)
+	res, err := s.eng.Search(query, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	res.RequestID = nextRequestID()
+	s.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g", epsilon), res.Stats)
+	return res, nil
 }
 
 // NearestK runs the exact k-NN search across all shards, sharing a best-k
 // bound so laggard shards prune early; the merged result equals the
 // single-database answer.
 func (s *ShardedDB) NearestK(query []float64, k int) ([]Match, error) {
-	return s.eng.NearestK(query, k)
+	res, err := s.NearestKStats(query, k)
+	if err != nil {
+		return nil, err
+	}
+	return res.Matches, nil
+}
+
+// NearestKStats is NearestK returning the full Result: matches plus the
+// summed per-shard work counters and the RequestID (see DB.NearestKStats).
+func (s *ShardedDB) NearestKStats(query []float64, k int) (*Result, error) {
+	if len(query) == 0 {
+		return nil, seq.ErrEmpty
+	}
+	if err := seq.CheckFinite(query); err != nil {
+		return nil, err
+	}
+	ms, stats, err := s.eng.NearestKStats(query, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Matches: ms, Stats: stats, RequestID: nextRequestID()}
+	s.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d", k), res.Stats)
+	return res, nil
 }
 
 // SearchBatch runs many range queries concurrently (one worker per query,
 // each visiting shards serially — see the engine for why that maximizes
 // batch throughput). parallelism <= 0 selects GOMAXPROCS. The first error
-// aborts the batch promptly.
+// aborts the batch promptly. Every query is validated for non-finite
+// elements upfront; each per-query Result gets its own RequestID and
+// slow-query log line.
 func (s *ShardedDB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error) {
-	return s.eng.SearchBatch(queries, epsilon, parallelism)
+	for i, q := range queries {
+		if err := seq.CheckFinite(q); err != nil {
+			return nil, fmt.Errorf("twsim: query %d: %w", i, err)
+		}
+	}
+	out, err := s.eng.SearchBatch(queries, epsilon, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range out {
+		res.RequestID = nextRequestID()
+		s.opts.logSlowQuery("batch", res.RequestID, len(queries[i]), fmt.Sprintf("epsilon=%g", epsilon), res.Stats)
+	}
+	return out, nil
 }
 
 // Distance computes the exact time warping distance between a stored

@@ -33,8 +33,13 @@ func (db *DB) BuildSubseqIndex(windowLens []int, step int) (*SubseqIndex, error)
 }
 
 // Search returns every indexed window whose time warping distance to query
-// is at most epsilon, sorted by distance.
+// is at most epsilon, sorted by distance. Queries containing NaN or ±Inf
+// are rejected with ErrNonFinite (a non-finite query feature would make
+// every window invisible to the index filter).
 func (si *SubseqIndex) Search(query []float64, epsilon float64) (*SubseqResult, error) {
+	if err := seq.CheckFinite(query); err != nil {
+		return nil, err
+	}
 	return si.inner.Search(seq.Sequence(query), epsilon)
 }
 

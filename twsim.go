@@ -3,9 +3,11 @@ package twsim
 import (
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rtree"
@@ -27,6 +29,15 @@ const (
 
 // ID identifies a stored sequence.
 type ID = seq.ID
+
+// ErrNonFinite is returned by every write and query entry point when a
+// sequence or query contains a NaN or ±Inf element. Non-finite values are
+// rejected at the boundary because they silently break the paper's
+// no-false-dismissal guarantee: a NaN feature component makes the R-tree
+// entry invisible to every range query (NaN comparisons are all false)
+// while a sequential scan can still match the sequence — an index/scan
+// divergence with no error anywhere. Test with errors.Is.
+var ErrNonFinite = seq.ErrNonFinite
 
 // Match is one search result: a sequence ID and its exact time warping
 // distance to the query.
@@ -86,6 +97,15 @@ type Options struct {
 	// I/O or deserialization. 0 disables the cache, keeping the paper's
 	// per-query disk-access accounting exact — which is why it is opt-in.
 	SeqCacheBytes int64
+	// SlowQueryThreshold, when positive, makes every query whose wall time
+	// reaches it emit one flat key=value log line (query kind, request ID,
+	// query length, ε or k, per-phase timings, candidate and prune counts)
+	// to SlowQueryLogger. 0 disables slow-query logging.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogger receives slow-query lines (nil = log.Default()). A
+	// *log.Logger is safe for concurrent use, so one logger may serve many
+	// databases.
+	SlowQueryLogger *log.Logger
 }
 
 // refineWorkers resolves the intra-query parallelism default. The public
@@ -260,12 +280,18 @@ func (db *DB) Base() Base { return db.base }
 func (db *DB) Len() int { return db.store.Len() }
 
 // Add stores a sequence and indexes its feature vector, returning its ID.
-// Empty sequences are rejected.
+// Empty sequences are rejected, as are sequences containing NaN or ±Inf
+// (ErrNonFinite): a non-finite element would make the index entry
+// unreachable while scans still see the record, silently breaking the
+// no-false-dismissal guarantee.
 //
 // Add is atomic: when indexing fails after the heap append succeeded, the
 // append is rolled back before the error is returned, so the store and the
 // index never diverge and the failed Add can simply be retried.
 func (db *DB) Add(values []float64) (ID, error) {
+	if err := seq.CheckFinite(values); err != nil {
+		return seq.InvalidID, err
+	}
 	s := seq.Sequence(values)
 	id, err := db.store.Append(s)
 	if err != nil {
@@ -291,6 +317,14 @@ func (db *DB) Add(values []float64) (ID, error) {
 func (db *DB) AddAll(values [][]float64) (ID, error) {
 	if len(values) == 0 {
 		return seq.InvalidID, errors.New("twsim: AddAll of empty batch")
+	}
+	// Validate the whole batch before the first append: a non-finite
+	// sequence mid-batch would otherwise trigger the rollback machinery for
+	// an error that was knowable upfront.
+	for i, v := range values {
+		if err := seq.CheckFinite(v); err != nil {
+			return seq.InvalidID, fmt.Errorf("twsim: batch sequence %d: %w", i, err)
+		}
 	}
 	appended := make([]ID, 0, len(values))
 	indexed := make([]seq.Sequence, 0, len(values)) // sequences with index entries
@@ -404,24 +438,51 @@ func (db *DB) Search(query []float64, epsilon float64) (*Result, error) {
 // count for this call (≤ 1 means serial), overriding Options.RefineWorkers.
 // The sharded engine uses it to spread one refine budget across shards;
 // results are bit-identical at every worker count.
+//
+// The returned Result carries a process-unique RequestID; queries whose
+// wall time reaches Options.SlowQueryThreshold are logged with it.
 func (db *DB) SearchWorkers(query []float64, epsilon float64, workers int) (*Result, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
+	if err := seq.CheckFinite(query); err != nil {
+		return nil, err
+	}
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
 	}
-	return db.searcher(workers).Search(seq.Sequence(query), epsilon)
+	res, err := db.searcher(workers).Search(seq.Sequence(query), epsilon)
+	if err != nil {
+		return nil, err
+	}
+	res.RequestID = nextRequestID()
+	db.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g", epsilon), res.Stats)
+	return res, nil
 }
 
 // NearestK returns the k sequences with the smallest exact time warping
 // distance to query, in ascending distance order (an extension enabled by
 // Dtw-lb being a true lower bound of Dtw).
 func (db *DB) NearestK(query []float64, k int) ([]Match, error) {
-	if len(query) == 0 {
-		return nil, seq.ErrEmpty
+	res, err := db.NearestKStats(query, k)
+	if err != nil {
+		return nil, err
 	}
-	return db.searcher(db.opts.refineWorkers()).NearestK(seq.Sequence(query), k)
+	return res.Matches, nil
+}
+
+// NearestKStats is NearestK returning the full Result: the matches plus the
+// query's work counters (candidates, cascade prune tiers, DTW calls, wall
+// time) and its RequestID. The serving layer uses it to export k-NN traffic
+// into the same metrics and slow-query log as range searches.
+func (db *DB) NearestKStats(query []float64, k int) (*Result, error) {
+	ms, stats, err := db.NearestKStatsWorkers(query, k, nil, db.opts.refineWorkers())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Matches: ms, Stats: stats, RequestID: nextRequestID()}
+	db.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d", k), res.Stats)
+	return res, nil
 }
 
 // StorageStats snapshots the storage-layer counters: data and index buffer

@@ -31,6 +31,14 @@ func (db *DB) Verify() error {
 		if err != nil {
 			return fmt.Errorf("sequence %d: %w", id, err)
 		}
+		// A stored sequence whose feature is invalid (a non-finite element
+		// slipped in before input validation existed, or corruption decoded
+		// to NaN) is unreachable through the index: every range comparison
+		// against a NaN coordinate is false. Flag it by name rather than
+		// letting the zero-tolerance probe below fail cryptically.
+		if !f.Valid() {
+			return fmt.Errorf("sequence %d: invalid feature %+v (non-finite or inconsistent); unreachable through the index", id, f)
+		}
 		// A zero-tolerance range query around the sequence's own feature
 		// must return the sequence itself: LBKim(s, s) = 0.
 		ids, err := db.index.RangeQuery(f, 0)
