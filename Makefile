@@ -1,13 +1,23 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke
+.PHONY: ci fmt vet build test race fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke
 
 # Full gate: formatting, static checks, build, the whole test suite
 # (including the fault-injection recovery tests) under the race detector,
-# the observability smoke (boots twsimd, scrapes /metrics, validates the
+# a short fuzz pass over the envelope/lower-bound oracles, the
+# observability smoke (boots twsimd, scrapes /metrics, validates the
 # exposition), and short benchmark smokes for the sharded engine, the
-# refine cascade, and intra-query parallel refinement.
-ci: fmt vet build race metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke
+# refine cascade (including the banded leg with its brute-force banded
+# oracle), and intra-query parallel refinement.
+ci: fmt vet build race fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke
+
+# Short coverage-guided fuzz passes over the ordering oracles: the deque
+# envelope vs the quadratic reference, and the lower-bound chain
+# LB_Keogh <= LB_Improved <= BandDistance with BandDistance >= Distance.
+# Go permits one fuzz target per -fuzz run, so each gets its own pass.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz='^FuzzEnvelopeDeque$$' -fuzztime=5s ./internal/dtw
+	$(GO) test -run=^$$ -fuzz='^FuzzBandedBoundChain$$' -fuzztime=5s ./internal/dtw
 
 # Boots a real twsimd on an ephemeral port, drives traffic, and verifies
 # GET /metrics is valid Prometheus exposition with the key series present

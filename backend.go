@@ -25,16 +25,27 @@ type Backend interface {
 	Remove(id ID) (bool, error)
 	// Get fetches a stored sequence.
 	Get(id ID) ([]float64, error)
-	// Search runs the paper's range similarity query.
+	// Search runs the paper's range similarity query under the backend's
+	// default band (Options.Band; 0 = the paper's unconstrained distance).
 	Search(query []float64, epsilon float64) (*Result, error)
-	// NearestK runs the exact k-NN extension.
+	// SearchBand is Search under an explicit Sakoe–Chiba band half-width
+	// for this call (0 = unconstrained, ≥ 1 = banded, negative = error).
+	SearchBand(query []float64, epsilon float64, band int) (*Result, error)
+	// NearestK runs the exact k-NN extension under the default band.
 	NearestK(query []float64, k int) ([]Match, error)
+	// NearestKBand is NearestK under an explicit band half-width.
+	NearestKBand(query []float64, k, band int) ([]Match, error)
 	// NearestKStats is NearestK returning the full Result — matches plus
 	// work counters and the request ID — so serving layers can export k-NN
 	// traffic into the same metrics as range searches.
 	NearestKStats(query []float64, k int) (*Result, error)
-	// SearchBatch runs many range queries concurrently.
+	// NearestKStatsBand is NearestKStats under an explicit band half-width.
+	NearestKStatsBand(query []float64, k, band int) (*Result, error)
+	// SearchBatch runs many range queries concurrently under the default
+	// band.
 	SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error)
+	// SearchBatchBand is SearchBatch under an explicit band half-width.
+	SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error)
 	// Len returns the number of live sequences.
 	Len() int
 	// DataBytes returns the logical size of the stored data.
@@ -105,16 +116,27 @@ func (db *DB) NearestKSharedWorkers(query []float64, k int, bound *SharedBound, 
 }
 
 // NearestKStatsWorkers is NearestKSharedWorkers with the query's work
-// counters returned alongside the matches. It is the form the sharded
+// counters returned alongside the matches, under the database's default
+// band (Options.Band).
+func (db *DB) NearestKStatsWorkers(query []float64, k int, bound *SharedBound, workers int) ([]Match, QueryStats, error) {
+	return db.NearestKStatsBandWorkers(query, k, db.opts.Band, bound, workers)
+}
+
+// NearestKStatsBandWorkers is the most general k-NN entry point: explicit
+// Sakoe–Chiba band half-width (0 = unconstrained), optional cross-partition
+// shared bound, and explicit worker count. It is the form the sharded
 // engine calls per shard, so k-NN work shows up in per-shard counters and
 // the exported conservation law (Candidates = ΣPruned + DTWCalls) covers
 // k-NN traffic too.
-func (db *DB) NearestKStatsWorkers(query []float64, k int, bound *SharedBound, workers int) ([]Match, QueryStats, error) {
+func (db *DB) NearestKStatsBandWorkers(query []float64, k, band int, bound *SharedBound, workers int) ([]Match, QueryStats, error) {
 	if len(query) == 0 {
 		return nil, QueryStats{}, seq.ErrEmpty
 	}
 	if err := seq.CheckFinite(query); err != nil {
 		return nil, QueryStats{}, err
 	}
-	return db.searcher(workers).NearestKSharedStats(seq.Sequence(query), k, bound)
+	if err := validateBand(band); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return db.searcher(workers, band).NearestKSharedStats(seq.Sequence(query), k, bound)
 }

@@ -12,10 +12,20 @@ import (
 // for concurrent readers) and returns one Result per query, in input order.
 // parallelism <= 0 selects GOMAXPROCS. The first error aborts the batch.
 // Every query is validated for non-finite elements upfront (ErrNonFinite);
-// each Result gets its own RequestID and slow-query log line.
+// each Result gets its own RequestID and slow-query log line. Queries run
+// under the database's default band (Options.Band).
 func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error) {
+	return db.SearchBatchBand(queries, epsilon, db.opts.Band, parallelism)
+}
+
+// SearchBatchBand is SearchBatch under an explicit Sakoe–Chiba band
+// half-width for this call (0 = unconstrained), overriding Options.Band.
+func (db *DB) SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error) {
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
+	}
+	if err := validateBand(band); err != nil {
+		return nil, err
 	}
 	for i, q := range queries {
 		if err := seq.CheckFinite(q); err != nil {
@@ -49,7 +59,7 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 			defer wg.Done()
 			// One worker per query already fills the machine; nesting
 			// intra-query refine workers under that would oversubscribe.
-			m := db.searcher(1)
+			m := db.searcher(1, band)
 			for i := range work {
 				if failed() {
 					continue // drain: the batch is already doomed
@@ -82,7 +92,7 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 	}
 	for i, res := range out {
 		res.RequestID = nextRequestID()
-		db.opts.logSlowQuery("batch", res.RequestID, len(queries[i]), fmt.Sprintf("epsilon=%g", epsilon), res.Stats)
+		db.opts.logSlowQuery("batch", res.RequestID, len(queries[i]), fmt.Sprintf("epsilon=%g band=%d", epsilon, band), res.Stats)
 	}
 	return out, nil
 }

@@ -101,8 +101,9 @@ func TestShardedQueryTotals(t *testing.T) {
 		}
 		wantCand += int64(res.Stats.Candidates)
 		wantDTW += int64(res.Stats.DTWCalls)
-		wantPruned += int64(res.Stats.LBKimPruned + res.Stats.LBKeoghPruned +
-			res.Stats.LBYiPruned + res.Stats.CorridorPruned)
+		wantPruned += int64(res.Stats.LBKimPruned + res.Stats.LBPAAPruned +
+			res.Stats.LBKeoghPruned + res.Stats.LBYiPruned +
+			res.Stats.LBImprovedPruned + res.Stats.CorridorPruned)
 	}
 	var got twsim.QueryTotals
 	for _, st := range sharded.ShardStats() {
@@ -110,7 +111,8 @@ func TestShardedQueryTotals(t *testing.T) {
 		if qt.Searches != queries {
 			t.Errorf("shard %d saw %d searches, want %d", st.ID, qt.Searches, queries)
 		}
-		perShardPruned := qt.LBKimPruned + qt.LBKeoghPruned + qt.LBYiPruned + qt.CorridorPruned
+		perShardPruned := qt.LBKimPruned + qt.LBPAAPruned + qt.LBKeoghPruned +
+			qt.LBYiPruned + qt.LBImprovedPruned + qt.CorridorPruned
 		if perShardPruned+qt.DTWCalls != qt.Candidates {
 			t.Errorf("shard %d: prunes %d + dtw %d != candidates %d",
 				st.ID, perShardPruned, qt.DTWCalls, qt.Candidates)
@@ -118,11 +120,14 @@ func TestShardedQueryTotals(t *testing.T) {
 		got.Candidates += qt.Candidates
 		got.DTWCalls += qt.DTWCalls
 		got.LBKimPruned += qt.LBKimPruned
+		got.LBPAAPruned += qt.LBPAAPruned
 		got.LBKeoghPruned += qt.LBKeoghPruned
 		got.LBYiPruned += qt.LBYiPruned
+		got.LBImprovedPruned += qt.LBImprovedPruned
 		got.CorridorPruned += qt.CorridorPruned
 	}
-	gotPruned := got.LBKimPruned + got.LBKeoghPruned + got.LBYiPruned + got.CorridorPruned
+	gotPruned := got.LBKimPruned + got.LBPAAPruned + got.LBKeoghPruned +
+		got.LBYiPruned + got.LBImprovedPruned + got.CorridorPruned
 	if got.Candidates != wantCand || got.DTWCalls != wantDTW || gotPruned != wantPruned {
 		t.Errorf("shard totals (cand %d, dtw %d, pruned %d) != merged stats (cand %d, dtw %d, pruned %d)",
 			got.Candidates, got.DTWCalls, gotPruned, wantCand, wantDTW, wantPruned)

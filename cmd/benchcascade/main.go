@@ -47,20 +47,23 @@ import (
 )
 
 type config struct {
-	Cascade         bool    `json:"cascade"`
-	QPS             float64 `json:"queries_per_sec"`
-	WallMS          float64 `json:"wall_ms"`
-	P50MS           float64 `json:"p50_ms"`
-	P99MS           float64 `json:"p99_ms"`
-	Candidates      int     `json:"candidates"`
-	DTWCalls        int     `json:"dtw_calls"`
-	DTWAbandoned    int     `json:"dtw_abandoned"`
-	LBKimPruned     int     `json:"lb_kim_pruned"`
-	LBKeoghPruned   int     `json:"lb_keogh_pruned"`
-	LBYiPruned      int     `json:"lb_yi_pruned"`
-	CorridorPruned  int     `json:"corridor_pruned"`
-	Matches         int     `json:"matches"`
-	DTWReductionPct float64 `json:"dtw_call_reduction_pct"`
+	Cascade          bool    `json:"cascade"`
+	Procs            int     `json:"gomaxprocs"`
+	QPS              float64 `json:"queries_per_sec"`
+	WallMS           float64 `json:"wall_ms"`
+	P50MS            float64 `json:"p50_ms"`
+	P99MS            float64 `json:"p99_ms"`
+	Candidates       int     `json:"candidates"`
+	DTWCalls         int     `json:"dtw_calls"`
+	DTWAbandoned     int     `json:"dtw_abandoned"`
+	LBKimPruned      int     `json:"lb_kim_pruned"`
+	LBPAAPruned      int     `json:"lb_paa_pruned"`
+	LBKeoghPruned    int     `json:"lb_keogh_pruned"`
+	LBYiPruned       int     `json:"lb_yi_pruned"`
+	LBImprovedPruned int     `json:"lb_improved_pruned"`
+	CorridorPruned   int     `json:"corridor_pruned"`
+	Matches          int     `json:"matches"`
+	DTWReductionPct  float64 `json:"dtw_call_reduction_pct"`
 }
 
 type workload struct {
@@ -70,6 +73,7 @@ type workload struct {
 	MaxLen  int      `json:"max_len"`
 	Queries int      `json:"queries"`
 	Epsilon float64  `json:"epsilon"`
+	Band    int      `json:"band"`
 	Configs []config `json:"configs"`
 }
 
@@ -98,6 +102,7 @@ func main() {
 		seqLen  = flag.Int("len", 128, "sequence length")
 		queries = flag.Int("queries", 64, "queries per batch")
 		eps     = flag.Float64("eps", 0.35, "search tolerance (paper's epsilon)")
+		band    = flag.Int("band", 8, "Sakoe-Chiba band half-width for the banded workload")
 	)
 	flag.Parse()
 	if *smoke {
@@ -117,7 +122,7 @@ func main() {
 	equal := synth.RandomWalkSet(rng, *seqs, *seqLen)
 	equalQ := synth.Queries(rng, equal, *queries)
 	rep.Workloads = append(rep.Workloads,
-		runWorkload("equal_len", equal, equalQ, *seqLen, *seqLen, *eps))
+		runWorkload("equal_len", equal, equalQ, *seqLen, *seqLen, *eps, 0, *smoke))
 
 	// Workload 2: mixed lengths, where the point-feature tiers prune.
 	vrng := rand.New(rand.NewSource(43))
@@ -125,7 +130,22 @@ func main() {
 	vary := synth.RandomWalkSetVaryLen(vrng, *seqs, minLen, maxLen)
 	varyQ := synth.Queries(vrng, vary, *queries)
 	rep.Workloads = append(rep.Workloads,
-		runWorkload("vary_len", vary, varyQ, minLen, maxLen, *eps))
+		runWorkload("vary_len", vary, varyQ, minLen, maxLen, *eps, 0, *smoke))
+
+	// Workload 3: equal lengths under a Sakoe–Chiba band, where the banded
+	// envelope tiers (LB_PAA before the fetch, banded LB_Keogh and
+	// LB_Improved after) carry the pruning the corridor cannot (the banded
+	// exact DP replaces it).
+	bw := runWorkload("equal_len_band", equal, equalQ, *seqLen, *seqLen, *eps, *band, *smoke)
+	rep.Workloads = append(rep.Workloads, bw)
+	for _, c := range bw.Configs {
+		if !c.Cascade {
+			continue
+		}
+		if feat := c.LBPAAPruned + c.LBKeoghPruned + c.LBImprovedPruned; feat == 0 && c.Candidates > 0 {
+			log.Fatalf("benchcascade: banded workload pruned nothing with the envelope tiers (candidates=%d)", c.Candidates)
+		}
+	}
 
 	if !*smoke {
 		rep.Kernels = runKernels(*seqLen)
@@ -146,7 +166,20 @@ func main() {
 	}
 }
 
-func runWorkload(name string, data []seq.Sequence, qs []seq.Sequence, minLen, maxLen int, eps float64) workload {
+// procsList returns the GOMAXPROCS settings every configuration runs at:
+// the serial baseline and the machine's full width (deduplicated on
+// single-core machines). Recording both rows keeps the numbers honest —
+// cascade wins that only show up with parallelism (or only without) are
+// visible instead of averaged away.
+func procsList() []int {
+	n := runtime.NumCPU()
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+func runWorkload(name string, data []seq.Sequence, qs []seq.Sequence, minLen, maxLen int, eps float64, band int, smoke bool) workload {
 	values := make([][]float64, len(data))
 	for i, s := range data {
 		values[i] = s
@@ -157,31 +190,43 @@ func runWorkload(name string, data []seq.Sequence, qs []seq.Sequence, minLen, ma
 	}
 	w := workload{
 		Name: name, Seqs: len(data), MinLen: minLen, MaxLen: maxLen,
-		Queries: len(qs), Epsilon: eps,
+		Queries: len(qs), Epsilon: eps, Band: band,
 	}
 	var baseline []*twsim.Result
-	for _, cascade := range []bool{false, true} {
-		c, results, err := runConfig(cascade, values, queryVals, eps)
-		if err != nil {
-			log.Fatalf("benchcascade: %s cascade=%v: %v", name, cascade, err)
-		}
-		if cascade {
-			checkIdentical(name, baseline, results)
-			if base := w.Configs[0].DTWCalls; base > 0 {
-				c.DTWReductionPct = 100 * float64(base-c.DTWCalls) / float64(base)
+	for _, procs := range procsList() {
+		baseIdx := len(w.Configs) // this procs-group's cascade=false row
+		for _, cascade := range []bool{false, true} {
+			c, results, err := runConfig(cascade, procs, band, values, queryVals, eps)
+			if err != nil {
+				log.Fatalf("benchcascade: %s cascade=%v procs=%d: %v", name, cascade, procs, err)
 			}
-		} else {
-			baseline = results
+			if baseline == nil {
+				baseline = results
+			} else {
+				// Every configuration — cascade on or off, serial or wide —
+				// must return bit-identical matches.
+				checkIdentical(name, baseline, results)
+			}
+			if cascade {
+				if base := w.Configs[baseIdx].DTWCalls; base > 0 {
+					c.DTWReductionPct = 100 * float64(base-c.DTWCalls) / float64(base)
+				}
+			}
+			w.Configs = append(w.Configs, c)
+			log.Printf("%s cascade=%v procs=%d: %.1f queries/sec (p50 %.2f ms, p99 %.2f ms), %d/%d DTW calls, pruned kim=%d paa=%d keogh=%d yi=%d improved=%d corridor=%d",
+				name, cascade, procs, c.QPS, c.P50MS, c.P99MS, c.DTWCalls, c.Candidates,
+				c.LBKimPruned, c.LBPAAPruned, c.LBKeoghPruned, c.LBYiPruned, c.LBImprovedPruned, c.CorridorPruned)
 		}
-		w.Configs = append(w.Configs, c)
-		log.Printf("%s cascade=%v: %.1f queries/sec (p50 %.2f ms, p99 %.2f ms), %d/%d DTW calls, pruned kim=%d keogh=%d yi=%d corridor=%d",
-			name, cascade, c.QPS, c.P50MS, c.P99MS, c.DTWCalls, c.Candidates,
-			c.LBKimPruned, c.LBKeoghPruned, c.LBYiPruned, c.CorridorPruned)
+	}
+	if band > 0 && smoke {
+		checkBandedOracle(name, values, queryVals, eps, band, baseline)
 	}
 	return w
 }
 
-func runConfig(cascade bool, data, queries [][]float64, eps float64) (config, []*twsim.Result, error) {
+func runConfig(cascade bool, procs, band int, data, queries [][]float64, eps float64) (config, []*twsim.Result, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
 	db, err := twsim.OpenMem(twsim.Options{DisableCascade: !cascade})
 	if err != nil {
 		return config{}, nil, err
@@ -192,27 +237,29 @@ func runConfig(cascade bool, data, queries [][]float64, eps float64) (config, []
 	}
 
 	// Warm the buffer pools (and the kernel row pools) with one untimed pass.
-	if _, err := db.SearchBatch(queries, eps, 0); err != nil {
+	if _, err := db.SearchBatchBand(queries, eps, band, 0); err != nil {
 		return config{}, nil, err
 	}
 
 	start := time.Now()
-	results, err := db.SearchBatch(queries, eps, 0)
+	results, err := db.SearchBatchBand(queries, eps, band, 0)
 	wall := time.Since(start)
 	if err != nil {
 		return config{}, nil, err
 	}
 
 	lat := make([]time.Duration, len(results))
-	c := config{Cascade: cascade}
+	c := config{Cascade: cascade, Procs: procs}
 	for i, r := range results {
 		lat[i] = r.Stats.Wall
 		c.Candidates += r.Stats.Candidates
 		c.DTWCalls += r.Stats.DTWCalls
 		c.DTWAbandoned += r.Stats.DTWAbandoned
 		c.LBKimPruned += r.Stats.LBKimPruned
+		c.LBPAAPruned += r.Stats.LBPAAPruned
 		c.LBKeoghPruned += r.Stats.LBKeoghPruned
 		c.LBYiPruned += r.Stats.LBYiPruned
+		c.LBImprovedPruned += r.Stats.LBImprovedPruned
 		c.CorridorPruned += r.Stats.CorridorPruned
 		c.Matches += len(r.Matches)
 	}
@@ -222,6 +269,36 @@ func runConfig(cascade bool, data, queries [][]float64, eps float64) (config, []
 	c.P50MS = float64(lat[len(lat)/2].Microseconds()) / 1e3
 	c.P99MS = float64(lat[len(lat)*99/100].Microseconds()) / 1e3
 	return c, results, nil
+}
+
+// checkBandedOracle compares the banded index search against a brute-force
+// banded scan — the no-false-dismissal oracle for the banded query mode
+// (smoke runs only; it is O(seqs × queries) exact DPs).
+func checkBandedOracle(name string, data, queries [][]float64, eps float64, band int, got []*twsim.Result) {
+	for qi, q := range queries {
+		var want []twsim.Match
+		for id, s := range data {
+			if d := dtw.BandDistance(s, q, seq.LInf, band); d <= eps {
+				want = append(want, twsim.Match{ID: twsim.ID(id), Dist: d})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Dist != want[j].Dist {
+				return want[i].Dist < want[j].Dist
+			}
+			return want[i].ID < want[j].ID
+		})
+		if len(want) != len(got[qi].Matches) {
+			log.Fatalf("benchcascade: %s query %d: banded search returned %d matches, brute-force scan %d",
+				name, qi, len(got[qi].Matches), len(want))
+		}
+		for i := range want {
+			if want[i] != got[qi].Matches[i] {
+				log.Fatalf("benchcascade: %s query %d match %d: banded search %+v, brute-force scan %+v",
+					name, qi, i, got[qi].Matches[i], want[i])
+			}
+		}
+	}
 }
 
 // checkIdentical fails the run if the cascade changed any result — it is an

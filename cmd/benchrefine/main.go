@@ -11,9 +11,11 @@
 // Unlike benchshards, which measures inter-query batch throughput, this
 // harness runs queries one at a time so each query's refinement step — the
 // candidate fetch + lower-bound cascade + exact DTW — is the only source of
-// parallelism. Every worker budget in {1, 2, 4, GOMAXPROCS} (deduplicated)
-// gets a fresh database over the same fixed-seed data. Per configuration the
-// harness runs three passes over the query set:
+// parallelism. Every worker budget in {1, 2, 4, NumCPU} (deduplicated) gets
+// a fresh database over the same fixed-seed data, and runs twice — once at
+// GOMAXPROCS=1 and once at the machine's full width — with both rows
+// recorded (per-row "gomaxprocs" field). Per configuration the harness runs
+// three passes over the query set:
 //
 //  1. an untimed warm pass (fills the buffer pools and the decoded-sequence
 //     cache),
@@ -47,6 +49,7 @@ import (
 
 type config struct {
 	Workers      int     `json:"workers"`
+	Procs        int     `json:"gomaxprocs"`
 	QPS          float64 `json:"queries_per_sec"`
 	WallMS       float64 `json:"wall_ms"`
 	P50MS        float64 `json:"p50_ms"`
@@ -109,27 +112,34 @@ func main() {
 		CacheMB:    *cacheMB,
 		Smoke:      *smoke,
 	}
-	var baseline []*twsim.Result // workers=1 results, the verification oracle
-	for _, w := range workerCounts(rep.GOMAXPROCS) {
-		c, results, err := runConfig(w, values, queryVals, *eps, int64(*cacheMB)<<20)
-		if err != nil {
-			log.Fatalf("benchrefine: workers=%d: %v", w, err)
-		}
-		if *smoke {
-			if baseline == nil {
-				baseline = results
-			} else if err := compareResults(baseline, results); err != nil {
-				log.Fatalf("benchrefine: workers=%d not bit-identical to workers=1: %v", w, err)
+	// Every worker budget runs at both GOMAXPROCS=1 and the machine's full
+	// width, recording both rows: the serial rows show pure scheduling
+	// overhead, the full-width rows the intra-query speedup. Speedups are
+	// computed within each procs group against its own workers=1 baseline.
+	var baseline []*twsim.Result // first workers=1 results, the verification oracle
+	for _, procs := range procsList() {
+		baseIdx := len(rep.Configs)
+		for _, w := range workerCounts(rep.NumCPU) {
+			c, results, err := runConfig(w, procs, values, queryVals, *eps, int64(*cacheMB)<<20)
+			if err != nil {
+				log.Fatalf("benchrefine: workers=%d procs=%d: %v", w, procs, err)
 			}
+			if *smoke {
+				if baseline == nil {
+					baseline = results
+				} else if err := compareResults(baseline, results); err != nil {
+					log.Fatalf("benchrefine: workers=%d procs=%d not bit-identical to workers=1: %v", w, procs, err)
+				}
+			}
+			if len(rep.Configs) > baseIdx {
+				c.SpeedupVs1W = c.QPS / rep.Configs[baseIdx].QPS
+			} else {
+				c.SpeedupVs1W = 1
+			}
+			rep.Configs = append(rep.Configs, c)
+			log.Printf("workers=%d procs=%d: %.1f queries/sec (p50 %.2f ms, p99 %.2f ms, %d DTW calls, pool hit %.1f%%, repeat cache hit %.1f%%)",
+				c.Workers, procs, c.QPS, c.P50MS, c.P99MS, c.DTWCalls, 100*c.PoolHitRate, 100*c.CacheHitRate)
 		}
-		if len(rep.Configs) > 0 {
-			c.SpeedupVs1W = c.QPS / rep.Configs[0].QPS
-		} else {
-			c.SpeedupVs1W = 1
-		}
-		rep.Configs = append(rep.Configs, c)
-		log.Printf("workers=%d: %.1f queries/sec (p50 %.2f ms, p99 %.2f ms, %d DTW calls, pool hit %.1f%%, repeat cache hit %.1f%%)",
-			c.Workers, c.QPS, c.P50MS, c.P99MS, c.DTWCalls, 100*c.PoolHitRate, 100*c.CacheHitRate)
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -145,8 +155,8 @@ func main() {
 	}
 }
 
-// workerCounts returns {1, 2, 4, GOMAXPROCS} deduplicated and sorted, so
-// the serial baseline always runs first.
+// workerCounts returns {1, 2, 4, NumCPU} deduplicated and sorted, so the
+// serial baseline always runs first.
 func workerCounts(maxprocs int) []int {
 	set := map[int]bool{1: true, 2: true, 4: true, maxprocs: true}
 	var out []int
@@ -157,7 +167,19 @@ func workerCounts(maxprocs int) []int {
 	return out
 }
 
-func runConfig(workers int, data, queries [][]float64, eps float64, cacheBytes int64) (config, []*twsim.Result, error) {
+// procsList returns the GOMAXPROCS settings every configuration runs at:
+// 1 and the machine's full width (deduplicated on single-core runners).
+func procsList() []int {
+	n := runtime.NumCPU()
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+func runConfig(workers, procs int, data, queries [][]float64, eps float64, cacheBytes int64) (config, []*twsim.Result, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
 	db, err := twsim.OpenMem(twsim.Options{RefineWorkers: workers, SeqCacheBytes: cacheBytes})
 	if err != nil {
 		return config{}, nil, err
@@ -189,7 +211,7 @@ func runConfig(workers int, data, queries [][]float64, eps float64, cacheBytes i
 	after := db.StorageStats()
 
 	lat := make([]time.Duration, len(results))
-	c := config{Workers: workers}
+	c := config{Workers: workers, Procs: procs}
 	for i, r := range results {
 		lat[i] = r.Stats.Wall
 		c.DTWCalls += r.Stats.DTWCalls

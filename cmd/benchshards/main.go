@@ -11,11 +11,13 @@
 // Each configuration builds an in-memory database with the same data and
 // queries (fixed seed), then times one warmed SearchBatch. Reported per
 // configuration: queries/sec, per-query p50/p99 latency, exact-DTW call
-// count, and candidate ratio. Shard counts default to {1, 4, GOMAXPROCS},
-// deduplicated. Sharding pays off through N independent buffer pools (one
-// mutex each, N x aggregate cache) plus parallel DTW verification, so
-// expect the multi-shard gain to track the core count recorded in the
-// "gomaxprocs" field; a 1-core runner shows pool-contention relief only.
+// count, and candidate ratio. Shard counts default to {1, 4, NumCPU},
+// deduplicated, and every count runs twice — once at GOMAXPROCS=1 and once
+// at the machine's full width — with both rows recorded (per-row
+// "gomaxprocs" field). Sharding pays off through N independent buffer
+// pools (one mutex each, N x aggregate cache) plus parallel DTW
+// verification, so expect the multi-shard gain only in the full-width
+// rows; the GOMAXPROCS=1 rows isolate pool-contention relief.
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 
 type config struct {
 	Shards      int     `json:"shards"`
+	Procs       int     `json:"gomaxprocs"`
 	QPS         float64 `json:"queries_per_sec"`
 	WallMS      float64 `json:"wall_ms"`
 	P50MS       float64 `json:"p50_ms"`
@@ -92,20 +95,27 @@ func main() {
 		Epsilon:    *eps,
 		Smoke:      *smoke,
 	}
-	for _, n := range shardCounts(rep.GOMAXPROCS) {
-		c, err := runConfig(n, values, queryVals, *eps)
-		if err != nil {
-			log.Fatalf("benchshards: %d shards: %v", n, err)
+	// Every shard count runs at both GOMAXPROCS=1 (the serial baseline —
+	// shows pure pool-contention relief) and the machine's full width (the
+	// parallel-verification payoff). Speedups are computed within each
+	// procs group against its own 1-shard baseline, never across groups.
+	for _, procs := range procsList() {
+		baseIdx := len(rep.Configs)
+		for _, n := range shardCounts(rep.NumCPU) {
+			c, err := runConfig(n, procs, values, queryVals, *eps)
+			if err != nil {
+				log.Fatalf("benchshards: %d shards procs=%d: %v", n, procs, err)
+			}
+			if len(rep.Configs) > baseIdx {
+				c.SpeedupVs1x = c.QPS / rep.Configs[baseIdx].QPS
+			} else {
+				c.SpeedupVs1x = 1
+			}
+			rep.Configs = append(rep.Configs, c)
+			log.Printf("shards=%d procs=%d: %.1f queries/sec (p50 %.2f ms, p99 %.2f ms, %d DTW calls, %.1f%% candidates)",
+				c.Shards, procs, c.QPS, c.P50MS, c.P99MS, c.DTWCalls,
+				100*float64(c.Candidates)/float64(*seqs**queries))
 		}
-		if len(rep.Configs) > 0 {
-			c.SpeedupVs1x = c.QPS / rep.Configs[0].QPS
-		} else {
-			c.SpeedupVs1x = 1
-		}
-		rep.Configs = append(rep.Configs, c)
-		log.Printf("shards=%d: %.1f queries/sec (p50 %.2f ms, p99 %.2f ms, %d DTW calls, %.1f%% candidates)",
-			c.Shards, c.QPS, c.P50MS, c.P99MS, c.DTWCalls,
-			100*float64(c.Candidates)/float64(*seqs**queries))
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -121,7 +131,7 @@ func main() {
 	}
 }
 
-// shardCounts returns {1, 4, GOMAXPROCS} deduplicated and sorted, so the
+// shardCounts returns {1, 4, NumCPU} deduplicated and sorted, so the
 // baseline always runs first.
 func shardCounts(maxprocs int) []int {
 	set := map[int]bool{1: true, 4: true, maxprocs: true}
@@ -133,7 +143,19 @@ func shardCounts(maxprocs int) []int {
 	return out
 }
 
-func runConfig(shards int, data, queries [][]float64, eps float64) (config, error) {
+// procsList returns the GOMAXPROCS settings every configuration runs at:
+// 1 and the machine's full width (deduplicated on single-core runners).
+func procsList() []int {
+	n := runtime.NumCPU()
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+func runConfig(shards, procs int, data, queries [][]float64, eps float64) (config, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
 	db, err := twsim.OpenMemSharded(twsim.ShardedOptions{Shards: shards})
 	if err != nil {
 		return config{}, err
@@ -156,7 +178,7 @@ func runConfig(shards int, data, queries [][]float64, eps float64) (config, erro
 	}
 
 	lat := make([]time.Duration, len(results))
-	c := config{Shards: shards}
+	c := config{Shards: shards, Procs: procs}
 	for i, r := range results {
 		lat[i] = r.Stats.Wall
 		c.DTWCalls += r.Stats.DTWCalls

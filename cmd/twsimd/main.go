@@ -23,6 +23,11 @@
 // to). 0, the default, means GOMAXPROCS; 1 forces the serial path. Results
 // are bit-identical at every setting.
 //
+// -band R sets the default Sakoe–Chiba band half-width every query answers
+// under (0, the default, is the paper's unconstrained distance). Individual
+// /search and /knn requests may override it with a "band" field; negative
+// values are rejected with 400.
+//
 // -seq-cache-mb M sizes the decoded-sequence cache in MiB per partition
 // (default 4, 0 disables): repeat queries serve hot sequences from memory
 // without page I/O or deserialization. The cache+pool hit ratios are
@@ -75,6 +80,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "shard count for -create/-mem (0 = unsharded); on open, must match the existing layout")
 		verify  = flag.Bool("verify", false, "run a full heap/index integrity check before serving")
 		workers = flag.Int("refine-workers", 0, "intra-query refinement worker budget per search (0 = GOMAXPROCS, 1 = serial)")
+		band    = flag.Int("band", 0, "default Sakoe-Chiba band half-width queries answer under (0 = unconstrained; requests may override per query)")
 		cacheMB = flag.Int("seq-cache-mb", 4, "decoded-sequence cache size in MiB per partition (0 = disabled)")
 
 		slowMS    = flag.Int("slow-query-ms", 0, "log queries at or above this wall time in milliseconds (0 = disabled)")
@@ -87,8 +93,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *band < 0 {
+		fmt.Fprintf(os.Stderr, "twsimd: negative band half-width %d\n", *band)
+		os.Exit(2)
+	}
 	opts := twsim.Options{
 		RefineWorkers:      *workers,
+		Band:               *band,
 		SeqCacheBytes:      int64(*cacheMB) << 20,
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
 	}

@@ -56,7 +56,7 @@ func (a *AdaptiveSearch) Search(q seq.Sequence, epsilon float64) (*Result, error
 	res.Stats.Candidates = len(entries)
 
 	if a.useSweep(len(entries), cm) {
-		c := newCascade(q, a.Base, false)
+		c := newCascade(q, a.Base, 0, nil, false)
 		defer c.close()
 		// Tier 0 runs while building the sweep's membership set, so pruned
 		// candidates never even get their heap record inspected.
@@ -80,7 +80,7 @@ func (a *AdaptiveSearch) Search(q seq.Sequence, epsilon float64) (*Result, error
 		}
 		sortMatches(res.Matches)
 	} else {
-		res.Matches, err = refine(a.DB, a.Base, q, epsilon, entries, false, 1, &res.Stats)
+		res.Matches, err = refine(a.DB, a.Base, q, epsilon, entries, false, 0, nil, 1, &res.Stats)
 		if err != nil {
 			return nil, err
 		}

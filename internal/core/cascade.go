@@ -9,18 +9,28 @@ import (
 
 // cascade is the tiered filter-and-refine engine every exact search method
 // funnels candidates through. Tiers run cheapest first, and each one is a
-// true lower bound of the unconstrained time warping distance, so a
-// dismissal at any tier can never be a false dismissal (the guarantee the
-// paper's Theorem 1 establishes for the index filter extends to every tier):
+// true lower bound of the distance being answered — the unconstrained time
+// warping distance by default, or BandDistance when the query carries a
+// Sakoe–Chiba band — so a dismissal at any tier can never be a false
+// dismissal (the guarantee the paper's Theorem 1 establishes for the index
+// filter extends to every tier):
 //
-//	Tier 0  admitPoint — LB_Kim on the stored index 4-tuple, no heap fetch
-//	Tier 1  verify     — LB_Keogh vs. the per-query global envelope (the
-//	                     S-side of LB_Yi), then the completed two-sided LB_Yi
-//	Tier 2  verify     — the sparse alive-run corridor (dtw.Refiner), which
-//	                     proves Dtw > cutoff while visiting only the cells
-//	                     whose exact DP value stays within the cutoff
-//	Tier 3  verify     — the exact distance, produced by the same fused
-//	                     pass when the corridor survives to the final cell
+//	Tier 0    admitPoint    — LB_Kim on the stored index 4-tuple, no heap fetch
+//	Tier 0.5  admitEnvelope — LB_PAA on the stored PAA envelope (EnvStore),
+//	                          still before any heap fetch
+//	Tier 1a   verify        — LB_Keogh: the banded envelope when the query
+//	                          has a band and the lengths match (sound for
+//	                          BandDistance), else the global envelope (the
+//	                          S-side of LB_Yi, sound for both distances)
+//	Tier 1b   verify        — the completed two-sided LB_Yi
+//	Tier 1c   verify        — the second pass of Lemire's LB_Improved
+//	                          (banded equal-length queries only)
+//	Tier 2–3  verify        — the exact DP: the sparse alive-run corridor
+//	                          (dtw.Refiner) for unconstrained queries, the
+//	                          early-abandoning banded DP for banded ones
+//
+// Every unconstrained bound stays sound for banded queries because a band
+// only removes permissible warpings: BandDistance ≥ Distance ≥ each bound.
 //
 // The cutoff is the query tolerance for range search and the shrinking
 // k-th-best bound for k-NN (including the cross-shard SharedBound), so the
@@ -29,22 +39,45 @@ import (
 // A cascade holds a pooled dtw.Refiner; build one per query with newCascade
 // and close it when the query completes. Not safe for concurrent use.
 type cascade struct {
-	q        seq.Sequence
-	base     seq.Base
+	q    seq.Sequence
+	base seq.Base
+	// band is the Sakoe–Chiba half-width the query searches under: 0 means
+	// the paper's unconstrained distance, ≥ 1 answers dtw.BandDistance.
+	band     int
 	fq       [4]float64
 	fqOK     bool
-	env      dtw.Envelope
+	env      dtw.Envelope // global envelope: sound for every query
+	bandEnv  dtw.Envelope // banded envelope of q; built only when band ≥ 1
+	envs     *EnvStore
+	paa      paaQuery
+	impr     dtw.ImprovedScratch
 	refiner  *dtw.Refiner
 	disabled bool
 }
 
+// paaQuery caches the query-side reductions LB_PAA needs: the global range
+// of Q (any length, any band) and, for banded equal-length candidates, the
+// per-segment min/max of Q over band-expanded segment windows. Both are
+// computed once per query, on first use.
+type paaQuery struct {
+	qMin, qMax     float64
+	globalReady    bool
+	segMin, segMax [seq.PAASegments]float64
+	segReady       bool
+}
+
 // newCascade prepares the per-query state: the query feature vector
-// (Tier 0), the global envelope (Tier 1, computed once per query), and a
-// pooled refiner (Tiers 2–3). With disabled=true every candidate goes
-// straight to the exact DP — the seed's behavior, kept for benchmarks and
-// oracle tests.
-func newCascade(q seq.Sequence, base seq.Base, disabled bool) *cascade {
-	c := &cascade{q: q, base: base, disabled: disabled}
+// (Tier 0), the envelopes (Tiers 0.5–1c, computed once per query), and a
+// pooled refiner (Tiers 2–3). band ≥ 1 switches the exact distance to
+// dtw.BandDistance with that half-width; envs enables the pre-fetch LB_PAA
+// tier. With disabled=true every candidate goes straight to the exact DP —
+// the seed's behavior, kept for benchmarks and oracle tests (the band still
+// applies: a disabled banded cascade is the brute-force banded scan).
+func newCascade(q seq.Sequence, base seq.Base, band int, envs *EnvStore, disabled bool) *cascade {
+	if band < 0 {
+		band = 0 // public layers validate; never let a bad band weaken a bound
+	}
+	c := &cascade{q: q, base: base, band: band, envs: envs, disabled: disabled}
 	if disabled {
 		return c
 	}
@@ -53,6 +86,9 @@ func newCascade(q seq.Sequence, base seq.Base, disabled bool) *cascade {
 		c.fqOK = true
 	}
 	c.env = dtw.GlobalEnvelope(q)
+	if band >= 1 {
+		c.bandEnv = dtw.NewEnvelope(q, band)
+	}
 	c.refiner = dtw.AcquireRefiner()
 	return c
 }
@@ -64,12 +100,32 @@ func (c *cascade) close() {
 	}
 }
 
+// dtwBand returns the band in dtw-package convention: negative for the
+// unconstrained distance, the half-width otherwise.
+func (c *cascade) dtwBand() int {
+	if c.band >= 1 {
+		return c.band
+	}
+	return -1
+}
+
+// exactDistance is the distance the query answers: BandDistance for banded
+// queries, the paper's unconstrained distance otherwise. k-NN uses it while
+// the cutoff is still infinite.
+func (c *cascade) exactDistance(s seq.Sequence) float64 {
+	if c.band >= 1 {
+		return dtw.BandDistance(s, c.q, c.base, c.band)
+	}
+	return dtw.Distance(s, c.q, c.base)
+}
+
 // admitPoint is Tier 0: LB_Kim evaluated between the query feature and a
 // candidate's stored index point — no heap fetch needed. Sound per
 // Theorem 1 (L∞ base) and because every feature difference is bounded by
 // some single matched-pair cost on any warping path (L1); for L2Sq that
 // single pair contributes its square to the additive total, so the bound
-// must be squared before comparing.
+// must be squared before comparing. Banded queries change nothing here:
+// LB_Kim ≤ Distance ≤ BandDistance.
 func (c *cascade) admitPoint(pt [4]float64, cutoff float64, stats *QueryStats) bool {
 	if c.disabled || !c.fqOK || math.IsInf(cutoff, 1) {
 		return true
@@ -94,6 +150,131 @@ func (c *cascade) admitPoint(pt [4]float64, cutoff float64, stats *QueryStats) b
 	return true
 }
 
+// admitEnvelope is Tier 0.5: LB_PAA evaluated between the query and the
+// candidate's stored PAA envelope — still before any heap fetch. Candidates
+// without a stored envelope pass through unharmed.
+func (c *cascade) admitEnvelope(id seq.ID, cutoff float64, stats *QueryStats) bool {
+	if c.disabled || c.envs == nil || len(c.q) == 0 || math.IsInf(cutoff, 1) {
+		return true
+	}
+	pe, ok := c.envs.Get(id)
+	if !ok {
+		return true
+	}
+	if c.lbPAA(pe) > cutoff {
+		stats.LBPAAPruned++
+		return false
+	}
+	return true
+}
+
+// lbPAA computes the LB_PAA bound between the query and one stored record
+// profile. For a banded query over an equal-length record, segment k's
+// elements s_i (i ∈ [lo_k, hi_k)) can only match q_j with |i−j| ≤ band, so
+// every matched element lies in Q's band-expanded segment window
+// [lo_k−band, hi_k−1+band]; the per-element cost is at least the interval
+// gap between the record's segment range and that window's range. In every
+// other case the window degrades to Q's global range — each element of S
+// matches *some* element of Q (a segment-wise refinement of the S-side of
+// LB_Yi), sound for the unconstrained distance and therefore for the banded
+// one too. Additive bases sum weight·Elem(0, gap) over segments (each
+// element is matched at least once); L∞ takes the max over non-empty
+// segments. Either way LB_PAA ≤ LB_Keogh of the corresponding envelope, so
+// the tier ordering is monotone.
+func (c *cascade) lbPAA(pe seq.PAAEnvelope) float64 {
+	banded := c.band >= 1 && pe.Len == len(c.q)
+	if banded {
+		c.ensureSegWindows()
+	} else {
+		c.ensureGlobalRange()
+	}
+	if c.base == seq.LInf {
+		max := 0.0
+		for k := 0; k < seq.PAASegments; k++ {
+			lo, hi := seq.PAABounds(pe.Len, k)
+			if lo >= hi {
+				continue
+			}
+			qlo, qhi := c.paaWindow(banded, k)
+			if g := intervalGap(pe.Min[k], pe.Max[k], qlo, qhi); g > max {
+				max = g
+			}
+		}
+		return max
+	}
+	acc := 0.0
+	for k := 0; k < seq.PAASegments; k++ {
+		lo, hi := seq.PAABounds(pe.Len, k)
+		if lo >= hi {
+			continue
+		}
+		qlo, qhi := c.paaWindow(banded, k)
+		if g := intervalGap(pe.Min[k], pe.Max[k], qlo, qhi); g > 0 {
+			acc += float64(hi-lo) * c.base.Elem(0, g)
+		}
+	}
+	return acc
+}
+
+func (c *cascade) paaWindow(banded bool, k int) (float64, float64) {
+	if banded {
+		return c.paa.segMin[k], c.paa.segMax[k]
+	}
+	return c.paa.qMin, c.paa.qMax
+}
+
+func (c *cascade) ensureGlobalRange() {
+	if c.paa.globalReady {
+		return
+	}
+	c.paa.qMin, c.paa.qMax = c.q.MinMax()
+	c.paa.globalReady = true
+}
+
+func (c *cascade) ensureSegWindows() {
+	if c.paa.segReady {
+		return
+	}
+	n := len(c.q)
+	for k := 0; k < seq.PAASegments; k++ {
+		lo, hi := seq.PAABounds(n, k)
+		if lo >= hi {
+			continue
+		}
+		wlo, whi := lo-c.band, hi-1+c.band
+		if wlo < 0 {
+			wlo = 0
+		}
+		if whi > n-1 {
+			whi = n - 1
+		}
+		mn, mx := c.q[wlo], c.q[wlo]
+		for _, v := range c.q[wlo+1 : whi+1] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		c.paa.segMin[k], c.paa.segMax[k] = mn, mx
+	}
+	c.paa.segReady = true
+}
+
+// intervalGap is the smallest distance between a point of [aLo, aHi] and a
+// point of [bLo, bHi]: 0 when the intervals overlap.
+func intervalGap(aLo, aHi, bLo, bHi float64) float64 {
+	switch {
+	case aLo > bHi:
+		return aLo - bHi
+	case bLo > aHi:
+		return bLo - aHi
+	default:
+		return 0
+	}
+}
+
 // comparableLB converts a raw LB_Kim feature distance into the form
 // comparable against a DTW distance under base: for the additive L2Sq base
 // the single matched pair the bound describes contributes its squared
@@ -109,26 +290,28 @@ func comparableLB(base seq.Base, lb float64) float64 {
 }
 
 // verify runs Tiers 1–3 on a fetched candidate: it returns (d, true) with
-// the exact distance iff Dtw(s, q) ≤ cutoff, bit-identical to
-// dtw.DistanceWithin, while attributing each dismissal to the tier that
-// made it. Only real DP invocations increment DTWCalls.
+// the exact distance iff the query's distance (banded or unconstrained) is
+// ≤ cutoff, bit-identical to the corresponding brute-force DP, while
+// attributing each dismissal to the tier that made it. Only real DP
+// invocations increment DTWCalls.
 func (c *cascade) verify(s seq.Sequence, cutoff float64, stats *QueryStats) (float64, bool) {
-	if c.disabled {
-		stats.DTWCalls++
-		d, ok := dtw.DistanceWithin(s, c.q, c.base, cutoff)
-		if !ok {
-			stats.DTWAbandoned++
-		}
-		return d, ok
-	}
-	if s.Empty() {
-		// No range to bound against; the refiner handles the degenerate
-		// case with the DP's own empty-input convention.
+	if c.disabled || s.Empty() {
+		// No range to bound against; the DP handles the degenerate case with
+		// its own empty-input convention.
 		return c.verifyDP(s, cutoff, stats)
 	}
+	if c.band >= 1 && len(s) == len(c.q) {
+		return c.verifyBanded(s, cutoff, stats)
+	}
 	// Tier 1a: the S-side of LB_Yi via the global envelope — O(|S|), no
-	// min/max of s needed yet.
-	kS := dtw.LBKeoghSafe(s, c.env, c.base)
+	// min/max of s needed yet. Sound for banded queries too (the global
+	// envelope bounds the unconstrained distance, which BandDistance
+	// dominates); LBKeoghSafe can only fail on a banded envelope, which this
+	// call never passes.
+	kS, err := dtw.LBKeoghSafe(s, c.env, c.base, -1)
+	if err != nil {
+		kS = 0
+	}
 	if kS > cutoff {
 		stats.LBKeoghPruned++
 		return dtw.Inf, false
@@ -141,10 +324,53 @@ func (c *cascade) verify(s seq.Sequence, cutoff float64, stats *QueryStats) (flo
 	return c.verifyDP(s, cutoff, stats)
 }
 
-// verifyDP runs only Tiers 2–3 (the fused sparse DP). LB-Scan uses
-// this directly: its own LB_Yi filter already ran, so re-running Tier 1
-// would double-count work without pruning anything new.
+// verifyBanded is the equal-length banded tier chain: banded LB_Keogh,
+// the two-sided Yi bound seeded with it, then LB_Improved's second pass.
+// The band and lengths are matched by construction, so the safe router
+// cannot fail here; if it ever did, the tier degrades to the vacuous bound
+// rather than pruning on an unsound value.
+func (c *cascade) verifyBanded(s seq.Sequence, cutoff float64, stats *QueryStats) (float64, bool) {
+	// Tier 1a: banded LB_Keogh — sound for BandDistance with this exact
+	// band (Keogh's theorem; see LBKeoghSafe for the routing rules).
+	kB, err := dtw.LBKeoghSafe(s, c.bandEnv, c.base, c.band)
+	if err != nil {
+		kB = 0
+	}
+	if kB > cutoff {
+		stats.LBKeoghPruned++
+		return dtw.Inf, false
+	}
+	// Tier 1b: the two-sided Yi bound, combined with the banded Keogh value
+	// by max — both individually sound for BandDistance, so their max is.
+	if c.yiComplete(s, kB) > cutoff {
+		stats.LBYiPruned++
+		return dtw.Inf, false
+	}
+	// Tier 1c: Lemire's second pass on top of the banded Keogh value.
+	imp := dtw.CombineImproved(kB, dtw.LBImprovedPass2(s, c.q, c.bandEnv, c.base, &c.impr), c.base)
+	if imp > cutoff {
+		stats.LBImprovedPruned++
+		return dtw.Inf, false
+	}
+	return c.verifyDP(s, cutoff, stats)
+}
+
+// verifyDP runs only Tiers 2–3 (the exact DP). LB-Scan uses this directly:
+// its own LB_Yi filter already ran, so re-running Tier 1 would double-count
+// work without pruning anything new. Unconstrained queries use the fused
+// sparse corridor; banded queries run the early-abandoning banded DP — the
+// corridor computes the unconstrained distance, which is not the value a
+// banded query answers, and the band already restricts each DP row to
+// O(band) cells.
 func (c *cascade) verifyDP(s seq.Sequence, cutoff float64, stats *QueryStats) (float64, bool) {
+	if c.band >= 1 {
+		stats.DTWCalls++
+		d, ok := dtw.BandDistanceWithin(s, c.q, c.base, c.band, cutoff)
+		if !ok {
+			stats.DTWAbandoned++
+		}
+		return d, ok
+	}
 	if c.disabled {
 		stats.DTWCalls++
 		d, ok := dtw.DistanceWithin(s, c.q, c.base, cutoff)
@@ -169,9 +395,11 @@ func (c *cascade) verifyDP(s seq.Sequence, cutoff float64, stats *QueryStats) (f
 }
 
 // yiComplete finishes LB_Yi given the already-computed S-side: it scans q
-// against the range of s and combines per the base. The combined value
-// equals dtw.LBYi(s, q, base) exactly — the two-pass split changes the
-// evaluation order of Lemire's two passes, not the bound.
+// against the range of s and combines per the base. Seeded with the global
+// Keogh value the combined value equals dtw.LBYi(s, q, base) exactly — the
+// two-pass split changes the evaluation order, not the bound. Seeded with
+// the banded Keogh value it is max(banded Keogh, Q-side Yi), a sound bound
+// of BandDistance because each part is.
 func (c *cascade) yiComplete(s seq.Sequence, kS float64) float64 {
 	sMin, sMax := s.MinMax()
 	if c.base == seq.LInf {

@@ -40,17 +40,21 @@ type Searcher interface {
 // to the serial loop because the pruning cutoff is the fixed tolerance ε,
 // so every candidate's verdict is independent of evaluation order.
 func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
-	entries []IndexEntry, noCascade bool, workers int, stats *QueryStats) ([]Match, error) {
+	entries []IndexEntry, noCascade bool, band int, envs *EnvStore,
+	workers int, stats *QueryStats) ([]Match, error) {
 	if workers > 1 && len(entries) > 1 {
 		return refineParallel(db, base, q, epsilon, len(entries),
 			func(i int) (seq.ID, [4]float64, bool) { return entries[i].ID, entries[i].Point, true },
-			noCascade, workers, stats)
+			noCascade, band, envs, workers, stats)
 	}
-	c := newCascade(q, base, noCascade)
+	c := newCascade(q, base, band, envs, noCascade)
 	defer c.close()
 	var matches []Match
 	for _, e := range entries {
 		if !c.admitPoint(e.Point, epsilon, stats) {
+			continue
+		}
+		if !c.admitEnvelope(e.ID, epsilon, stats) {
 			continue
 		}
 		s, err := db.Get(e.ID)
@@ -76,9 +80,9 @@ func refineIDs(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 	if workers > 1 && len(candidates) > 1 {
 		return refineParallel(db, base, q, epsilon, len(candidates),
 			func(i int) (seq.ID, [4]float64, bool) { return candidates[i], [4]float64{}, false },
-			noCascade, workers, stats)
+			noCascade, 0, nil, workers, stats)
 	}
-	c := newCascade(q, base, noCascade)
+	c := newCascade(q, base, 0, nil, noCascade)
 	defer c.close()
 	var matches []Match
 	for _, id := range candidates {
@@ -177,7 +181,7 @@ func (l *LBScan) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 	// LB-Scan's own filter IS the cascade's Tier 1 (the two-sided Yi
 	// bound), so survivors go straight to Tiers 2–3; re-running the
 	// envelope tiers would recompute the same bound.
-	c := newCascade(q, l.Base, false)
+	c := newCascade(q, l.Base, 0, nil, false)
 	defer c.close()
 	err := l.DB.Scan(func(id seq.ID, s seq.Sequence) error {
 		res.Stats.LowerBoundCalls++
@@ -221,6 +225,16 @@ type TWSimSearch struct {
 	// per-query I/O accounting depends on a deterministic fetch order —
 	// are unchanged). The public layer resolves its default to GOMAXPROCS.
 	Workers int
+	// Band is the Sakoe–Chiba half-width the query searches under: 0 (the
+	// zero value) answers the paper's unconstrained distance, ≥ 1 answers
+	// dtw.BandDistance with that half-width. The index filter and every
+	// unconstrained cascade tier stay sound because a band only removes
+	// permissible warpings (BandDistance ≥ Distance); the banded envelope
+	// tiers switch on automatically for equal-length candidates.
+	Band int
+	// Envs, when set, enables the pre-fetch LB_PAA cascade tier against the
+	// per-record PAA envelopes.
+	Envs *EnvStore
 }
 
 // Name implements Searcher.
@@ -243,7 +257,7 @@ func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 	res.Stats.FilterWall = time.Since(start)
 	res.Stats.Candidates = len(entries)
 	refineStart := time.Now()
-	res.Matches, err = refine(t.DB, t.Base, q, epsilon, entries, t.NoCascade, t.Workers, &res.Stats)
+	res.Matches, err = refine(t.DB, t.Base, q, epsilon, entries, t.NoCascade, t.Band, t.Envs, t.Workers, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +340,7 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 	if t.Workers > 1 {
 		return t.nearestKParallel(q, fq, k, t.Workers, shared, stats)
 	}
-	c := newCascade(q, t.Base, t.NoCascade)
+	c := newCascade(q, t.Base, t.Band, t.Envs, t.NoCascade)
 	defer c.close()
 	var best []Match // sorted ascending by Dist
 	var walkErr error
@@ -343,6 +357,14 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 		if comparableLB(t.Base, lb) > cutoff {
 			return false // every later candidate has Dtw >= comparable lb > cutoff
 		}
+		// Tier 0.5 runs before the fetch; a candidate it dismisses is still
+		// a candidate, so count it here to keep Candidates = ΣPruned +
+		// DTWCalls (unpruned candidates are counted after the fetch, where
+		// dangling entries are excluded as before).
+		if !c.admitEnvelope(id, cutoff, stats) {
+			stats.Candidates++
+			return true
+		}
 		s, err := t.DB.Get(id)
 		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
 			return true // dangling index entry; skip, do not fail the walk
@@ -355,7 +377,7 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 		var d float64
 		if math.IsInf(cutoff, 1) {
 			stats.DTWCalls++
-			d = dtw.Distance(s, q, t.Base)
+			d = c.exactDistance(s)
 		} else {
 			var ok bool
 			d, ok = c.verify(s, cutoff, stats)

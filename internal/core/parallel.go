@@ -6,7 +6,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/dtw"
 	"repro/internal/seq"
 	"repro/internal/seqdb"
 )
@@ -27,7 +26,7 @@ import (
 // whether a point exists (Tier 0 is skipped for bare-ID filters).
 func refineParallel(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 	n int, candAt func(int) (seq.ID, [4]float64, bool),
-	noCascade bool, workers int, stats *QueryStats) ([]Match, error) {
+	noCascade bool, band int, envs *EnvStore, workers int, stats *QueryStats) ([]Match, error) {
 	if workers > n {
 		workers = n
 	}
@@ -47,7 +46,7 @@ func refineParallel(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64
 		go func(w int) {
 			defer wg.Done()
 			ws := &workerStats[w]
-			c := newCascade(q, base, noCascade)
+			c := newCascade(q, base, band, envs, noCascade)
 			defer c.close()
 			for {
 				i := int(next.Add(1)) - 1
@@ -56,6 +55,9 @@ func refineParallel(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64
 				}
 				id, pt, hasPt := candAt(i)
 				if hasPt && !c.admitPoint(pt, epsilon, ws) {
+					continue
+				}
+				if !c.admitEnvelope(id, epsilon, ws) {
 					continue
 				}
 				s, err := db.Get(id)
@@ -150,11 +152,17 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 		go func(w int) {
 			defer wg.Done()
 			ws := &workerStats[w]
-			c := newCascade(q, t.Base, t.NoCascade)
+			c := newCascade(q, t.Base, t.Band, t.Envs, t.NoCascade)
 			defer c.close()
 			for cand := range work {
 				if failed.Load() {
 					continue // drain so the producer never blocks
+				}
+				// Tier 0.5 before the fetch; dismissed candidates still
+				// count so Candidates = ΣPruned + DTWCalls holds.
+				if !c.admitEnvelope(cand.id, cutoff(), ws) {
+					ws.Candidates++
+					continue
 				}
 				s, err := t.DB.Get(cand.id)
 				if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
@@ -170,7 +178,7 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 				var d float64
 				if math.IsInf(cut, 1) {
 					ws.DTWCalls++
-					d = dtw.Distance(s, q, t.Base)
+					d = c.exactDistance(s)
 				} else {
 					var ok bool
 					if d, ok = c.verify(s, cut, ws); !ok {

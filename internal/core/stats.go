@@ -50,6 +50,11 @@ type QueryStats struct {
 	// cutoff has tightened below the filter tolerance (k-NN) or the bound
 	// is strictly stronger than the filter's (the L2Sq base).
 	LBKimPruned int
+	// LBPAAPruned counts candidates the cascade dismissed on Tier 0.5:
+	// LB_PAA evaluated between the query and the candidate's stored
+	// PAA-reduced envelope (EnvStore), after the index point test but still
+	// before the heap record is fetched.
+	LBPAAPruned int
 	// LBKeoghPruned counts candidates dismissed on Tier 1a: the
 	// global-envelope LB_Keogh bound (the S-side half of LB_Yi), computed
 	// after the fetch but before the query-side scan.
@@ -57,6 +62,11 @@ type QueryStats struct {
 	// LBYiPruned counts candidates dismissed on Tier 1b: the completed
 	// two-sided Yi et al. bound.
 	LBYiPruned int
+	// LBImprovedPruned counts candidates dismissed on Tier 1c: the second
+	// pass of Lemire's LB_Improved on top of the banded LB_Keogh. The tier
+	// only runs for banded queries over equal-length pairs — the bound is
+	// undefined otherwise — so this stays zero for unbanded searches.
+	LBImprovedPruned int
 	// CorridorPruned counts candidates dismissed on Tier 2: the fused
 	// sparse DP's alive region died before the final cell, proving
 	// Dtw > epsilon while visiting only the within-cutoff part of the
@@ -111,8 +121,10 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.DTWCalls += other.DTWCalls
 	s.LowerBoundCalls += other.LowerBoundCalls
 	s.LBKimPruned += other.LBKimPruned
+	s.LBPAAPruned += other.LBPAAPruned
 	s.LBKeoghPruned += other.LBKeoghPruned
 	s.LBYiPruned += other.LBYiPruned
+	s.LBImprovedPruned += other.LBImprovedPruned
 	s.CorridorPruned += other.CorridorPruned
 	s.DTWAbandoned += other.DTWAbandoned
 	s.TreeNodes += other.TreeNodes
@@ -139,9 +151,10 @@ func (s QueryStats) CandidateRatio(n int) float64 {
 
 // String renders a compact summary.
 func (s QueryStats) String() string {
-	return fmt.Sprintf("cand=%d res=%d dtw=%d(ab=%d) lb=%d pruned=%d/%d/%d/%d nodes=%d dataIO=%d/%d idxIO=%d/%d wall=%v",
+	return fmt.Sprintf("cand=%d res=%d dtw=%d(ab=%d) lb=%d pruned=%d/%d/%d/%d/%d/%d nodes=%d dataIO=%d/%d idxIO=%d/%d wall=%v",
 		s.Candidates, s.Results, s.DTWCalls, s.DTWAbandoned, s.LowerBoundCalls,
-		s.LBKimPruned, s.LBKeoghPruned, s.LBYiPruned, s.CorridorPruned, s.TreeNodes,
+		s.LBKimPruned, s.LBPAAPruned, s.LBKeoghPruned, s.LBYiPruned, s.LBImprovedPruned,
+		s.CorridorPruned, s.TreeNodes,
 		s.DataReads, s.DataMisses, s.IndexReads, s.IndexMisses, s.Wall)
 }
 

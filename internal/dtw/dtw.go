@@ -181,6 +181,90 @@ func BandDistance(s, q seq.Sequence, base seq.Base, r int) float64 {
 	return prev[m-1]
 }
 
+// BandDistanceWithin is BandDistance with early abandoning: it returns
+// (d, true) with the exact banded distance when d ≤ epsilon and (+Inf,
+// false) as soon as every cell of a band row exceeds epsilon (cell values
+// never decrease along a path, so no completion can come back under it).
+// The banded refine path uses this the way the unbanded one uses the
+// corridor refiner. r < 0 falls back to DistanceWithin.
+func BandDistanceWithin(s, q seq.Sequence, base seq.Base, r int, epsilon float64) (float64, bool) {
+	if r < 0 {
+		return DistanceWithin(s, q, base, epsilon)
+	}
+	switch {
+	case s.Empty() && q.Empty():
+		return 0, 0 <= epsilon
+	case s.Empty() || q.Empty():
+		return Inf, false
+	}
+	if epsilon < 0 {
+		return Inf, false
+	}
+	// O(1) pre-check: the corner cells lie on every path, banded or not.
+	if base.Elem(s[0], q[0]) > epsilon || base.Elem(s[len(s)-1], q[len(q)-1]) > epsilon {
+		return Inf, false
+	}
+	n, m := len(s), len(q)
+	if n == 1 || m == 1 {
+		return DistanceWithin(s, q, base, epsilon)
+	}
+	slope := float64(m-1) / float64(n-1)
+	halfWidth := r
+	if minHalf := int(math.Ceil(slope)) / 2; minHalf > halfWidth {
+		halfWidth = minHalf
+	}
+	rp := acquireRows(m)
+	defer releaseRows(rp)
+	prev, cur := rp.prev, rp.cur
+	for j := range prev {
+		prev[j] = Inf
+		cur[j] = Inf
+	}
+	lo0, hi0 := bandRange(0, slope, halfWidth, m)
+	for j := lo0; j <= hi0; j++ {
+		e := base.Elem(s[0], q[j])
+		if j == 0 {
+			prev[j] = e
+		} else if prev[j-1] < Inf {
+			prev[j] = base.Combine(e, prev[j-1])
+		}
+	}
+	for i := 1; i < n; i++ {
+		lo, hi := bandRange(i, slope, halfWidth, m)
+		for j := 0; j < m; j++ {
+			cur[j] = Inf
+		}
+		alive := false
+		for j := lo; j <= hi; j++ {
+			best := prev[j]
+			if j > 0 {
+				if cur[j-1] < best {
+					best = cur[j-1]
+				}
+				if prev[j-1] < best {
+					best = prev[j-1]
+				}
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			v := base.Combine(base.Elem(s[i], q[j]), best)
+			cur[j] = v
+			if v <= epsilon {
+				alive = true
+			}
+		}
+		if !alive {
+			return Inf, false
+		}
+		prev, cur = cur, prev
+	}
+	if d := prev[m-1]; d <= epsilon {
+		return d, true
+	}
+	return Inf, false
+}
+
 func bandRange(i int, slope float64, r, m int) (lo, hi int) {
 	center := int(math.Round(float64(i) * slope))
 	lo, hi = center-r, center+r

@@ -1,6 +1,7 @@
 package dtw
 
 import (
+	"errors"
 	"math"
 
 	"repro/internal/seq"
@@ -74,22 +75,50 @@ func LBYi(s, q seq.Sequence, base seq.Base) float64 {
 // band of half-width r: Upper[i] = max(q[i-r..i+r]), Lower[i] = min(...).
 type Envelope struct {
 	Lower, Upper []float64
+	// band is the half-width the envelope was built with; only meaningful
+	// when !full. LBKeoghSafe refuses to use a banded envelope for a query
+	// searching under any other band.
+	band int
 	// full marks a GlobalEnvelope: every window is the whole query's range,
 	// which is the only envelope shape whose bound survives unconstrained
 	// (band-free) warping and unequal lengths. See LBKeoghSafe.
 	full bool
 }
 
-// NewEnvelope builds the envelope of q for band half-width r in O(|Q|·r)
-// time (a simple sliding scan; r is small in practice). A negative r is
-// clamped to 0 (the degenerate envelope Lower = Upper = q) instead of
-// producing inverted, out-of-range windows.
+// Band returns the Sakoe–Chiba half-width the envelope was built with.
+// It is meaningful only for banded envelopes (Full() == false).
+func (e Envelope) Band() int { return e.band }
+
+// Full reports whether e is a GlobalEnvelope (position-independent windows).
+func (e Envelope) Full() bool { return e.full }
+
+// NewEnvelope builds the envelope of q for band half-width r in O(|Q|) time
+// using Lemire's monotonic-deque streaming min/max. A negative r is clamped
+// to 0 (the degenerate envelope Lower = Upper = q) instead of producing
+// inverted, out-of-range windows.
 func NewEnvelope(q seq.Sequence, r int) Envelope {
 	if r < 0 {
 		r = 0
 	}
 	n := len(q)
-	env := Envelope{Lower: make([]float64, n), Upper: make([]float64, n)}
+	env := Envelope{Lower: make([]float64, n), Upper: make([]float64, n), band: r}
+	if n == 0 {
+		return env
+	}
+	idx := make([]int32, 2*n)
+	slidingMinMax(q, r, env.Lower, env.Upper, idx[:n], idx[n:])
+	return env
+}
+
+// newEnvelopeScan is the pre-deque O(|Q|·r) envelope construction (a nested
+// rescan per window). It is kept purely as the test/fuzz oracle for
+// NewEnvelope — do not use it on hot paths.
+func newEnvelopeScan(q seq.Sequence, r int) Envelope {
+	if r < 0 {
+		r = 0
+	}
+	n := len(q)
+	env := Envelope{Lower: make([]float64, n), Upper: make([]float64, n), band: r}
 	for i := 0; i < n; i++ {
 		lo, hi := i-r, i+r
 		if lo < 0 {
@@ -110,6 +139,46 @@ func NewEnvelope(q seq.Sequence, r int) Envelope {
 		env.Lower[i], env.Upper[i] = min, max
 	}
 	return env
+}
+
+// slidingMinMax fills lo[i] = min(q[i-r..i+r]) and hi[i] = max(q[i-r..i+r])
+// (windows clipped to the sequence) using two monotonic index deques, one
+// ascending for the minimum and one descending for the maximum. Every index
+// is pushed and popped at most once, so the whole pass is O(|q|) regardless
+// of r. minq and maxq are caller-provided deque storage of len(q) each.
+func slidingMinMax(q []float64, r int, lo, hi []float64, minq, maxq []int32) {
+	n := len(q)
+	minh, mint := 0, 0 // deque occupies minq[minh:mint], values ascending
+	maxh, maxt := 0, 0 // deque occupies maxq[maxh:maxt], values descending
+	right := 0         // next element to admit into the deques
+	for i := 0; i < n; i++ {
+		end := i + r
+		if end > n-1 {
+			end = n - 1
+		}
+		for ; right <= end; right++ {
+			v := q[right]
+			for mint > minh && q[minq[mint-1]] >= v {
+				mint--
+			}
+			minq[mint] = int32(right)
+			mint++
+			for maxt > maxh && q[maxq[maxt-1]] <= v {
+				maxt--
+			}
+			maxq[maxt] = int32(right)
+			maxt++
+		}
+		start := int32(i - r)
+		for minq[minh] < start {
+			minh++
+		}
+		for maxq[maxh] < start {
+			maxh++
+		}
+		lo[i] = q[minq[minh]]
+		hi[i] = q[maxq[maxh]]
+	}
 }
 
 // GlobalEnvelope builds the degenerate full-band envelope of q: every window
@@ -134,30 +203,44 @@ func GlobalEnvelope(q seq.Sequence) Envelope {
 	return env
 }
 
-// LBKeoghSafe is the cascade-safe form of LBKeogh: it never exceeds the
-// unconstrained Dtw(s, q, base), so pruning on it can never falsely dismiss.
+// ErrUnsoundBound reports an envelope/band combination for which no sound
+// Keogh-style lower bound exists: pruning on any value the function could
+// return might falsely dismiss a true match. Callers must treat it as "this
+// tier cannot run", never as "the bound is 0".
+var ErrUnsoundBound = errors.New("dtw: envelope cannot soundly bound the requested distance")
+
+// LBKeoghSafe is the cascade-safe form of LBKeogh: the returned value never
+// exceeds BandDistance(s, q, base, band) for the query the envelope was
+// built from, so pruning on it can never falsely dismiss. band follows the
+// BandDistance convention: negative means the unconstrained distance,
+// band ≥ 0 the Sakoe–Chiba half-width the caller searches under.
 //
-// Two cases make this sound where plain LBKeogh is not:
+// Routing:
 //
-//   - Banded envelopes only bound the *banded* distance, which is ≥ the
-//     unconstrained one (a counterexample: s = 0…0,5 and q = 0,5…5 have
-//     Dtw = 0 under L∞ but banded LBKeogh ≈ 5). A banded envelope is
-//     therefore only usable on equal lengths as a bound for callers who also
-//     search with the same band; for the unconstrained distance this
-//     function falls back to 0 (the vacuous bound) unless the envelope is a
-//     GlobalEnvelope.
-//   - On unequal lengths a positional envelope is undefined; the
-//     GlobalEnvelope window is position-independent, so s is simply scanned
-//     against the constant window.
-//
-// Returns 0 (prunes nothing, dismisses nothing) whenever soundness cannot be
-// established for the given envelope/lengths.
-func LBKeoghSafe(s seq.Sequence, env Envelope, base seq.Base) float64 {
+//   - A GlobalEnvelope is sound for every band: it bounds the unconstrained
+//     distance (any warping path matches each element of S to some element
+//     of Q inside the global range), and BandDistance ≥ Distance because a
+//     band only removes permissible paths. Works for unequal lengths too —
+//     the window is position-independent.
+//   - A banded envelope bounds only the *banded* distance with the same
+//     half-width it was built from, and only for equal lengths (a
+//     counterexample for the unconstrained case: s = 0…0,5 and q = 0,5…5
+//     have Dtw = 0 under L∞ but banded LBKeogh ≈ 5). When the caller's band
+//     matches and |S| = |Q|, this routes to the sound banded LBKeogh.
+//   - Every other combination — banded envelope with an unconstrained query,
+//     a different band, or unequal lengths — has no sound bound here and
+//     returns ErrUnsoundBound. Earlier revisions silently returned the
+//     vacuous bound 0 instead, which hid exactly this class of caller bug
+//     and made the envelope tier dead weight.
+func LBKeoghSafe(s seq.Sequence, env Envelope, base seq.Base, band int) (float64, error) {
 	if len(env.Lower) == 0 || s.Empty() {
-		return 0
+		return 0, nil
 	}
 	if !env.full {
-		return 0
+		if band < 0 || band != env.band || len(s) != len(env.Lower) {
+			return 0, ErrUnsoundBound
+		}
+		return LBKeogh(s, env, base), nil
 	}
 	lo, hi := env.Lower[0], env.Upper[0]
 	if base == seq.LInf {
@@ -167,13 +250,13 @@ func LBKeoghSafe(s seq.Sequence, env Envelope, base seq.Base) float64 {
 				max = d
 			}
 		}
-		return max
+		return max, nil
 	}
 	acc := 0.0
 	for _, v := range s {
 		acc += base.Elem(0, seq.DistToRange(v, lo, hi))
 	}
-	return acc
+	return acc, nil
 }
 
 // LBKeogh computes Keogh's envelope lower bound of the *banded* time warping

@@ -107,16 +107,19 @@ func TestLBKeoghSafeSoundness(t *testing.T) {
 			s := randSeq(rng, 40)
 			q := randSeq(rng, 40)
 			env := GlobalEnvelope(q)
-			lb := LBKeoghSafe(s, env, base)
+			lb, err := LBKeoghSafe(s, env, base, -1)
+			if err != nil {
+				t.Fatalf("global envelope must always be sound: %v", err)
+			}
 			d := Distance(s, q, base)
 			if lb > d {
 				t.Fatalf("base %v |s|=%d |q|=%d: LBKeoghSafe=%v > Dtw=%v", base, len(s), len(q), lb, d)
 			}
 			// A banded (non-global) envelope is not sound for the
-			// unconstrained distance: the guard must neutralize it.
+			// unconstrained distance: the guard must refuse it loudly.
 			banded := NewEnvelope(q, 2)
-			if got := LBKeoghSafe(s, banded, base); got != 0 {
-				t.Fatalf("banded envelope not neutralized: got %v", got)
+			if got, err := LBKeoghSafe(s, banded, base, -1); err != ErrUnsoundBound || got != 0 {
+				t.Fatalf("banded envelope for unconstrained query: got (%v, %v), want (0, ErrUnsoundBound)", got, err)
 			}
 		}
 	}
@@ -136,11 +139,11 @@ func TestLBKeoghBandedUnsoundForUnconstrained(t *testing.T) {
 		t.Skipf("expected the banded bound to overshoot here, got %v", lb)
 	}
 	// The same pair through the safe path: no false dismissal possible.
-	if lb := LBKeoghSafe(s, GlobalEnvelope(q), seq.LInf); lb > 0 {
-		t.Fatalf("LBKeoghSafe overshot a zero-distance pair: %v", lb)
+	if lb, err := LBKeoghSafe(s, GlobalEnvelope(q), seq.LInf, -1); err != nil || lb > 0 {
+		t.Fatalf("LBKeoghSafe overshot a zero-distance pair: (%v, %v)", lb, err)
 	}
-	if lb := LBKeoghSafe(s, env, seq.LInf); lb != 0 {
-		t.Fatalf("banded envelope must be neutralized, got %v", lb)
+	if lb, err := LBKeoghSafe(s, env, seq.LInf, -1); err != ErrUnsoundBound || lb != 0 {
+		t.Fatalf("banded envelope for unconstrained query must error, got (%v, %v)", lb, err)
 	}
 }
 
@@ -154,7 +157,10 @@ func TestGlobalEnvelopeMatchesYiSide(t *testing.T) {
 			s := randSeq(rng, 32)
 			q := randSeq(rng, 32)
 			env := GlobalEnvelope(q)
-			kS := LBKeoghSafe(s, env, base)
+			kS, err := LBKeoghSafe(s, env, base, -1)
+			if err != nil {
+				t.Fatalf("global envelope must always be sound: %v", err)
+			}
 			yi := LBYi(s, q, base)
 			if kS > yi {
 				t.Fatalf("base %v: S-side %v exceeds two-sided LBYi %v", base, kS, yi)

@@ -130,7 +130,8 @@ func (c *Client) Remove(id uint32) (bool, error) {
 	return out.Removed, err
 }
 
-// Search runs a whole-matching similarity query.
+// Search runs a whole-matching similarity query under the server's default
+// band.
 func (c *Client) Search(query []float64, epsilon float64) (*SearchResponse, error) {
 	var out SearchResponse
 	err := c.do(http.MethodPost, "/search",
@@ -141,12 +142,35 @@ func (c *Client) Search(query []float64, epsilon float64) (*SearchResponse, erro
 	return &out, nil
 }
 
-// NearestK returns the k nearest sequences under time warping.
+// SearchBand is Search under an explicit Sakoe–Chiba band half-width
+// (0 = unconstrained, ≥ 1 = banded), overriding the server's default.
+func (c *Client) SearchBand(query []float64, epsilon float64, band int) (*SearchResponse, error) {
+	var out SearchResponse
+	err := c.do(http.MethodPost, "/search",
+		map[string]any{"query": query, "epsilon": epsilon, "band": band}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// NearestK returns the k nearest sequences under time warping, under the
+// server's default band.
 func (c *Client) NearestK(query []float64, k int) ([]MatchJSON, error) {
 	var out struct {
 		Matches []MatchJSON `json:"matches"`
 	}
 	err := c.do(http.MethodPost, "/knn", map[string]any{"query": query, "k": k}, &out)
+	return out.Matches, err
+}
+
+// NearestKBand is NearestK under an explicit Sakoe–Chiba band half-width
+// (0 = unconstrained, ≥ 1 = banded), overriding the server's default.
+func (c *Client) NearestKBand(query []float64, k, band int) ([]MatchJSON, error) {
+	var out struct {
+		Matches []MatchJSON `json:"matches"`
+	}
+	err := c.do(http.MethodPost, "/knn", map[string]any{"query": query, "k": k, "band": band}, &out)
 	return out.Matches, err
 }
 

@@ -58,7 +58,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 	// Query-work totals: scrape-time reads of the same atomics /stats
 	// reports, so the conservation law
-	// candidates = lb_kim + lb_keogh + lb_yi + corridor + dtw_calls
+	// candidates = lb_kim + lb_paa + lb_keogh + lb_yi + lb_improved + corridor + dtw_calls
 	// holds between the exported series exactly as it does per query.
 	counterOf := func(v *atomic.Int64) func() float64 { return func() float64 { return float64(v.Load()) } }
 	reg.CounterFunc("twsim_queries_total", "", "Similarity queries served (/search and /knn).", counterOf(&s.totals.searches))
@@ -67,8 +67,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.CounterFunc("twsim_dtw_calls_total", "", "Exact DTW evaluations during refinement.", counterOf(&s.totals.dtwCalls))
 	reg.CounterFunc("twsim_dtw_abandoned_total", "", "Dense DTW evaluations that early-abandoned (subset of dtw_calls).", counterOf(&s.totals.dtwAbandoned))
 	reg.CounterFunc("twsim_lb_kim_pruned_total", "", "Candidates dismissed by cascade Tier 0 (LB_Kim on the stored index point).", counterOf(&s.totals.lbKimPruned))
+	reg.CounterFunc("twsim_lb_paa_pruned_total", "", "Candidates dismissed by cascade Tier 0.5 (LB_PAA on the indexed segment envelope, before the sequence fetch).", counterOf(&s.totals.lbPAAPruned))
 	reg.CounterFunc("twsim_lb_keogh_pruned_total", "", "Candidates dismissed by cascade Tier 1a (LB_Keogh envelope bound).", counterOf(&s.totals.lbKeoghPruned))
 	reg.CounterFunc("twsim_lb_yi_pruned_total", "", "Candidates dismissed by cascade Tier 1b (two-sided Yi bound).", counterOf(&s.totals.lbYiPruned))
+	reg.CounterFunc("twsim_lb_improved_pruned_total", "", "Candidates dismissed by cascade Tier 1c (Lemire's LB_Improved second pass; banded queries only).", counterOf(&s.totals.lbImprovedPruned))
 	reg.CounterFunc("twsim_corridor_pruned_total", "", "Candidates dismissed by cascade Tiers 2-3 (sparse corridor DP).", counterOf(&s.totals.corridorPruned))
 
 	// Database size gauges.

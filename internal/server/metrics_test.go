@@ -201,8 +201,10 @@ func TestMetricsConservationLaw(t *testing.T) {
 			s := scrape(t, ts)
 			cand := mustValue(t, s, "twsim_query_candidates_total", nil)
 			sum := mustValue(t, s, "twsim_lb_kim_pruned_total", nil) +
+				mustValue(t, s, "twsim_lb_paa_pruned_total", nil) +
 				mustValue(t, s, "twsim_lb_keogh_pruned_total", nil) +
 				mustValue(t, s, "twsim_lb_yi_pruned_total", nil) +
+				mustValue(t, s, "twsim_lb_improved_pruned_total", nil) +
 				mustValue(t, s, "twsim_corridor_pruned_total", nil) +
 				mustValue(t, s, "twsim_dtw_calls_total", nil)
 			if cand != sum {
@@ -291,8 +293,10 @@ func TestMetricsScrapeStorm(t *testing.T) {
 	s := scrape(t, ts)
 	cand := mustValue(t, s, "twsim_query_candidates_total", nil)
 	sum := mustValue(t, s, "twsim_lb_kim_pruned_total", nil) +
+		mustValue(t, s, "twsim_lb_paa_pruned_total", nil) +
 		mustValue(t, s, "twsim_lb_keogh_pruned_total", nil) +
 		mustValue(t, s, "twsim_lb_yi_pruned_total", nil) +
+		mustValue(t, s, "twsim_lb_improved_pruned_total", nil) +
 		mustValue(t, s, "twsim_corridor_pruned_total", nil) +
 		mustValue(t, s, "twsim_dtw_calls_total", nil)
 	if cand != sum {

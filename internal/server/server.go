@@ -9,8 +9,8 @@
 //	POST   /sequences/batch               {"sequences": [[...], ...]} -> {"first_id": n, "count": k, "ids": [...]}
 //	GET    /sequences/{id}                -> {"id": n, "values": [...]}
 //	DELETE /sequences/{id}                -> {"removed": bool}
-//	POST   /search                        {"query": [...], "epsilon": e} -> matches + stats
-//	POST   /knn                           {"query": [...], "k": n} -> matches
+//	POST   /search                        {"query": [...], "epsilon": e, "band": r?} -> matches + stats
+//	POST   /knn                           {"query": [...], "k": n, "band": r?} -> matches
 //	POST   /subseq/build                  {"window_lens": [...], "step": n} -> {"windows": n}
 //	POST   /subseq/search                 {"query": [...], "epsilon": e} -> window matches
 //
@@ -75,13 +75,13 @@ type Server struct {
 // exports the same atomics as twsim_* counters, giving operators the
 // cascade's prune rates in production without scraping per-query responses.
 // The counters satisfy the conservation law
-// candidates = lb_kim + lb_keogh + lb_yi + corridor + dtw_calls
+// candidates = lb_kim + lb_paa + lb_keogh + lb_yi + lb_improved + corridor + dtw_calls
 // (dangling-entry skips aside), which the metrics tests assert.
 type queryTotals struct {
-	searches, candidates, results          atomic.Int64
-	dtwCalls, dtwAbandoned                 atomic.Int64
-	lbKimPruned, lbKeoghPruned, lbYiPruned atomic.Int64
-	corridorPruned                         atomic.Int64
+	searches, candidates, results                       atomic.Int64
+	dtwCalls, dtwAbandoned                              atomic.Int64
+	lbKimPruned, lbPAAPruned, lbKeoghPruned, lbYiPruned atomic.Int64
+	lbImprovedPruned, corridorPruned                    atomic.Int64
 }
 
 func (t *queryTotals) accumulate(st twsim.QueryStats) {
@@ -91,22 +91,26 @@ func (t *queryTotals) accumulate(st twsim.QueryStats) {
 	t.dtwCalls.Add(int64(st.DTWCalls))
 	t.dtwAbandoned.Add(int64(st.DTWAbandoned))
 	t.lbKimPruned.Add(int64(st.LBKimPruned))
+	t.lbPAAPruned.Add(int64(st.LBPAAPruned))
 	t.lbKeoghPruned.Add(int64(st.LBKeoghPruned))
 	t.lbYiPruned.Add(int64(st.LBYiPruned))
+	t.lbImprovedPruned.Add(int64(st.LBImprovedPruned))
 	t.corridorPruned.Add(int64(st.CorridorPruned))
 }
 
 func (t *queryTotals) json() map[string]any {
 	return map[string]any{
-		"searches":        t.searches.Load(),
-		"candidates":      t.candidates.Load(),
-		"results":         t.results.Load(),
-		"dtw_calls":       t.dtwCalls.Load(),
-		"dtw_abandoned":   t.dtwAbandoned.Load(),
-		"lb_kim_pruned":   t.lbKimPruned.Load(),
-		"lb_keogh_pruned": t.lbKeoghPruned.Load(),
-		"lb_yi_pruned":    t.lbYiPruned.Load(),
-		"corridor_pruned": t.corridorPruned.Load(),
+		"searches":           t.searches.Load(),
+		"candidates":         t.candidates.Load(),
+		"results":            t.results.Load(),
+		"dtw_calls":          t.dtwCalls.Load(),
+		"dtw_abandoned":      t.dtwAbandoned.Load(),
+		"lb_kim_pruned":      t.lbKimPruned.Load(),
+		"lb_paa_pruned":      t.lbPAAPruned.Load(),
+		"lb_keogh_pruned":    t.lbKeoghPruned.Load(),
+		"lb_yi_pruned":       t.lbYiPruned.Load(),
+		"lb_improved_pruned": t.lbImprovedPruned.Load(),
+		"corridor_pruned":    t.corridorPruned.Load(),
 	}
 }
 
@@ -147,10 +151,22 @@ func (l *lockedDB) Search(query []float64, epsilon float64) (*twsim.Result, erro
 	return l.db.Search(query, epsilon)
 }
 
+func (l *lockedDB) SearchBand(query []float64, epsilon float64, band int) (*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.SearchBand(query, epsilon, band)
+}
+
 func (l *lockedDB) NearestK(query []float64, k int) ([]twsim.Match, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.db.NearestK(query, k)
+}
+
+func (l *lockedDB) NearestKBand(query []float64, k, band int) ([]twsim.Match, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.NearestKBand(query, k, band)
 }
 
 func (l *lockedDB) NearestKStats(query []float64, k int) (*twsim.Result, error) {
@@ -159,10 +175,22 @@ func (l *lockedDB) NearestKStats(query []float64, k int) (*twsim.Result, error) 
 	return l.db.NearestKStats(query, k)
 }
 
+func (l *lockedDB) NearestKStatsBand(query []float64, k, band int) (*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.NearestKStatsBand(query, k, band)
+}
+
 func (l *lockedDB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*twsim.Result, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.db.SearchBatch(queries, epsilon, parallelism)
+}
+
+func (l *lockedDB) SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.SearchBatchBand(queries, epsilon, band, parallelism)
 }
 
 func (l *lockedDB) Len() int {
@@ -270,15 +298,17 @@ type SubMatchJSON struct {
 // counters were added with the refinement cascade; they are additive
 // fields, so pre-cascade clients keep decoding the original shape.
 type StatsJSON struct {
-	Candidates     int   `json:"candidates"`
-	Results        int   `json:"results"`
-	DTWCalls       int   `json:"dtw_calls"`
-	LBKimPruned    int   `json:"lb_kim_pruned"`
-	LBKeoghPruned  int   `json:"lb_keogh_pruned"`
-	LBYiPruned     int   `json:"lb_yi_pruned"`
-	CorridorPruned int   `json:"corridor_pruned"`
-	DTWAbandoned   int   `json:"dtw_abandoned"`
-	WallMicros     int64 `json:"wall_us"`
+	Candidates       int   `json:"candidates"`
+	Results          int   `json:"results"`
+	DTWCalls         int   `json:"dtw_calls"`
+	LBKimPruned      int   `json:"lb_kim_pruned"`
+	LBPAAPruned      int   `json:"lb_paa_pruned"`
+	LBKeoghPruned    int   `json:"lb_keogh_pruned"`
+	LBYiPruned       int   `json:"lb_yi_pruned"`
+	LBImprovedPruned int   `json:"lb_improved_pruned"`
+	CorridorPruned   int   `json:"corridor_pruned"`
+	DTWAbandoned     int   `json:"dtw_abandoned"`
+	WallMicros       int64 `json:"wall_us"`
 }
 
 // SearchResponse is the /search (and /knn) reply. RequestID is the
@@ -298,14 +328,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func shardQueriesJSON(qt twsim.QueryTotals) map[string]any {
 	return map[string]any{
-		"searches":        qt.Searches,
-		"candidates":      qt.Candidates,
-		"dtw_calls":       qt.DTWCalls,
-		"dtw_abandoned":   qt.DTWAbandoned,
-		"lb_kim_pruned":   qt.LBKimPruned,
-		"lb_keogh_pruned": qt.LBKeoghPruned,
-		"lb_yi_pruned":    qt.LBYiPruned,
-		"corridor_pruned": qt.CorridorPruned,
+		"searches":           qt.Searches,
+		"candidates":         qt.Candidates,
+		"dtw_calls":          qt.DTWCalls,
+		"dtw_abandoned":      qt.DTWAbandoned,
+		"lb_kim_pruned":      qt.LBKimPruned,
+		"lb_paa_pruned":      qt.LBPAAPruned,
+		"lb_keogh_pruned":    qt.LBKeoghPruned,
+		"lb_yi_pruned":       qt.LBYiPruned,
+		"lb_improved_pruned": qt.LBImprovedPruned,
+		"corridor_pruned":    qt.CorridorPruned,
 	}
 }
 
@@ -467,11 +499,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Query   []float64 `json:"query"`
 		Epsilon float64   `json:"epsilon"`
+		// Band is the optional Sakoe–Chiba band half-width this query
+		// answers under: omitted = the backend's configured default, 0 =
+		// unconstrained, ≥ 1 = banded, negative = 400.
+		Band *int `json:"band"`
 	}
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := s.backend.Search(req.Query, req.Epsilon)
+	var res *twsim.Result
+	var err error
+	if req.Band != nil {
+		if *req.Band < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("negative band half-width %d", *req.Band))
+			return
+		}
+		res, err = s.backend.SearchBand(req.Query, req.Epsilon, *req.Band)
+	} else {
+		res, err = s.backend.Search(req.Query, req.Epsilon)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -489,6 +535,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Query []float64 `json:"query"`
 		K     int       `json:"k"`
+		// Band as in /search: omitted = backend default, 0 = unconstrained,
+		// ≥ 1 = banded, negative = 400.
+		Band *int `json:"band"`
 	}
 	if !decodeBody(w, r, &req) {
 		return
@@ -497,7 +546,17 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("k must be non-negative"))
 		return
 	}
-	res, err := s.backend.NearestKStats(req.Query, req.K)
+	var res *twsim.Result
+	var err error
+	if req.Band != nil {
+		if *req.Band < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("negative band half-width %d", *req.Band))
+			return
+		}
+		res, err = s.backend.NearestKStatsBand(req.Query, req.K, *req.Band)
+	} else {
+		res, err = s.backend.NearestKStats(req.Query, req.K)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -603,15 +662,17 @@ func toSearchResponse(res *twsim.Result) SearchResponse {
 		RequestID: res.RequestID,
 		Matches:   make([]MatchJSON, len(res.Matches)),
 		Stats: StatsJSON{
-			Candidates:     res.Stats.Candidates,
-			Results:        res.Stats.Results,
-			DTWCalls:       res.Stats.DTWCalls,
-			LBKimPruned:    res.Stats.LBKimPruned,
-			LBKeoghPruned:  res.Stats.LBKeoghPruned,
-			LBYiPruned:     res.Stats.LBYiPruned,
-			CorridorPruned: res.Stats.CorridorPruned,
-			DTWAbandoned:   res.Stats.DTWAbandoned,
-			WallMicros:     res.Stats.Wall.Microseconds(),
+			Candidates:       res.Stats.Candidates,
+			Results:          res.Stats.Results,
+			DTWCalls:         res.Stats.DTWCalls,
+			LBKimPruned:      res.Stats.LBKimPruned,
+			LBPAAPruned:      res.Stats.LBPAAPruned,
+			LBKeoghPruned:    res.Stats.LBKeoghPruned,
+			LBYiPruned:       res.Stats.LBYiPruned,
+			LBImprovedPruned: res.Stats.LBImprovedPruned,
+			CorridorPruned:   res.Stats.CorridorPruned,
+			DTWAbandoned:     res.Stats.DTWAbandoned,
+			WallMicros:       res.Stats.Wall.Microseconds(),
 		},
 	}
 	for i, m := range res.Matches {

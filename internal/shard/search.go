@@ -18,7 +18,14 @@ import (
 // wall time is the observed fan-out duration (≈ the slowest shard when the
 // pool runs all shards concurrently).
 func (e *Engine) Search(query []float64, epsilon float64) (*core.Result, error) {
-	return e.search(query, epsilon, true)
+	return e.search(query, epsilon, 0, true)
+}
+
+// SearchBand is Search under an explicit Sakoe–Chiba band half-width
+// (0 = unconstrained); every shard answers the same banded distance, so the
+// merged result equals the single-database banded answer.
+func (e *Engine) SearchBand(query []float64, epsilon float64, band int) (*core.Result, error) {
+	return e.search(query, epsilon, band, true)
 }
 
 // perShardWorkers splits the engine's refine budget across the shards one
@@ -44,13 +51,13 @@ func (e *Engine) perShardWorkers(parallel bool) int {
 	return per
 }
 
-func (e *Engine) search(query []float64, epsilon float64, parallel bool) (*core.Result, error) {
+func (e *Engine) search(query []float64, epsilon float64, band int, parallel bool) (*core.Result, error) {
 	start := time.Now()
 	workers := e.perShardWorkers(parallel)
 	results := make([]*core.Result, len(e.stores))
 	run := func(si int) error {
 		e.locks[si].RLock()
-		res, err := e.stores[si].SearchWorkers(query, epsilon, workers)
+		res, err := e.stores[si].SearchBandWorkers(query, epsilon, band, workers)
 		e.locks[si].RUnlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)
@@ -96,14 +103,21 @@ func (e *Engine) NearestK(query []float64, k int) ([]core.Match, error) {
 	return ms, err
 }
 
-// NearestKStats is NearestK reporting the summed per-shard query work. The
-// per-shard statistics also feed the engine's cumulative counters, so k-NN
-// traffic shows up in ShardStats alongside range searches and the exported
-// conservation law (Candidates = ΣPruned + DTWCalls) covers both kinds of
-// query. Wall is the observed fan-out duration; RefineWall sums the shards'
-// walk times (filtering and refinement interleave in the k-NN walk, so
-// there is no separate filter phase to report).
+// NearestKStats is NearestKStatsBand with the unconstrained distance.
 func (e *Engine) NearestKStats(query []float64, k int) ([]core.Match, core.QueryStats, error) {
+	return e.NearestKStatsBand(query, k, 0)
+}
+
+// NearestKStatsBand is NearestK under an explicit Sakoe–Chiba band
+// half-width (0 = unconstrained), reporting the summed per-shard query
+// work. The per-shard statistics also feed the engine's cumulative
+// counters, so k-NN traffic shows up in ShardStats alongside range searches
+// and the exported conservation law (Candidates = ΣPruned + DTWCalls)
+// covers both kinds of query. Wall is the observed fan-out duration;
+// RefineWall sums the shards' walk times (filtering and refinement
+// interleave in the k-NN walk, so there is no separate filter phase to
+// report).
+func (e *Engine) NearestKStatsBand(query []float64, k, band int) ([]core.Match, core.QueryStats, error) {
 	var stats core.QueryStats
 	if k <= 0 {
 		return nil, stats, nil
@@ -115,7 +129,7 @@ func (e *Engine) NearestKStats(query []float64, k int) ([]core.Match, core.Query
 	perStats := make([]core.QueryStats, len(e.stores))
 	err := e.fanOut(func(si int) error {
 		e.locks[si].RLock()
-		ms, qs, err := e.stores[si].NearestKStatsWorkers(query, k, bound, workers)
+		ms, qs, err := e.stores[si].NearestKStatsBandWorkers(query, k, band, bound, workers)
 		e.locks[si].RUnlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)
@@ -151,6 +165,12 @@ func (e *Engine) NearestKStats(query []float64, k int) ([]core.Match, core.Query
 // GOMAXPROCS. The first error aborts the batch: the dispatcher stops
 // feeding queries and in-flight workers drain without executing.
 func (e *Engine) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*core.Result, error) {
+	return e.SearchBatchBand(queries, epsilon, 0, parallelism)
+}
+
+// SearchBatchBand is SearchBatch under an explicit Sakoe–Chiba band
+// half-width (0 = unconstrained).
+func (e *Engine) SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*core.Result, error) {
 	if epsilon < 0 {
 		return nil, fmt.Errorf("shard: negative tolerance %g", epsilon)
 	}
@@ -190,7 +210,7 @@ func (e *Engine) SearchBatch(queries [][]float64, epsilon float64, parallelism i
 				if failed() {
 					continue
 				}
-				res, err := e.search(queries[i], epsilon, false)
+				res, err := e.search(queries[i], epsilon, band, false)
 				if err != nil {
 					setErr(fmt.Errorf("shard: query %d: %w", i, err))
 					continue

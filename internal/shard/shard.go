@@ -38,14 +38,16 @@ type Store interface {
 	AddAll(values [][]float64) (seq.ID, error)
 	Remove(id seq.ID) (bool, error)
 	Get(id seq.ID) ([]float64, error)
-	// SearchWorkers and NearestKStatsWorkers take the number of
-	// intra-query refinement workers the shard may use for this call; the
-	// engine computes it from its refine budget so fan-out × intra-query
-	// parallelism never oversubscribes (workers ≤ 1 means serial).
-	// NearestKStatsWorkers reports the query work alongside the matches so
-	// the engine can accumulate k-NN traffic into the per-shard counters.
-	SearchWorkers(query []float64, epsilon float64, workers int) (*core.Result, error)
-	NearestKStatsWorkers(query []float64, k int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error)
+	// SearchBandWorkers and NearestKStatsBandWorkers take the Sakoe–Chiba
+	// band half-width the query answers under (0 = unconstrained) and the
+	// number of intra-query refinement workers the shard may use for this
+	// call; the engine computes the latter from its refine budget so
+	// fan-out × intra-query parallelism never oversubscribes (workers ≤ 1
+	// means serial). NearestKStatsBandWorkers reports the query work
+	// alongside the matches so the engine can accumulate k-NN traffic into
+	// the per-shard counters.
+	SearchBandWorkers(query []float64, epsilon float64, band, workers int) (*core.Result, error)
+	NearestKStatsBandWorkers(query []float64, k, band int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error)
 	StorageStats() core.StorageStats
 	Len() int
 	DataBytes() int64

@@ -68,11 +68,11 @@ func (f *fakeStore) Get(id seq.ID) ([]float64, error) {
 	return v, nil
 }
 
-func (f *fakeStore) SearchWorkers(query []float64, epsilon float64, workers int) (*core.Result, error) {
+func (f *fakeStore) SearchBandWorkers(query []float64, epsilon float64, band, workers int) (*core.Result, error) {
 	return &core.Result{}, nil
 }
 
-func (f *fakeStore) NearestKStatsWorkers(query []float64, k int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error) {
+func (f *fakeStore) NearestKStatsBandWorkers(query []float64, k, band int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error) {
 	return nil, core.QueryStats{}, nil
 }
 

@@ -13,21 +13,23 @@ import (
 // disproportionate DTW work) and to see the cascade's prune rates in
 // production rather than only in benchmarks.
 type QueryTotals struct {
-	Searches       int64
-	Candidates     int64
-	DTWCalls       int64
-	DTWAbandoned   int64
-	LBKimPruned    int64
-	LBKeoghPruned  int64
-	LBYiPruned     int64
-	CorridorPruned int64
+	Searches         int64
+	Candidates       int64
+	DTWCalls         int64
+	DTWAbandoned     int64
+	LBKimPruned      int64
+	LBPAAPruned      int64
+	LBKeoghPruned    int64
+	LBYiPruned       int64
+	LBImprovedPruned int64
+	CorridorPruned   int64
 }
 
 // queryCounters is the lock-free accumulation form of QueryTotals; the
 // fan-out workers of concurrent searches update it without coordination.
 type queryCounters struct {
-	searches, candidates, dtwCalls, dtwAbandoned atomic.Int64
-	lbKim, lbKeogh, lbYi, corridor               atomic.Int64
+	searches, candidates, dtwCalls, dtwAbandoned      atomic.Int64
+	lbKim, lbPAA, lbKeogh, lbYi, lbImproved, corridor atomic.Int64
 }
 
 func (c *queryCounters) accumulate(qs core.QueryStats) {
@@ -36,21 +38,25 @@ func (c *queryCounters) accumulate(qs core.QueryStats) {
 	c.dtwCalls.Add(int64(qs.DTWCalls))
 	c.dtwAbandoned.Add(int64(qs.DTWAbandoned))
 	c.lbKim.Add(int64(qs.LBKimPruned))
+	c.lbPAA.Add(int64(qs.LBPAAPruned))
 	c.lbKeogh.Add(int64(qs.LBKeoghPruned))
 	c.lbYi.Add(int64(qs.LBYiPruned))
+	c.lbImproved.Add(int64(qs.LBImprovedPruned))
 	c.corridor.Add(int64(qs.CorridorPruned))
 }
 
 func (c *queryCounters) snapshot() QueryTotals {
 	return QueryTotals{
-		Searches:       c.searches.Load(),
-		Candidates:     c.candidates.Load(),
-		DTWCalls:       c.dtwCalls.Load(),
-		DTWAbandoned:   c.dtwAbandoned.Load(),
-		LBKimPruned:    c.lbKim.Load(),
-		LBKeoghPruned:  c.lbKeogh.Load(),
-		LBYiPruned:     c.lbYi.Load(),
-		CorridorPruned: c.corridor.Load(),
+		Searches:         c.searches.Load(),
+		Candidates:       c.candidates.Load(),
+		DTWCalls:         c.dtwCalls.Load(),
+		DTWAbandoned:     c.dtwAbandoned.Load(),
+		LBKimPruned:      c.lbKim.Load(),
+		LBPAAPruned:      c.lbPAA.Load(),
+		LBKeoghPruned:    c.lbKeogh.Load(),
+		LBYiPruned:       c.lbYi.Load(),
+		LBImprovedPruned: c.lbImproved.Load(),
+		CorridorPruned:   c.corridor.Load(),
 	}
 }
 

@@ -26,19 +26,21 @@ func (o Options) slowLogger() *log.Logger {
 // key=value record — stable keys, one query per line — so it greps and
 // parses without a log pipeline:
 //
-//	twsim: slow query kind=search request_id=17 qlen=128 epsilon=0.25
+//	twsim: slow query kind=search request_id=17 qlen=128 epsilon=0.25 band=0
 //	  wall=120ms filter=8ms refine=112ms candidates=940 results=3 dtw=41
-//	  pruned_kim=800 pruned_keogh=70 pruned_yi=20 pruned_corridor=9
+//	  pruned_kim=800 pruned_paa=0 pruned_keogh=70 pruned_yi=20
+//	  pruned_improved=0 pruned_corridor=9
 //
 // kind is "search", "knn", or "batch"; param carries the query-kind
-// specific parameter ("epsilon=…" or "k=…"); request_id matches the
-// Result.RequestID returned to the caller.
+// specific parameters ("epsilon=… band=…" or "k=… band=…"); request_id
+// matches the Result.RequestID returned to the caller.
 func (o Options) logSlowQuery(kind string, requestID uint64, queryLen int, param string, stats QueryStats) {
 	if o.SlowQueryThreshold <= 0 || stats.Wall < o.SlowQueryThreshold {
 		return
 	}
-	o.slowLogger().Printf("twsim: slow query kind=%s request_id=%d qlen=%d %s wall=%s filter=%s refine=%s candidates=%d results=%d dtw=%d pruned_kim=%d pruned_keogh=%d pruned_yi=%d pruned_corridor=%d",
+	o.slowLogger().Printf("twsim: slow query kind=%s request_id=%d qlen=%d %s wall=%s filter=%s refine=%s candidates=%d results=%d dtw=%d pruned_kim=%d pruned_paa=%d pruned_keogh=%d pruned_yi=%d pruned_improved=%d pruned_corridor=%d",
 		kind, requestID, queryLen, param, stats.Wall, stats.FilterWall, stats.RefineWall,
 		stats.Candidates, stats.Results, stats.DTWCalls,
-		stats.LBKimPruned, stats.LBKeoghPruned, stats.LBYiPruned, stats.CorridorPruned)
+		stats.LBKimPruned, stats.LBPAAPruned, stats.LBKeoghPruned, stats.LBYiPruned,
+		stats.LBImprovedPruned, stats.CorridorPruned)
 }

@@ -251,8 +251,17 @@ func (s *ShardedDB) Get(id ID) ([]float64, error) { return s.eng.Get(id) }
 // shards concurrently; results merge to exactly the single-database
 // answer. Stats sum the per-shard work; Wall is the fan-out duration. The
 // Result carries a process-unique RequestID; queries at or above
-// Options.SlowQueryThreshold are logged with it.
+// Options.SlowQueryThreshold are logged with it. The distance answered is
+// unconstrained when Options.Band is 0, banded otherwise.
 func (s *ShardedDB) Search(query []float64, epsilon float64) (*Result, error) {
+	return s.SearchBand(query, epsilon, s.opts.Band)
+}
+
+// SearchBand is Search under an explicit Sakoe–Chiba band half-width for
+// this call, overriding Options.Band (0 = unconstrained). Every shard
+// answers the same banded distance, so the merged result equals the
+// single-database banded answer.
+func (s *ShardedDB) SearchBand(query []float64, epsilon float64, band int) (*Result, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
@@ -262,12 +271,15 @@ func (s *ShardedDB) Search(query []float64, epsilon float64) (*Result, error) {
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
 	}
-	res, err := s.eng.Search(query, epsilon)
+	if err := validateBand(band); err != nil {
+		return nil, err
+	}
+	res, err := s.eng.SearchBand(query, epsilon, band)
 	if err != nil {
 		return nil, err
 	}
 	res.RequestID = nextRequestID()
-	s.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g", epsilon), res.Stats)
+	s.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g band=%d", epsilon, band), res.Stats)
 	return res, nil
 }
 
@@ -282,21 +294,40 @@ func (s *ShardedDB) NearestK(query []float64, k int) ([]Match, error) {
 	return res.Matches, nil
 }
 
+// NearestKBand is NearestK under an explicit Sakoe–Chiba band half-width
+// for this call, overriding Options.Band (0 = unconstrained).
+func (s *ShardedDB) NearestKBand(query []float64, k, band int) ([]Match, error) {
+	res, err := s.NearestKStatsBand(query, k, band)
+	if err != nil {
+		return nil, err
+	}
+	return res.Matches, nil
+}
+
 // NearestKStats is NearestK returning the full Result: matches plus the
 // summed per-shard work counters and the RequestID (see DB.NearestKStats).
 func (s *ShardedDB) NearestKStats(query []float64, k int) (*Result, error) {
+	return s.NearestKStatsBand(query, k, s.opts.Band)
+}
+
+// NearestKStatsBand is NearestKStats under an explicit band half-width for
+// this call, overriding Options.Band (0 = unconstrained).
+func (s *ShardedDB) NearestKStatsBand(query []float64, k, band int) (*Result, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
 	if err := seq.CheckFinite(query); err != nil {
 		return nil, err
 	}
-	ms, stats, err := s.eng.NearestKStats(query, k)
+	if err := validateBand(band); err != nil {
+		return nil, err
+	}
+	ms, stats, err := s.eng.NearestKStatsBand(query, k, band)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Matches: ms, Stats: stats, RequestID: nextRequestID()}
-	s.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d", k), res.Stats)
+	s.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d band=%d", k, band), res.Stats)
 	return res, nil
 }
 
@@ -307,18 +338,27 @@ func (s *ShardedDB) NearestKStats(query []float64, k int) (*Result, error) {
 // elements upfront; each per-query Result gets its own RequestID and
 // slow-query log line.
 func (s *ShardedDB) SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error) {
+	return s.SearchBatchBand(queries, epsilon, s.opts.Band, parallelism)
+}
+
+// SearchBatchBand is SearchBatch under an explicit Sakoe–Chiba band
+// half-width for this call, overriding Options.Band (0 = unconstrained).
+func (s *ShardedDB) SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error) {
 	for i, q := range queries {
 		if err := seq.CheckFinite(q); err != nil {
 			return nil, fmt.Errorf("twsim: query %d: %w", i, err)
 		}
 	}
-	out, err := s.eng.SearchBatch(queries, epsilon, parallelism)
+	if err := validateBand(band); err != nil {
+		return nil, err
+	}
+	out, err := s.eng.SearchBatchBand(queries, epsilon, band, parallelism)
 	if err != nil {
 		return nil, err
 	}
 	for i, res := range out {
 		res.RequestID = nextRequestID()
-		s.opts.logSlowQuery("batch", res.RequestID, len(queries[i]), fmt.Sprintf("epsilon=%g", epsilon), res.Stats)
+		s.opts.logSlowQuery("batch", res.RequestID, len(queries[i]), fmt.Sprintf("epsilon=%g band=%d", epsilon, band), res.Stats)
 	}
 	return out, nil
 }

@@ -92,6 +92,21 @@ type Options struct {
 	// query spends across the shards it fans out to, so fan-out × refine
 	// parallelism never oversubscribes the machine.
 	RefineWorkers int
+	// Band is the default Sakoe–Chiba band half-width queries search under.
+	// 0 (the zero value) answers the paper's unconstrained time warping
+	// distance — the historical behavior. A value ≥ 1 makes every query
+	// answer the banded distance BandDistance(S, Q, band) instead: only
+	// warpings within the band are permissible, which both sharpens the
+	// similarity model and unlocks the banded envelope cascade tiers
+	// (LB_Keogh on the banded envelope and Lemire's LB_Improved). Negative
+	// values are rejected at query time. Per-query overrides: SearchBand,
+	// NearestKBand, SearchBatchBand.
+	//
+	// Every search remains exact for the distance it answers: all filter
+	// tiers lower-bound BandDistance (a band only removes permissible
+	// warpings, so BandDistance ≥ Distance ≥ every unconstrained bound),
+	// and banded results are bit-identical to a brute-force banded scan.
+	Band int
 	// SeqCacheBytes sizes the decoded-sequence cache (per shard, for a
 	// sharded database): hot sequences are served from memory without page
 	// I/O or deserialization. 0 disables the cache, keeping the paper's
@@ -126,15 +141,20 @@ type RepairStats = core.RepairStats
 // with the stored sequences. A DB is safe for concurrent readers; writers
 // require external serialization.
 type DB struct {
-	store  *seqdb.DB
-	index  *core.FeatureIndex
-	base   Base
-	dir    string // empty when in-memory
-	opts   Options
-	repair RepairStats
+	store       *seqdb.DB
+	index       *core.FeatureIndex
+	envs        *core.EnvStore
+	base        Base
+	dir         string // empty when in-memory
+	opts        Options
+	repair      RepairStats
+	envsRebuilt bool // Open rebuilt the envelope sidecar; Flush persists it
 }
 
-const indexFileName = "feature.rtree"
+const (
+	indexFileName = "feature.rtree"
+	envsFileName  = "envelopes.paa"
+)
 
 // OpenMem creates an ephemeral in-memory database (page layout and buffer
 // accounting identical to the on-disk form).
@@ -152,7 +172,7 @@ func OpenMem(opts Options) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, base: opts.Base, opts: opts}, nil
+	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, opts: opts}, nil
 }
 
 // Create creates a new on-disk database in directory dir.
@@ -171,7 +191,7 @@ func Create(dir string, opts Options) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, base: opts.Base, dir: dir, opts: opts}, nil
+	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, dir: dir, opts: opts}, nil
 }
 
 // Open opens an existing on-disk database.
@@ -200,6 +220,10 @@ func Open(dir string, opts Options) (*DB, error) {
 			store.Close()
 			return nil, fmt.Errorf("twsim: rebuilding index: %w", err)
 		}
+		if err := db.loadEnvs(); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("twsim: rebuilding envelope store: %w", err)
+		}
 		if err := db.Flush(); err != nil {
 			db.Close()
 			return nil, err
@@ -207,17 +231,50 @@ func Open(dir string, opts Options) (*DB, error) {
 		return db, nil
 	}
 	db.index = index
+	dirty := false
 	if index.Len() != store.Len() {
 		if _, err := db.Repair(); err != nil {
 			db.Close()
 			return nil, err
 		}
+		dirty = true
+	}
+	if err := db.loadEnvs(); err != nil {
+		db.Close()
+		return nil, fmt.Errorf("twsim: rebuilding envelope store: %w", err)
+	}
+	if dirty || db.envsRebuilt {
 		if err := db.Flush(); err != nil {
 			db.Close()
 			return nil, err
 		}
 	}
 	return db, nil
+}
+
+// loadEnvs populates db.envs from the sidecar file, falling back to a
+// heap-scan rebuild whenever the sidecar is missing, damaged, or its entry
+// count disagrees with the heap — which is both the recovery path for a
+// crash between heap write and Flush and the migration path for databases
+// created before envelopes existed (they grow the sidecar on first open).
+// The count check suffices for correctness: IDs are never reused, so a
+// stored envelope can only be present-or-absent, never wrong for a live ID.
+func (db *DB) loadEnvs() error {
+	if db.dir == "" {
+		db.envs = core.NewEnvStore()
+		return nil
+	}
+	if es, err := core.LoadEnvStore(filepath.Join(db.dir, envsFileName)); err == nil && es.Len() == db.store.Len() {
+		db.envs = es
+		return nil
+	}
+	es, err := core.BuildEnvStore(db.store)
+	if err != nil {
+		return err
+	}
+	db.envs = es
+	db.envsRebuilt = true
+	return nil
 }
 
 // rebuildIndex replaces db.index with one bulk-loaded from the live heap
@@ -258,6 +315,25 @@ func (db *DB) LastRepair() RepairStats { return db.repair }
 // always possible because the heap is the source of truth. It returns what
 // it had to change.
 func (db *DB) Repair() (RepairStats, error) {
+	rs, err := db.repairIndex()
+	if err != nil {
+		return rs, err
+	}
+	// The envelope store is as derivable from the heap as the index is;
+	// whatever inconsistency prompted the repair may have touched it too, so
+	// re-derive it wholesale (it is small: ~264 bytes per sequence).
+	if db.envs != nil {
+		es, err := core.BuildEnvStore(db.store)
+		if err != nil {
+			return rs, fmt.Errorf("twsim: rebuilding envelope store: %w", err)
+		}
+		db.envs = es
+		db.envsRebuilt = true
+	}
+	return rs, nil
+}
+
+func (db *DB) repairIndex() (RepairStats, error) {
 	if db.index.CheckInvariants() == nil {
 		rs, err := core.Reconcile(db.store, db.index)
 		if err == nil {
@@ -303,6 +379,9 @@ func (db *DB) Add(values []float64) (ID, error) {
 		}
 		return seq.InvalidID, fmt.Errorf("twsim: sequence %d not indexed (rolled back): %w", id, err)
 	}
+	if pe, err := seq.ExtractPAAEnvelope(s); err == nil {
+		db.envs.Put(id, pe)
+	}
 	return id, nil
 }
 
@@ -336,6 +415,7 @@ func (db *DB) AddAll(values [][]float64) (ID, error) {
 			if i < len(indexed) {
 				_, _ = db.index.Delete(appended[i], indexed[i])
 			}
+			db.envs.Remove(appended[i])
 			_ = db.store.RollbackLast(appended[i])
 		}
 		if db.index.Len() != db.store.Len() {
@@ -360,6 +440,9 @@ func (db *DB) AddAll(values [][]float64) (ID, error) {
 				return seq.InvalidID, fmt.Errorf("twsim: batch aborted at sequence %d: %w", len(appended)-1, err)
 			}
 			indexed = append(indexed, s)
+			if pe, err := seq.ExtractPAAEnvelope(s); err == nil {
+				db.envs.Put(id, pe)
+			}
 		}
 		return appended[0], nil
 	}
@@ -385,6 +468,11 @@ func (db *DB) AddAll(values [][]float64) (ID, error) {
 		rollback()
 		return seq.InvalidID, err
 	}
+	for i, id := range appended {
+		if pe, err := seq.ExtractPAAEnvelope(seq.Sequence(values[i])); err == nil {
+			db.envs.Put(id, pe)
+		}
+	}
 	return appended[0], nil
 }
 
@@ -403,6 +491,7 @@ func (db *DB) Remove(id ID) (bool, error) {
 	if _, err := db.index.Delete(id, s); err != nil {
 		return false, err
 	}
+	db.envs.Remove(id)
 	return db.store.Delete(id)
 }
 
@@ -420,18 +509,41 @@ func (db *DB) Get(id ID) ([]float64, error) {
 	return []float64(s), nil
 }
 
-// searcher builds the query engine with the given intra-query worker
-// count.
-func (db *DB) searcher(workers int) *core.TWSimSearch {
+// searcher builds the query engine with the given intra-query worker count
+// and Sakoe–Chiba band half-width (0 = unconstrained).
+func (db *DB) searcher(workers, band int) *core.TWSimSearch {
 	return &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base,
-		NoCascade: db.opts.DisableCascade, Workers: workers}
+		NoCascade: db.opts.DisableCascade, Workers: workers, Band: band, Envs: db.envs}
+}
+
+// validateBand rejects invalid band half-widths at the API boundary. 0 is
+// the unconstrained distance; ≥ 1 is a Sakoe–Chiba half-width; negative
+// values have no meaning at this layer and are an error (the internal dtw
+// package's r<0 = unconstrained convention is deliberately not exposed —
+// the zero value must mean "historical behavior").
+func validateBand(band int) error {
+	if band < 0 {
+		return fmt.Errorf("twsim: negative band half-width %d", band)
+	}
+	return nil
 }
 
 // Search finds every sequence whose time warping distance to query is at
 // most epsilon, using the paper's TW-Sim-Search (Algorithm 1): index range
-// query with Dtw-lb, then exact DTW refinement. No false dismissal.
+// query with Dtw-lb, then exact DTW refinement. No false dismissal. The
+// distance answered is the unconstrained Dtw when Options.Band is 0, the
+// banded BandDistance otherwise.
 func (db *DB) Search(query []float64, epsilon float64) (*Result, error) {
-	return db.SearchWorkers(query, epsilon, db.opts.refineWorkers())
+	return db.SearchBandWorkers(query, epsilon, db.opts.Band, db.opts.refineWorkers())
+}
+
+// SearchBand is Search under an explicit Sakoe–Chiba band half-width for
+// this call, overriding Options.Band: 0 answers the unconstrained time
+// warping distance, band ≥ 1 answers BandDistance(S, Q, band). Banded
+// results are exact for the banded distance — bit-identical to a
+// brute-force banded scan.
+func (db *DB) SearchBand(query []float64, epsilon float64, band int) (*Result, error) {
+	return db.SearchBandWorkers(query, epsilon, band, db.opts.refineWorkers())
 }
 
 // SearchWorkers is Search with an explicit intra-query refinement worker
@@ -442,6 +554,13 @@ func (db *DB) Search(query []float64, epsilon float64) (*Result, error) {
 // The returned Result carries a process-unique RequestID; queries whose
 // wall time reaches Options.SlowQueryThreshold are logged with it.
 func (db *DB) SearchWorkers(query []float64, epsilon float64, workers int) (*Result, error) {
+	return db.SearchBandWorkers(query, epsilon, db.opts.Band, workers)
+}
+
+// SearchBandWorkers is SearchBand with an explicit worker count — the most
+// general range-query entry point; every other Search variant delegates
+// here.
+func (db *DB) SearchBandWorkers(query []float64, epsilon float64, band, workers int) (*Result, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
@@ -451,20 +570,34 @@ func (db *DB) SearchWorkers(query []float64, epsilon float64, workers int) (*Res
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
 	}
-	res, err := db.searcher(workers).Search(seq.Sequence(query), epsilon)
+	if err := validateBand(band); err != nil {
+		return nil, err
+	}
+	res, err := db.searcher(workers, band).Search(seq.Sequence(query), epsilon)
 	if err != nil {
 		return nil, err
 	}
 	res.RequestID = nextRequestID()
-	db.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g", epsilon), res.Stats)
+	db.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g band=%d", epsilon, band), res.Stats)
 	return res, nil
 }
 
 // NearestK returns the k sequences with the smallest exact time warping
 // distance to query, in ascending distance order (an extension enabled by
-// Dtw-lb being a true lower bound of Dtw).
+// Dtw-lb being a true lower bound of Dtw). The distance is unconstrained
+// when Options.Band is 0, banded otherwise.
 func (db *DB) NearestK(query []float64, k int) ([]Match, error) {
 	res, err := db.NearestKStats(query, k)
+	if err != nil {
+		return nil, err
+	}
+	return res.Matches, nil
+}
+
+// NearestKBand is NearestK under an explicit Sakoe–Chiba band half-width
+// for this call, overriding Options.Band (0 = unconstrained).
+func (db *DB) NearestKBand(query []float64, k, band int) ([]Match, error) {
+	res, err := db.NearestKStatsBand(query, k, band)
 	if err != nil {
 		return nil, err
 	}
@@ -476,12 +609,18 @@ func (db *DB) NearestK(query []float64, k int) ([]Match, error) {
 // time) and its RequestID. The serving layer uses it to export k-NN traffic
 // into the same metrics and slow-query log as range searches.
 func (db *DB) NearestKStats(query []float64, k int) (*Result, error) {
-	ms, stats, err := db.NearestKStatsWorkers(query, k, nil, db.opts.refineWorkers())
+	return db.NearestKStatsBand(query, k, db.opts.Band)
+}
+
+// NearestKStatsBand is NearestKStats under an explicit band half-width for
+// this call, overriding Options.Band (0 = unconstrained).
+func (db *DB) NearestKStatsBand(query []float64, k, band int) (*Result, error) {
+	ms, stats, err := db.NearestKStatsBandWorkers(query, k, band, nil, db.opts.refineWorkers())
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Matches: ms, Stats: stats, RequestID: nextRequestID()}
-	db.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d", k), res.Stats)
+	db.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d band=%d", k, band), res.Stats)
 	return res, nil
 }
 
@@ -516,15 +655,33 @@ func (db *DB) Flush() error {
 	if err := db.store.Flush(); err != nil {
 		return err
 	}
-	return db.index.Flush()
+	if err := db.index.Flush(); err != nil {
+		return err
+	}
+	if db.dir != "" && db.envs != nil {
+		if err := db.envs.Save(filepath.Join(db.dir, envsFileName)); err != nil {
+			return fmt.Errorf("twsim: saving envelope store: %w", err)
+		}
+		db.envsRebuilt = false
+	}
+	return nil
 }
 
 // Close flushes and releases the database.
 func (db *DB) Close() error {
+	var envErr error
+	if db.dir != "" && db.envs != nil {
+		if err := db.envs.Save(filepath.Join(db.dir, envsFileName)); err != nil {
+			envErr = fmt.Errorf("twsim: saving envelope store: %w", err)
+		}
+	}
 	err1 := db.store.Close()
 	err2 := db.index.Close()
 	if err1 != nil {
 		return err1
 	}
-	return err2
+	if err2 != nil {
+		return err2
+	}
+	return envErr
 }

@@ -16,7 +16,10 @@ import (
 //  2. the index holds exactly one entry per live sequence, keyed at its
 //     current feature vector (checked by a zero-tolerance range query —
 //     exactness of the lower bound makes this sound);
-//  3. the index entry count matches the live sequence count.
+//  3. the index entry count matches the live sequence count;
+//  4. the PAA envelope store holds exactly the envelope re-derivable from
+//     every live sequence (the LB_PAA filter tier prunes on these before
+//     fetching, so a stale envelope could silently mis-prune).
 //
 // Verify reads every page of the database; cost is one sequential sweep
 // plus one point query per sequence.
@@ -55,6 +58,20 @@ func (db *DB) Verify() error {
 		if !found {
 			return fmt.Errorf("sequence %d: missing from index (feature %+v)", id, f)
 		}
+		// The envelope store must hold exactly the profile this record
+		// derives to (envelopes are immutable per ID — IDs are never reused
+		// — so a mismatch means sidecar corruption, not staleness). A nil
+		// store means the DB was composed without envelopes (hand-wired
+		// tests); the LB_PAA tier is simply inert then, nothing to check.
+		if db.envs != nil {
+			pe, ok := db.envs.Get(id)
+			if !ok {
+				return fmt.Errorf("sequence %d: missing PAA envelope", id)
+			}
+			if want, err := seq.ExtractPAAEnvelope(s); err != nil || pe != want {
+				return fmt.Errorf("sequence %d: PAA envelope does not match the stored record", id)
+			}
+		}
 		// Paranoia: the stored record must be self-consistent under DTW.
 		if d := dtw.LBKim(s, s); d != 0 {
 			return fmt.Errorf("sequence %d: self lower bound %g != 0", id, d)
@@ -67,6 +84,10 @@ func (db *DB) Verify() error {
 	if idxLen := db.index.Len(); idxLen != live {
 		return fmt.Errorf("twsim: index holds %d entries, heap holds %d live sequences",
 			idxLen, live)
+	}
+	if envLen := db.envs.Len(); db.envs != nil && envLen != live {
+		return fmt.Errorf("twsim: envelope store holds %d entries, heap holds %d live sequences",
+			envLen, live)
 	}
 	return nil
 }
