@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke
+.PHONY: ci fmt vet build test race fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke bench-flat bench-flat-smoke
 
 # Full gate: formatting, static checks, build, the whole test suite
 # (including the fault-injection recovery tests) under the race detector,
@@ -8,8 +8,9 @@ GO ?= go
 # observability smoke (boots twsimd, scrapes /metrics, validates the
 # exposition), and short benchmark smokes for the sharded engine, the
 # refine cascade (including the banded leg with its brute-force banded
-# oracle), and intra-query parallel refinement.
-ci: fmt vet build race fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke
+# oracle), intra-query parallel refinement, and the flat-vs-Guttman index
+# engine comparison (bit-identity + zero-alloc walk).
+ci: fmt vet build race fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke bench-flat-smoke
 
 # Short coverage-guided fuzz passes over the ordering oracles: the deque
 # envelope vs the quadratic reference, and the lower-bound chain
@@ -18,6 +19,7 @@ ci: fmt vet build race fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzEnvelopeDeque$$' -fuzztime=5s ./internal/dtw
 	$(GO) test -run=^$$ -fuzz='^FuzzBandedBoundChain$$' -fuzztime=5s ./internal/dtw
+	$(GO) test -run=^$$ -fuzz='^FuzzSlabRoundtrip$$' -fuzztime=5s ./internal/flatidx
 
 # Boots a real twsimd on an ephemeral port, drives traffic, and verifies
 # GET /metrics is valid Prometheus exposition with the key series present
@@ -74,3 +76,15 @@ bench-refine:
 # are bit-identical to the serial baseline on the smoke corpus.
 bench-refine-smoke:
 	$(GO) run ./cmd/benchrefine -smoke >/dev/null
+
+# Flat-engine vs Guttman R-tree: raw filter-walk ns/op (with the 1.3x
+# speedup fence and the zero-allocation steady-state check) plus end-to-end
+# qps per engine at GOMAXPROCS=1 and full width, with bit-identity between
+# engines enforced; writes BENCH_flat.json.
+bench-flat:
+	$(GO) run ./cmd/benchflat
+
+# Tiny workload, no output file; keeps the alloc check and bit-identity
+# verification, relaxes the speedup fence (smoke sizes are noise-bound).
+bench-flat-smoke:
+	$(GO) run ./cmd/benchflat -smoke >/dev/null

@@ -42,6 +42,7 @@ import (
 
 	twsim "repro"
 	"repro/internal/dtw"
+	"repro/internal/hostinfo"
 	"repro/internal/seq"
 	"repro/internal/synth"
 )
@@ -49,6 +50,8 @@ import (
 type config struct {
 	Cascade          bool    `json:"cascade"`
 	Procs            int     `json:"gomaxprocs"`
+	NumCPU           int     `json:"num_cpu"`
+	CPUModel         string  `json:"cpu_model"`
 	QPS              float64 `json:"queries_per_sec"`
 	WallMS           float64 `json:"wall_ms"`
 	P50MS            float64 `json:"p50_ms"`
@@ -249,7 +252,7 @@ func runConfig(cascade bool, procs, band int, data, queries [][]float64, eps flo
 	}
 
 	lat := make([]time.Duration, len(results))
-	c := config{Cascade: cascade, Procs: procs}
+	c := config{Cascade: cascade, Procs: procs, NumCPU: hostinfo.NumCPU(), CPUModel: hostinfo.CPUModel()}
 	for i, r := range results {
 		lat[i] = r.Stats.Wall
 		c.Candidates += r.Stats.Candidates

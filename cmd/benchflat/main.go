@@ -1,0 +1,355 @@
+// Command benchflat compares the two feature-index engines — the Guttman
+// R-tree and the flat packed-snapshot engine — on the same fixed-seed
+// random-walk workload, writing the results as JSON.
+//
+// Usage:
+//
+//	go run ./cmd/benchflat                      # full run, writes BENCH_flat.json
+//	go run ./cmd/benchflat -smoke               # small CI smoke run (no file)
+//	go run ./cmd/benchflat -seqs 8000 -len 256
+//
+// Two measurements:
+//
+//   - Walk: the raw filter-phase range walk (feature rect in, candidate
+//     entries out) timed at the index layer over the full query set, both
+//     engines over identical entries. The flat engine walks one contiguous
+//     slab with implicit child offsets — no page pool, no locks, no
+//     pointer chasing — so this is where its advantage is purest. The
+//     steady-state flat walk is also AllocsPerRun-tested: reusing the
+//     caller's buffer it must allocate nothing, and the harness fails if
+//     it does.
+//
+//   - QPS: end-to-end query throughput at the library layer (Search over a
+//     fresh database per engine), once at GOMAXPROCS=1 and once at the
+//     machine's full width. Both engines must return bit-identical matches
+//     query for query, and each row is checked against the conservation
+//     law (candidates = Σ per-tier pruned + dtw_calls) before it is
+//     recorded.
+//
+// Every row carries gomaxprocs, num_cpu, and cpu_model so a result file is
+// interpretable without knowing which machine produced it. In full mode
+// the harness fails if the flat walk is not at least 1.3x faster than the
+// Guttman walk at the default 4000x128 workload — that is the regression
+// fence the engine exists to hold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	twsim "repro"
+	"repro/internal/core"
+	"repro/internal/flatidx"
+	"repro/internal/hostinfo"
+	"repro/internal/seq"
+	"repro/internal/synth"
+)
+
+type walkReport struct {
+	Procs           int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	CPUModel        string  `json:"cpu_model"`
+	Walks           int     `json:"walks"`
+	GuttmanNsPerOp  float64 `json:"guttman_ns_per_walk"`
+	FlatNsPerOp     float64 `json:"flat_ns_per_walk"`
+	Speedup         float64 `json:"flat_speedup_vs_guttman"`
+	FlatWalkAllocs  float64 `json:"flat_walk_allocs_per_op"`
+	MeanCandidates  float64 `json:"mean_candidates_per_walk"`
+	SnapshotEntries int     `json:"snapshot_entries"`
+}
+
+type qpsRow struct {
+	Engine     string  `json:"engine"`
+	Procs      int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	CPUModel   string  `json:"cpu_model"`
+	QPS        float64 `json:"queries_per_sec"`
+	WallMS     float64 `json:"wall_ms"`
+	Candidates int     `json:"candidates"`
+	DTWCalls   int     `json:"dtw_calls"`
+	Matches    int     `json:"matches"`
+}
+
+type report struct {
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	CPUModel   string     `json:"cpu_model"`
+	Sequences  int        `json:"sequences"`
+	SeqLen     int        `json:"seq_len"`
+	Queries    int        `json:"queries"`
+	Epsilon    float64    `json:"epsilon"`
+	Smoke      bool       `json:"smoke"`
+	Walk       walkReport `json:"walk"`
+	QPS        []qpsRow   `json:"qps"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_flat.json", "result file (empty = stdout only)")
+		smoke   = flag.Bool("smoke", false, "small fast run for CI; implies -out \"\" and relaxes the speedup fence")
+		seqs    = flag.Int("seqs", 4000, "number of random-walk sequences")
+		seqLen  = flag.Int("len", 128, "sequence length")
+		queries = flag.Int("queries", 64, "queries per pass")
+		eps     = flag.Float64("eps", 0.35, "search tolerance (paper's epsilon)")
+		rounds  = flag.Int("rounds", 200, "walk-timing repetitions over the query set")
+	)
+	flag.Parse()
+	if *smoke {
+		*out = ""
+		*seqs, *seqLen, *queries, *rounds = 300, 64, 8, 20
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	data := synth.RandomWalkSet(rng, *seqs, *seqLen)
+	values := make([][]float64, len(data))
+	for i, s := range data {
+		values[i] = s
+	}
+	qs := synth.Queries(rng, data, *queries)
+	queryVals := make([][]float64, len(qs))
+	for i, q := range qs {
+		queryVals[i] = q
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     hostinfo.NumCPU(),
+		CPUModel:   hostinfo.CPUModel(),
+		Sequences:  *seqs,
+		SeqLen:     *seqLen,
+		Queries:    *queries,
+		Epsilon:    *eps,
+		Smoke:      *smoke,
+	}
+	rep.Walk = runWalk(data, qs, *eps, *rounds)
+	log.Printf("walk: guttman %.0f ns/op, flat %.0f ns/op (%.2fx), %.1f candidates/walk, flat allocs/op %.1f",
+		rep.Walk.GuttmanNsPerOp, rep.Walk.FlatNsPerOp, rep.Walk.Speedup,
+		rep.Walk.MeanCandidates, rep.Walk.FlatWalkAllocs)
+	if rep.Walk.FlatWalkAllocs != 0 {
+		log.Fatalf("benchflat: steady-state flat walk allocated %.1f times per op, want 0", rep.Walk.FlatWalkAllocs)
+	}
+	if !*smoke && rep.Walk.Speedup < 1.3 {
+		log.Fatalf("benchflat: flat walk speedup %.2fx below the 1.3x fence", rep.Walk.Speedup)
+	}
+
+	// End-to-end throughput, both engines, serial and full-width; the
+	// engines must agree match for match at every width.
+	var oracle [][]twsim.Match
+	for _, procs := range procsList() {
+		for _, engine := range []string{twsim.EngineGuttman, twsim.EngineFlat} {
+			row, matches, err := runQPS(engine, procs, values, queryVals, *eps)
+			if err != nil {
+				log.Fatalf("benchflat: engine=%s procs=%d: %v", engine, procs, err)
+			}
+			if oracle == nil {
+				oracle = matches
+			} else if err := compareMatches(oracle, matches); err != nil {
+				log.Fatalf("benchflat: engine=%s procs=%d diverged from guttman baseline: %v", engine, procs, err)
+			}
+			rep.QPS = append(rep.QPS, row)
+			log.Printf("qps: engine=%s procs=%d: %.1f queries/sec (%d candidates, %d DTW calls, %d matches)",
+				engine, procs, row.QPS, row.Candidates, row.DTWCalls, row.Matches)
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("benchflat: writing %s: %v", *out, err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}
+
+func procsList() []int {
+	n := runtime.NumCPU()
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+// runWalk times the pure filter-phase range walk on both engines over
+// identical entries, and alloc-tests the flat engine's steady state.
+func runWalk(data, qs []seq.Sequence, eps float64, rounds int) walkReport {
+	ids := make([]seq.ID, len(data))
+	features := make([]seq.Feature, len(data))
+	for i, s := range data {
+		f, err := seq.ExtractFeature(s)
+		if err != nil {
+			log.Fatalf("benchflat: extracting feature %d: %v", i, err)
+		}
+		ids[i] = seq.ID(i)
+		features[i] = f
+	}
+	qf := make([]seq.Feature, len(qs))
+	for i, q := range qs {
+		f, err := seq.ExtractFeature(q)
+		if err != nil {
+			log.Fatalf("benchflat: extracting query feature %d: %v", i, err)
+		}
+		qf[i] = f
+	}
+
+	guttman, err := core.NewIndex(core.IndexOptions{Engine: core.EngineGuttman})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer guttman.Close()
+	if err := guttman.BulkLoad(ids, features); err != nil {
+		log.Fatal(err)
+	}
+	flat, err := core.NewIndex(core.IndexOptions{Engine: core.EngineFlat})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer flat.Close()
+	if err := flat.BulkLoad(ids, features); err != nil {
+		log.Fatal(err)
+	}
+
+	// Same closed rect, same candidate sets: verify once, then time.
+	totalCands := 0
+	for i, f := range qf {
+		ge, err := guttman.RangeQueryEntries(f, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fe, err := flat.RangeQueryEntries(f, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(ge) != len(fe) {
+			log.Fatalf("benchflat: query %d: guttman walk %d entries, flat %d", i, len(ge), len(fe))
+		}
+		totalCands += len(ge)
+	}
+
+	time1 := func(x core.Index) float64 {
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, f := range qf {
+				if _, err := x.RangeQueryEntries(f, eps); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(rounds*len(qf))
+	}
+	w := walkReport{
+		Procs:           1, // the timing loop is single-goroutine by construction
+		NumCPU:          hostinfo.NumCPU(),
+		CPUModel:        hostinfo.CPUModel(),
+		Walks:           rounds * len(qf),
+		MeanCandidates:  float64(totalCands) / float64(len(qf)),
+		SnapshotEntries: len(data),
+	}
+	w.GuttmanNsPerOp = time1(guttman)
+	w.FlatNsPerOp = time1(flat)
+	if w.FlatNsPerOp > 0 {
+		w.Speedup = w.GuttmanNsPerOp / w.FlatNsPerOp
+	}
+
+	// Steady-state allocation test at the slab layer: with the caller
+	// reusing its buffer, an immutable-snapshot walk must not allocate.
+	entries := make([]flatidx.Entry, len(ids))
+	for i := range ids {
+		entries[i] = flatidx.Entry{ID: ids[i], Point: features[i].Vector()}
+	}
+	fidx := flatidx.New(flatidx.Options{MergeThreshold: -1})
+	defer fidx.Close()
+	if err := fidx.BulkLoad(entries, nil); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]flatidx.Entry, 0, len(entries))
+	w.FlatWalkAllocs = testing.AllocsPerRun(100, func() {
+		for _, f := range qf {
+			v := f.Vector()
+			var lo, hi [4]float64
+			for d := 0; d < 4; d++ {
+				lo[d], hi[d] = v[d]-eps, v[d]+eps
+			}
+			buf = fidx.AppendRange(buf[:0], &lo, &hi)
+		}
+	})
+	return w
+}
+
+func runQPS(engine string, procs int, data, queries [][]float64, eps float64) (qpsRow, [][]twsim.Match, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	db, err := twsim.OpenMem(twsim.Options{IndexEngine: engine})
+	if err != nil {
+		return qpsRow{}, nil, err
+	}
+	defer db.Close()
+	if _, err := db.AddAll(data); err != nil {
+		return qpsRow{}, nil, err
+	}
+
+	// Warm pass fills pools and caches; the timed pass is the steady state.
+	for _, q := range queries {
+		if _, err := db.Search(q, eps); err != nil {
+			return qpsRow{}, nil, err
+		}
+	}
+	results := make([]*twsim.Result, len(queries))
+	start := time.Now()
+	for i, q := range queries {
+		r, err := db.Search(q, eps)
+		if err != nil {
+			return qpsRow{}, nil, err
+		}
+		results[i] = r
+	}
+	wall := time.Since(start)
+
+	row := qpsRow{
+		Engine:   engine,
+		Procs:    procs,
+		NumCPU:   hostinfo.NumCPU(),
+		CPUModel: hostinfo.CPUModel(),
+		QPS:      float64(len(queries)) / wall.Seconds(),
+		WallMS:   float64(wall.Microseconds()) / 1e3,
+	}
+	matches := make([][]twsim.Match, len(results))
+	for i, r := range results {
+		st := r.Stats
+		pruned := st.LBKimPruned + st.LBPAAPruned + st.LBKeoghPruned +
+			st.LBYiPruned + st.LBImprovedPruned + st.CorridorPruned
+		if st.Candidates != pruned+st.DTWCalls {
+			return qpsRow{}, nil, fmt.Errorf("query %d: conservation law broken: candidates=%d pruned=%d dtw=%d",
+				i, st.Candidates, pruned, st.DTWCalls)
+		}
+		row.Candidates += st.Candidates
+		row.DTWCalls += st.DTWCalls
+		row.Matches += len(r.Matches)
+		matches[i] = r.Matches
+	}
+	return row, matches, nil
+}
+
+func compareMatches(want, got [][]twsim.Match) error {
+	for qi := range want {
+		if len(want[qi]) != len(got[qi]) {
+			return fmt.Errorf("query %d: %d matches, want %d", qi, len(got[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			if want[qi][i] != got[qi][i] {
+				return fmt.Errorf("query %d match %d: %+v, want %+v", qi, i, got[qi][i], want[qi][i])
+			}
+		}
+	}
+	return nil
+}

@@ -44,12 +44,15 @@ import (
 	"time"
 
 	twsim "repro"
+	"repro/internal/hostinfo"
 	"repro/internal/synth"
 )
 
 type config struct {
 	Workers      int     `json:"workers"`
 	Procs        int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
+	CPUModel     string  `json:"cpu_model"`
 	QPS          float64 `json:"queries_per_sec"`
 	WallMS       float64 `json:"wall_ms"`
 	P50MS        float64 `json:"p50_ms"`
@@ -211,7 +214,7 @@ func runConfig(workers, procs int, data, queries [][]float64, eps float64, cache
 	after := db.StorageStats()
 
 	lat := make([]time.Duration, len(results))
-	c := config{Workers: workers, Procs: procs}
+	c := config{Workers: workers, Procs: procs, NumCPU: hostinfo.NumCPU(), CPUModel: hostinfo.CPUModel()}
 	for i, r := range results {
 		lat[i] = r.Stats.Wall
 		c.DTWCalls += r.Stats.DTWCalls

@@ -32,12 +32,15 @@ import (
 	"time"
 
 	twsim "repro"
+	"repro/internal/hostinfo"
 	"repro/internal/synth"
 )
 
 type config struct {
 	Shards      int     `json:"shards"`
 	Procs       int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	CPUModel    string  `json:"cpu_model"`
 	QPS         float64 `json:"queries_per_sec"`
 	WallMS      float64 `json:"wall_ms"`
 	P50MS       float64 `json:"p50_ms"`
@@ -178,7 +181,7 @@ func runConfig(shards, procs int, data, queries [][]float64, eps float64) (confi
 	}
 
 	lat := make([]time.Duration, len(results))
-	c := config{Shards: shards, Procs: procs}
+	c := config{Shards: shards, Procs: procs, NumCPU: hostinfo.NumCPU(), CPUModel: hostinfo.CPUModel()}
 	for i, r := range results {
 		lat[i] = r.Stats.Wall
 		c.DTWCalls += r.Stats.DTWCalls

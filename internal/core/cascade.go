@@ -39,20 +39,43 @@ import (
 // A cascade holds a pooled dtw.Refiner; build one per query with newCascade
 // and close it when the query completes. Not safe for concurrent use.
 type cascade struct {
-	q    seq.Sequence
-	base seq.Base
-	// band is the Sakoe–Chiba half-width the query searches under: 0 means
-	// the paper's unconstrained distance, ≥ 1 answers dtw.BandDistance.
-	band     int
+	// paaPruner carries q, base, band, and the cached query-side PAA
+	// reductions; embedding it gives the cascade Tier 0.5 and lets the
+	// flat engine's envelope-tight walk share the identical bound (see
+	// newPAAPruner).
+	paaPruner
 	fq       [4]float64
 	fqOK     bool
 	env      dtw.Envelope // global envelope: sound for every query
 	bandEnv  dtw.Envelope // banded envelope of q; built only when band ≥ 1
 	envs     *EnvStore
-	paa      paaQuery
 	impr     dtw.ImprovedScratch
 	refiner  *dtw.Refiner
 	disabled bool
+}
+
+// paaPruner is the query-side state of the LB_PAA bound, shared between the
+// cascade's Tier 0.5 and the flat engine's envelope-tight index walk. The
+// two call sites evaluating the same pruner on the same envelope compute
+// bit-identical bounds, which is what keeps the engines' query results (and
+// the conservation law) independent of where the pruning happens. Not safe
+// for concurrent use (the cached reductions fill lazily).
+type paaPruner struct {
+	q    seq.Sequence
+	base seq.Base
+	// band is the Sakoe–Chiba half-width the query searches under: 0 means
+	// the paper's unconstrained distance, ≥ 1 answers dtw.BandDistance.
+	band int
+	paa  paaQuery
+}
+
+// newPAAPruner builds a standalone pruner for the index walk — the cheap
+// subset of newCascade (no envelopes, no refiner pool round-trip).
+func newPAAPruner(q seq.Sequence, base seq.Base, band int) *paaPruner {
+	if band < 0 {
+		band = 0
+	}
+	return &paaPruner{q: q, base: base, band: band}
 }
 
 // paaQuery caches the query-side reductions LB_PAA needs: the global range
@@ -77,7 +100,7 @@ func newCascade(q seq.Sequence, base seq.Base, band int, envs *EnvStore, disable
 	if band < 0 {
 		band = 0 // public layers validate; never let a bad band weaken a bound
 	}
-	c := &cascade{q: q, base: base, band: band, envs: envs, disabled: disabled}
+	c := &cascade{paaPruner: paaPruner{q: q, base: base, band: band}, envs: envs, disabled: disabled}
 	if disabled {
 		return c
 	}
@@ -161,7 +184,7 @@ func (c *cascade) admitEnvelope(id seq.ID, cutoff float64, stats *QueryStats) bo
 	if !ok {
 		return true
 	}
-	if c.lbPAA(pe) > cutoff {
+	if c.lbPAA(&pe) > cutoff {
 		stats.LBPAAPruned++
 		return false
 	}
@@ -181,7 +204,7 @@ func (c *cascade) admitEnvelope(id seq.ID, cutoff float64, stats *QueryStats) bo
 // element is matched at least once); L∞ takes the max over non-empty
 // segments. Either way LB_PAA ≤ LB_Keogh of the corresponding envelope, so
 // the tier ordering is monotone.
-func (c *cascade) lbPAA(pe seq.PAAEnvelope) float64 {
+func (c *paaPruner) lbPAA(pe *seq.PAAEnvelope) float64 {
 	banded := c.band >= 1 && pe.Len == len(c.q)
 	if banded {
 		c.ensureSegWindows()
@@ -216,14 +239,14 @@ func (c *cascade) lbPAA(pe seq.PAAEnvelope) float64 {
 	return acc
 }
 
-func (c *cascade) paaWindow(banded bool, k int) (float64, float64) {
+func (c *paaPruner) paaWindow(banded bool, k int) (float64, float64) {
 	if banded {
 		return c.paa.segMin[k], c.paa.segMax[k]
 	}
 	return c.paa.qMin, c.paa.qMax
 }
 
-func (c *cascade) ensureGlobalRange() {
+func (c *paaPruner) ensureGlobalRange() {
 	if c.paa.globalReady {
 		return
 	}
@@ -231,7 +254,7 @@ func (c *cascade) ensureGlobalRange() {
 	c.paa.globalReady = true
 }
 
-func (c *cascade) ensureSegWindows() {
+func (c *paaPruner) ensureSegWindows() {
 	if c.paa.segReady {
 		return
 	}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/pagefile"
+	"repro/internal/seq"
+)
+
+// Index is the feature-index seam the search and storage layers program
+// against. Two engines implement it: FeatureIndex (paged Guttman R-tree)
+// and FlatIndex (immutable packed snapshot + mutable delta, internal/flatidx).
+// Both index the paper's 4-d feature vectors under the Dtw-lb (L∞) metric
+// and are required to produce bit-identical query results.
+type Index interface {
+	Insert(id seq.ID, s seq.Sequence) error
+	InsertFeature(id seq.ID, f seq.Feature) error
+	Delete(id seq.ID, s seq.Sequence) (bool, error)
+	DeleteEntry(id seq.ID, point [4]float64) (bool, error)
+	Entries() ([]IndexEntry, error)
+	BulkLoad(ids []seq.ID, features []seq.Feature) error
+	RangeQuery(fq seq.Feature, epsilon float64) ([]seq.ID, error)
+	RangeQueryEntries(fq seq.Feature, epsilon float64) ([]IndexEntry, error)
+	NearestWalk(fq seq.Feature, fn func(id seq.ID, lowerBound float64) bool) error
+	Len() int
+	Pages() int
+	Stats() pagefile.Stats
+	ResetStats()
+	EngineStats() IndexEngineStats
+	CheckInvariants() error
+	Flush() error
+	Close() error
+}
+
+// EnvBulkLoader is implemented by engines that can store per-sequence PAA
+// envelopes inside the index itself (the flat engine packs them next to
+// the leaf entries so the range walk is envelope-tight). Load paths probe
+// for it and fall back to plain BulkLoad.
+type EnvBulkLoader interface {
+	BulkLoadEnv(ids []seq.ID, features []seq.Feature, envs []seq.PAAEnvelope) error
+}
+
+// envInserter is implemented by engines that accept a PAA envelope
+// alongside a feature insert.
+type envInserter interface {
+	InsertFeatureEnv(id seq.ID, f seq.Feature, env *seq.PAAEnvelope) error
+}
+
+// envTightIndex is implemented by engines whose range walk can apply an
+// envelope admission test in the tree itself; the search layer probes for
+// it to move LB_PAA pruning from the refine cascade into the walk.
+type envTightIndex interface {
+	RangeQueryEntriesEnv(fq seq.Feature, epsilon float64, admit func(id seq.ID, pe *seq.PAAEnvelope) bool) ([]IndexEntry, int, error)
+}
+
+// IndexEngineStats describes an index engine instance for /stats and
+// /metrics. The snapshot/delta fields are zero for the guttman engine.
+type IndexEngineStats struct {
+	// Engine is the engine name; "mixed" after aggregating across shards
+	// running different engines.
+	Engine string `json:"engine"`
+	// Generation is the current snapshot generation (flat engine; summed
+	// across shards).
+	Generation uint64 `json:"generation"`
+	// DeltaEntries is the current delta size: adds + tombstones awaiting a
+	// merge (flat engine).
+	DeltaEntries int `json:"delta_entries"`
+	// Merges is the number of delta merges performed.
+	Merges int64 `json:"merges"`
+	// SlabBytes is the packed snapshot size in bytes (flat engine).
+	SlabBytes int64 `json:"slab_bytes"`
+	// MergeHist is the merge-duration histogram (flat engine); it feeds the
+	// twsim_index_merge_seconds series.
+	MergeHist obs.HistogramData `json:"-"`
+}
+
+// Add accumulates other into s (shard aggregation).
+func (s *IndexEngineStats) Add(other IndexEngineStats) {
+	if s.Engine == "" {
+		s.Engine = other.Engine
+	} else if other.Engine != "" && other.Engine != s.Engine {
+		s.Engine = "mixed"
+	}
+	s.Generation += other.Generation
+	s.DeltaEntries += other.DeltaEntries
+	s.Merges += other.Merges
+	s.SlabBytes += other.SlabBytes
+	s.MergeHist.Add(other.MergeHist)
+}
+
+// EngineStats identifies the guttman engine (no snapshot/delta machinery).
+func (fi *FeatureIndex) EngineStats() IndexEngineStats {
+	return IndexEngineStats{Engine: EngineGuttman}
+}
+
+// NewIndex creates an empty feature index with the engine selected by
+// opts.Engine.
+func NewIndex(opts IndexOptions) (Index, error) {
+	switch opts.Engine {
+	case "", EngineGuttman:
+		return NewFeatureIndex(opts)
+	case EngineFlat:
+		return NewFlatIndex(opts)
+	default:
+		return nil, fmt.Errorf("core: unknown index engine %q", opts.Engine)
+	}
+}
+
+// OpenIndex opens a previously created on-disk feature index with the
+// engine selected by opts.Engine.
+func OpenIndex(path string, opts IndexOptions) (Index, error) {
+	switch opts.Engine {
+	case "", EngineGuttman:
+		return OpenFeatureIndex(path, opts)
+	case EngineFlat:
+		return OpenFlatIndex(path, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown index engine %q", opts.Engine)
+	}
+}
+
+var (
+	_ Index = (*FeatureIndex)(nil)
+	_ Index = (*FlatIndex)(nil)
+)

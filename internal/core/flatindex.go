@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flatidx"
+	"repro/internal/pagefile"
+	"repro/internal/seq"
+)
+
+// FlatIndex adapts the flat snapshot + delta engine (internal/flatidx) to
+// the Index seam. Where the Guttman engine pays a page-pool round-trip and
+// pointer chase per node, the flat engine walks one contiguous slab with
+// implicit child offsets: reads are lock-free and allocation-free, writes
+// land in a small delta, and a background merge repacks the slab and swaps
+// it in atomically.
+//
+// The flat engine also stores each sequence's 16-segment PAA envelope next
+// to its leaf entry (when provided), so range filtering is envelope-tight
+// in the walk itself — the Keogh "exact indexing" move, one layer below
+// the refine cascade.
+type FlatIndex struct {
+	idx      *flatidx.Index
+	path     string // snapshot file; "" for memory-only
+	pageSize int    // page-equivalent unit for Pages()
+}
+
+// NewFlatIndex creates an empty flat index. With OnDiskPath set, Flush and
+// Close persist the packed snapshot there as a single CRC-checked file.
+func NewFlatIndex(opts IndexOptions) (*FlatIndex, error) {
+	opts = opts.withDefaults()
+	return &FlatIndex{
+		idx:      flatidx.New(flatidx.Options{MergeThreshold: opts.FlatMergeThreshold}),
+		path:     opts.OnDiskPath,
+		pageSize: opts.PageSize,
+	}, nil
+}
+
+// OpenFlatIndex loads a persisted snapshot file. Corruption (bad CRC,
+// structural damage) is an error; callers rebuild from the heap.
+func OpenFlatIndex(path string, opts IndexOptions) (*FlatIndex, error) {
+	opts = opts.withDefaults()
+	idx, err := flatidx.Load(path, flatidx.Options{MergeThreshold: opts.FlatMergeThreshold})
+	if err != nil {
+		return nil, err
+	}
+	return &FlatIndex{idx: idx, path: path, pageSize: opts.PageSize}, nil
+}
+
+// Insert adds the entry <Feature(S), ID(S)>, deriving and storing the PAA
+// envelope alongside it so the entry is envelope-tight after the next
+// merge.
+func (x *FlatIndex) Insert(id seq.ID, s seq.Sequence) error {
+	f, err := seq.ExtractFeature(s)
+	if err != nil {
+		return err
+	}
+	env, err := seq.ExtractPAAEnvelope(s)
+	if err != nil {
+		return err
+	}
+	return x.InsertFeatureEnv(id, f, &env)
+}
+
+// InsertFeature adds <f, id> without an envelope (reconciliation path; the
+// entry simply never walk-prunes).
+func (x *FlatIndex) InsertFeature(id seq.ID, f seq.Feature) error {
+	return x.InsertFeatureEnv(id, f, nil)
+}
+
+// InsertFeatureEnv adds <f, id> with an optional PAA envelope.
+func (x *FlatIndex) InsertFeatureEnv(id seq.ID, f seq.Feature, env *seq.PAAEnvelope) error {
+	x.idx.Insert(flatidx.Entry{ID: id, Point: f.Vector()}, env)
+	return nil
+}
+
+// Delete removes a sequence's entry, reporting whether it was present.
+func (x *FlatIndex) Delete(id seq.ID, s seq.Sequence) (bool, error) {
+	f, err := seq.ExtractFeature(s)
+	if err != nil {
+		return false, err
+	}
+	return x.DeleteEntry(id, f.Vector())
+}
+
+// DeleteEntry removes the entry keyed at exactly the given point.
+func (x *FlatIndex) DeleteEntry(id seq.ID, point [4]float64) (bool, error) {
+	return x.idx.Delete(flatidx.Entry{ID: id, Point: point}), nil
+}
+
+// Entries returns every live entry (snapshot minus tombstones plus delta).
+func (x *FlatIndex) Entries() ([]IndexEntry, error) {
+	flat := x.idx.Entries(nil)
+	out := make([]IndexEntry, len(flat))
+	for i, e := range flat {
+		out[i] = IndexEntry{ID: e.ID, Point: e.Point}
+	}
+	return out, nil
+}
+
+// BulkLoad packs the index from all (id, feature) pairs at once. The index
+// must be empty.
+func (x *FlatIndex) BulkLoad(ids []seq.ID, features []seq.Feature) error {
+	return x.BulkLoadEnv(ids, features, nil)
+}
+
+// BulkLoadEnv is BulkLoad with per-sequence PAA envelopes packed into the
+// snapshot (envs may be nil, or parallel to ids).
+func (x *FlatIndex) BulkLoadEnv(ids []seq.ID, features []seq.Feature, envs []seq.PAAEnvelope) error {
+	if len(ids) != len(features) {
+		return fmt.Errorf("core: %d ids but %d features", len(ids), len(features))
+	}
+	if envs != nil && len(envs) != len(ids) {
+		return fmt.Errorf("core: %d ids but %d envelopes", len(ids), len(envs))
+	}
+	entries := make([]flatidx.Entry, len(ids))
+	for i := range ids {
+		entries[i] = flatidx.Entry{ID: ids[i], Point: features[i].Vector()}
+	}
+	return x.idx.BulkLoad(entries, envs)
+}
+
+// queryRect mirrors FeatureIndex.RangeQuery's rect construction exactly:
+// center ± ε per dimension, closed bounds.
+func queryRect(fq seq.Feature, epsilon float64) (lo, hi [4]float64) {
+	center := fq.Vector()
+	for i := range center {
+		lo[i] = center[i] - epsilon
+		hi[i] = center[i] + epsilon
+	}
+	return lo, hi
+}
+
+// RangeQuery returns candidate IDs with Dtw-lb(S,Q) ≤ ε.
+func (x *FlatIndex) RangeQuery(fq seq.Feature, epsilon float64) ([]seq.ID, error) {
+	entries, err := x.RangeQueryEntries(fq, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]seq.ID, len(entries))
+	for i, e := range entries {
+		ids[i] = e.ID
+	}
+	return ids, nil
+}
+
+// RangeQueryEntries is RangeQuery returning each candidate's stored point.
+func (x *FlatIndex) RangeQueryEntries(fq seq.Feature, epsilon float64) ([]IndexEntry, error) {
+	lo, hi := queryRect(fq, epsilon)
+	flat := x.idx.AppendRange(nil, &lo, &hi)
+	out := make([]IndexEntry, len(flat))
+	for i, e := range flat {
+		out[i] = IndexEntry{ID: e.ID, Point: e.Point}
+	}
+	return out, nil
+}
+
+// RangeQueryEntriesEnv is RangeQueryEntries with envelope-tight admission:
+// candidates whose packed PAA envelope fails admit are dropped in the walk
+// and counted in pruned instead of returned.
+func (x *FlatIndex) RangeQueryEntriesEnv(fq seq.Feature, epsilon float64, admit func(id seq.ID, pe *seq.PAAEnvelope) bool) ([]IndexEntry, int, error) {
+	lo, hi := queryRect(fq, epsilon)
+	flat, pruned := x.idx.AppendRangeEnv(nil, &lo, &hi, admit)
+	out := make([]IndexEntry, len(flat))
+	for i, e := range flat {
+		out[i] = IndexEntry{ID: e.ID, Point: e.Point}
+	}
+	return out, pruned, nil
+}
+
+// NearestWalk streams IDs in non-decreasing Dtw-lb (L∞) order.
+func (x *FlatIndex) NearestWalk(fq seq.Feature, fn func(id seq.ID, lowerBound float64) bool) error {
+	p := fq.Vector()
+	x.idx.NearestWalk(&p, func(e flatidx.Entry, dist float64) bool {
+		return fn(e.ID, dist)
+	})
+	return nil
+}
+
+// Len returns the number of indexed sequences.
+func (x *FlatIndex) Len() int { return x.idx.Len() }
+
+// Pages reports the snapshot slab size in page-size units, so storage
+// accounting (`IndexPages`) stays comparable across engines.
+func (x *FlatIndex) Pages() int {
+	return int((x.idx.SlabBytes() + int64(x.pageSize) - 1) / int64(x.pageSize))
+}
+
+// Stats returns zeroes: the flat engine has no buffer pool — reads touch
+// the slab directly.
+func (x *FlatIndex) Stats() pagefile.Stats { return pagefile.Stats{} }
+
+// ResetStats is a no-op for the flat engine.
+func (x *FlatIndex) ResetStats() {}
+
+// EngineStats reports snapshot generation, delta size, merge counters and
+// the merge-duration histogram.
+func (x *FlatIndex) EngineStats() IndexEngineStats {
+	return IndexEngineStats{
+		Engine:       EngineFlat,
+		Generation:   x.idx.Generation(),
+		DeltaEntries: x.idx.DeltaEntries(),
+		Merges:       x.idx.Merges(),
+		SlabBytes:    x.idx.SlabBytes(),
+		MergeHist:    x.idx.MergeHist(),
+	}
+}
+
+// CheckInvariants validates the packed snapshot (layout, containment) and
+// the delta invariants, then the stored feature points themselves.
+func (x *FlatIndex) CheckInvariants() error {
+	if err := x.idx.CheckInvariants(); err != nil {
+		return err
+	}
+	entries, err := x.Entries()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		f := seq.Feature{First: e.Point[0], Last: e.Point[1], Greatest: e.Point[2], Smallest: e.Point[3]}
+		if !f.Valid() {
+			return fmt.Errorf("core: index entry for sequence %d has invalid feature %+v (non-finite or inconsistent); the sequence is unreachable through the index", e.ID, f)
+		}
+	}
+	return nil
+}
+
+// Flush merges any pending delta and persists the snapshot (on-disk mode).
+func (x *FlatIndex) Flush() error {
+	if x.path == "" {
+		return nil
+	}
+	return x.idx.Save(x.path)
+}
+
+// Close persists (on-disk mode) and releases the index.
+func (x *FlatIndex) Close() error {
+	err := x.Flush()
+	if cerr := x.idx.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var (
+	_ EnvBulkLoader = (*FlatIndex)(nil)
+	_ envInserter   = (*FlatIndex)(nil)
+	_ envTightIndex = (*FlatIndex)(nil)
+)

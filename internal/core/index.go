@@ -16,8 +16,20 @@ type FeatureIndex struct {
 	tree *rtree.Tree
 }
 
+// Index engine names accepted by IndexOptions.Engine.
+const (
+	// EngineGuttman is the classic paged Guttman R-tree (the default).
+	EngineGuttman = "guttman"
+	// EngineFlat is the flat snapshot + delta engine: an immutable packed
+	// tree with a mutable overlay and atomic snapshot swap (internal/flatidx).
+	EngineFlat = "flat"
+)
+
 // IndexOptions configures feature index construction.
 type IndexOptions struct {
+	// Engine selects the index engine: EngineGuttman (default when empty)
+	// or EngineFlat.
+	Engine string
 	// PageSize is the index page size (0 = pagefile.DefaultPageSize, the
 	// paper's 1 KB).
 	PageSize int
@@ -25,13 +37,18 @@ type IndexOptions struct {
 	PoolPages int
 	// Split selects the R-tree overflow heuristic.
 	Split rtree.SplitStrategy
-	// OnDiskPath, when non-empty, stores the index in a page file at that
-	// path instead of in memory.
+	// OnDiskPath, when non-empty, stores the index in a page file (guttman)
+	// or a CRC-checked snapshot file (flat) at that path instead of in
+	// memory.
 	OnDiskPath string
 	// WrapBackend, when non-nil, wraps the raw page backend before the
 	// buffer pool is built on it. Fault-injection tests use it to fail
-	// index writes at chosen points.
+	// index writes at chosen points. Guttman engine only.
 	WrapBackend func(pagefile.Backend) pagefile.Backend
+	// FlatMergeThreshold is the flat engine's delta size that schedules a
+	// background merge (0 = flatidx.DefaultMergeThreshold, negative
+	// disables automatic merging). Ignored by the guttman engine.
+	FlatMergeThreshold int
 }
 
 func (o IndexOptions) withDefaults() IndexOptions {

@@ -212,7 +212,7 @@ func (l *LBScan) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 // exact DTW refinement. Theorems 1 and 2 guarantee no false dismissal.
 type TWSimSearch struct {
 	DB    *seqdb.DB
-	Index *FeatureIndex
+	Index Index
 	Base  seq.Base
 	// NoCascade disables the tiered refinement cascade, sending every
 	// candidate straight to the exact early-abandoning DP (the pre-cascade
@@ -249,13 +249,31 @@ func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries, err := t.Index.RangeQueryEntries(fq, filterRadius(t.Base, epsilon))
+	var entries []IndexEntry
+	envPruned := 0
+	// Envelope-tight walk: when the engine packs PAA envelopes next to its
+	// leaf entries (the flat engine), the LB_PAA test runs inside the index
+	// walk against the true tolerance ε — a walk-pruned candidate never
+	// reaches the refine loop. The pruner is byte-for-byte the cascade's
+	// Tier 0.5 bound, so results are bit-identical to the other engine and
+	// to the in-cascade placement; the pruned count lands in the same
+	// LBPAAPruned counter to keep the conservation law intact. Delta-overlay
+	// entries pass through unpruned (their envelopes await the next merge)
+	// and get the in-cascade tier instead.
+	if eti, ok := t.Index.(envTightIndex); ok && !t.NoCascade && len(q) > 0 {
+		pruner := newPAAPruner(q, t.Base, t.Band)
+		entries, envPruned, err = eti.RangeQueryEntriesEnv(fq, filterRadius(t.Base, epsilon),
+			func(id seq.ID, pe *seq.PAAEnvelope) bool { return pruner.lbPAA(pe) <= epsilon })
+	} else {
+		entries, err = t.Index.RangeQueryEntries(fq, filterRadius(t.Base, epsilon))
+	}
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
 	res.Stats.FilterWall = time.Since(start)
-	res.Stats.Candidates = len(entries)
+	res.Stats.Candidates = len(entries) + envPruned
+	res.Stats.LBPAAPruned = envPruned
 	refineStart := time.Now()
 	res.Matches, err = refine(t.DB, t.Base, q, epsilon, entries, t.NoCascade, t.Band, t.Envs, t.Workers, &res.Stats)
 	if err != nil {

@@ -1,0 +1,79 @@
+package flatidx
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file format: the slab bytes (already self-describing, see the
+// layout constants in snapshot.go) followed by a little-endian CRC-32
+// (IEEE) of the slab. The CRC catches torn or bit-rotted files before the
+// structural validation in Decode runs; either failure makes Load return
+// an error and the caller rebuilds from the heap.
+
+// Save merges any pending delta and writes the resulting snapshot slab to
+// path via a temp file + rename, so a crash mid-write never corrupts an
+// existing snapshot.
+func (x *Index) Save(path string) error {
+	x.mu.Lock()
+	x.mergeLocked()
+	snap := x.view.Load().snap
+	x.mu.Unlock()
+
+	slab := snap.Bytes()
+	buf := make([]byte, len(slab)+4)
+	copy(buf, slab)
+	crc := crc32.ChecksumIEEE(slab)
+	buf[len(slab)] = byte(crc)
+	buf[len(slab)+1] = byte(crc >> 8)
+	buf[len(slab)+2] = byte(crc >> 16)
+	buf[len(slab)+3] = byte(crc >> 24)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".flatidx-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// Load reads, CRC-checks, and structurally validates a snapshot file and
+// returns an Index seeded with it. Any corruption — truncation, checksum
+// mismatch, layout or containment violations — is an error; the caller is
+// expected to rebuild from the primary data instead.
+func Load(path string, opts Options) (*Index, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("flatidx: snapshot file %s too short (%d bytes)", path, len(buf))
+	}
+	slab, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if got := crc32.ChecksumIEEE(slab); got != want {
+		return nil, fmt.Errorf("flatidx: snapshot file %s checksum mismatch (got %08x want %08x)", path, got, want)
+	}
+	snap, err := Decode(slab)
+	if err != nil {
+		return nil, fmt.Errorf("flatidx: snapshot file %s: %w", path, err)
+	}
+	return NewFromSnapshot(snap, opts), nil
+}

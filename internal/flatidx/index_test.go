@@ -1,0 +1,323 @@
+package flatidx
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// model is a map-backed reference the index is checked against.
+type model map[Entry]struct{}
+
+func checkAgainstModel(t *testing.T, x *Index, m model) {
+	t.Helper()
+	if x.Len() != len(m) {
+		t.Fatalf("Len=%d, model has %d", x.Len(), len(m))
+	}
+	got := x.Entries(nil)
+	if len(got) != len(m) {
+		t.Fatalf("Entries returned %d, model has %d", len(got), len(m))
+	}
+	for _, e := range got {
+		if _, ok := m[e]; !ok {
+			t.Fatalf("index holds %+v, model does not", e)
+		}
+	}
+	if err := x.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteMergeAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	x := New(Options{MergeThreshold: -1}) // merge only when the test says so
+	m := model{}
+	pool := randEntries(rng, 400)
+	for step := 0; step < 4000; step++ {
+		e := pool[rng.Intn(len(pool))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			x.Insert(e, nil)
+			m[e] = struct{}{}
+		case 6, 7, 8:
+			_, want := m[e]
+			if got := x.Delete(e); got != want {
+				t.Fatalf("step %d: Delete(%d)=%v, model says %v", step, e.ID, got, want)
+			}
+			delete(m, e)
+		case 9:
+			x.Merge()
+			if x.DeltaEntries() != 0 {
+				t.Fatalf("step %d: delta non-empty after Merge", step)
+			}
+		}
+		if step%500 == 0 {
+			checkAgainstModel(t, x, m)
+		}
+	}
+	checkAgainstModel(t, x, m)
+
+	// Range queries agree with the model regardless of merge state.
+	var lo, hi [4]float64
+	for d := 0; d < 4; d++ {
+		lo[d], hi[d] = -5, 5
+	}
+	got := x.AppendRange(nil, &lo, &hi)
+	var want []Entry
+	for e := range m {
+		want = append(want, e)
+	}
+	want = bruteRange(want, lo, hi)
+	sortEntries(got)
+	sortEntries(want)
+	if len(got) != len(want) {
+		t.Fatalf("range got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInsertSetSemantics(t *testing.T) {
+	x := New(Options{MergeThreshold: -1})
+	e := Entry{ID: 1, Point: [4]float64{1, 2, 3, 4}}
+	x.Insert(e, nil)
+	x.Insert(e, nil) // duplicate add is a no-op
+	if x.Len() != 1 {
+		t.Fatalf("Len=%d after duplicate insert", x.Len())
+	}
+	x.Merge()
+	x.Insert(e, nil) // already in snapshot: no-op
+	if x.Len() != 1 || x.DeltaEntries() != 0 {
+		t.Fatalf("Len=%d delta=%d after insert of snapshot entry", x.Len(), x.DeltaEntries())
+	}
+	if !x.Delete(e) {
+		t.Fatal("Delete of snapshot entry returned false")
+	}
+	if x.Len() != 0 || x.DeltaEntries() != 1 {
+		t.Fatalf("Len=%d delta=%d after tombstone", x.Len(), x.DeltaEntries())
+	}
+	x.Insert(e, nil) // resurrect: clears the tombstone, no delta add
+	if x.Len() != 1 || x.DeltaEntries() != 0 {
+		t.Fatalf("Len=%d delta=%d after resurrect", x.Len(), x.DeltaEntries())
+	}
+	if !x.Contains(e) {
+		t.Fatal("resurrected entry not found")
+	}
+}
+
+func TestBackgroundMergeTriggers(t *testing.T) {
+	x := New(Options{MergeThreshold: 8})
+	rng := rand.New(rand.NewSource(59))
+	for _, e := range randEntries(rng, 64) {
+		x.Insert(e, nil)
+	}
+	if err := x.Close(); err != nil { // waits for in-flight merges
+		t.Fatal(err)
+	}
+	if x.Merges() == 0 {
+		t.Fatal("no background merge ran despite threshold 8 and 64 inserts")
+	}
+	if x.Len() != 64 {
+		t.Fatalf("Len=%d after merges, want 64", x.Len())
+	}
+	if gen := x.Generation(); gen == 0 {
+		t.Fatal("generation never advanced")
+	}
+	if x.MergeHist().Count() != x.Merges() {
+		t.Fatalf("merge histogram count %d != merges %d", x.MergeHist().Count(), x.Merges())
+	}
+}
+
+func TestNearestWalkAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	x := New(Options{MergeThreshold: -1})
+	entries := randEntries(rng, 500)
+	// Half via bulk snapshot, a quarter live in the delta, a quarter deleted.
+	if err := x.BulkLoad(entries[:250], nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries[250:375] {
+		x.Insert(e, nil)
+	}
+	live := append([]Entry(nil), entries[:125]...)
+	live = append(live, entries[250:375]...)
+	for _, e := range entries[125:250] {
+		if !x.Delete(e) {
+			t.Fatalf("Delete(%d) failed", e.ID)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		var p [4]float64
+		for d := 0; d < 4; d++ {
+			p[d] = rng.NormFloat64() * 10
+		}
+		var got []float64
+		x.NearestWalk(&p, func(e Entry, dist float64) bool {
+			want := 0.0
+			for d := 0; d < 4; d++ {
+				g := e.Point[d] - p[d]
+				if g < 0 {
+					g = -g
+				}
+				if g > want {
+					want = g
+				}
+			}
+			if dist != want {
+				t.Fatalf("walk dist %g for entry %d, exact L∞ is %g", dist, e.ID, want)
+			}
+			got = append(got, dist)
+			return len(got) < 40
+		})
+		if len(got) != 40 {
+			t.Fatalf("walk yielded %d entries", len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("walk order violated at %d: %g < %g", i, got[i], got[i-1])
+			}
+		}
+		// The walk's prefix must be the true k smallest distances.
+		dists := make([]float64, len(live))
+		for i, e := range live {
+			max := 0.0
+			for d := 0; d < 4; d++ {
+				g := e.Point[d] - p[d]
+				if g < 0 {
+					g = -g
+				}
+				if g > max {
+					max = g
+				}
+			}
+			dists[i] = max
+		}
+		for i := 0; i < len(dists); i++ {
+			for j := i + 1; j < len(dists); j++ {
+				if dists[j] < dists[i] {
+					dists[i], dists[j] = dists[j], dists[i]
+				}
+			}
+		}
+		for i := range got {
+			if got[i] != dists[i] {
+				t.Fatalf("trial %d: walk dist[%d]=%g, brute force says %g", trial, i, got[i], dists[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundtripAndCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "feature.flat")
+	x := New(Options{MergeThreshold: -1})
+	entries := randEntries(rng, 300)
+	envs := randEnvs(rng, 300)
+	if err := x.BulkLoad(entries[:200], envs[:200]); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries[200:] {
+		x.Insert(e, &envs[200+i])
+	}
+	if err := x.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if x.DeltaEntries() != 0 {
+		t.Fatal("Save did not merge the delta")
+	}
+
+	y, err := Load(path, Options{MergeThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Len() != 300 || y.Generation() != x.Generation() {
+		t.Fatalf("loaded Len=%d gen=%d, want 300/%d", y.Len(), y.Generation(), x.Generation())
+	}
+	got := y.Entries(nil)
+	want := x.Entries(nil)
+	sortEntries(got)
+	sortEntries(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("loaded entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Envelopes survive persistence.
+	vy := y.view.Load()
+	if !vy.snap.HasEnvelopes() {
+		t.Fatal("loaded snapshot lost its envelopes")
+	}
+
+	// A flipped byte must fail the CRC.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, Options{}); err == nil {
+		t.Fatal("corrupt snapshot file loaded without error")
+	}
+	// Truncation too.
+	if err := os.WriteFile(path, buf[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, Options{}); err == nil {
+		t.Fatal("truncated snapshot file loaded without error")
+	}
+}
+
+func TestBulkLoadRequiresEmpty(t *testing.T) {
+	x := New(Options{MergeThreshold: -1})
+	x.Insert(Entry{ID: 1}, nil)
+	if err := x.BulkLoad([]Entry{{ID: 2}}, nil); err == nil {
+		t.Fatal("BulkLoad into non-empty index succeeded")
+	}
+}
+
+func TestEnvelopesFlowThroughMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	x := New(Options{MergeThreshold: -1})
+	entries := randEntries(rng, 50)
+	envs := randEnvs(rng, 50)
+	for i := range entries {
+		x.Insert(entries[i], &envs[i])
+	}
+	x.Merge()
+	v := x.view.Load()
+	if !v.snap.HasEnvelopes() {
+		t.Fatal("merged snapshot has no envelope region")
+	}
+	var pe seq.PAAEnvelope
+	for j := 0; j < v.snap.Len(); j++ {
+		id := v.snap.item(j).ID
+		if !v.snap.env(j, &pe) {
+			t.Fatalf("item %d lost its envelope in merge", id)
+		}
+		if pe != envs[id-1] {
+			t.Fatalf("item %d envelope corrupted in merge", id)
+		}
+	}
+	// A second merge (after more churn) must carry envelopes forward from
+	// the slab, not lose them.
+	x.Delete(entries[0])
+	x.Insert(entries[0], nil) // resurrect drops nothing: env still in slab? (deleted+resurrected keeps slab copy)
+	x.Delete(entries[1])
+	x.Merge()
+	v = x.view.Load()
+	for j := 0; j < v.snap.Len(); j++ {
+		id := v.snap.item(j).ID
+		if !v.snap.env(j, &pe) || pe != envs[id-1] {
+			t.Fatalf("item %d envelope lost across second merge", id)
+		}
+	}
+}

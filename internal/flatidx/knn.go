@@ -1,0 +1,117 @@
+package flatidx
+
+// Best-first (Hjaltason–Samet) nearest-neighbor walk over snapshot ∪ delta
+// under the L∞ norm — the flat counterpart of rtree.NearestWalk with
+// NormLInf. The priority queue is a hand-rolled binary heap of plain
+// structs (no container/heap interface boxing), so a walk's only
+// allocations are the heap array itself.
+
+// heapItem is one frontier element: a packed node (node >= 0), a snapshot
+// item (node == snapItem), or a delta add (node == deltaItem, item indexes
+// the view's adds array).
+type heapItem struct {
+	dist float64
+	node int32
+	item int32
+}
+
+const (
+	snapItem  = -1
+	deltaItem = -2
+)
+
+type knnHeap []heapItem
+
+func (h *knnHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *knnHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l].dist < old[small].dist {
+			small = l
+		}
+		if r < n && old[r].dist < old[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// NearestWalk streams live entries in non-decreasing L∞ distance from p,
+// calling fn with each entry and its distance; fn returning false stops
+// the walk. Distances are exactly the rtree MinDist values (axis-gap
+// maximum for rects, coordinate-difference maximum for points), so the
+// search layer's stop condition fires at the identical entry on both
+// engines.
+func (x *Index) NearestWalk(p *[4]float64, fn func(e Entry, dist float64) bool) {
+	v := x.view.Load()
+	h := make(knnHeap, 0, 64)
+	if v.snap.Len() > 0 {
+		h.push(heapItem{dist: v.snap.nodeDistLInf(0, p), node: 0})
+	}
+	for i := range v.adds {
+		e := &v.adds[i]
+		max := 0.0
+		for d := 0; d < 4; d++ {
+			g := e.Point[d] - p[d]
+			if g < 0 {
+				g = -g
+			}
+			if g > max {
+				max = g
+			}
+		}
+		h.push(heapItem{dist: max, node: deltaItem, item: int32(i)})
+	}
+	for len(h) > 0 {
+		top := h.pop()
+		switch top.node {
+		case snapItem:
+			e := v.snap.item(int(top.item))
+			if _, dead := v.dels[e]; dead {
+				continue
+			}
+			if !fn(e, top.dist) {
+				return
+			}
+		case deltaItem:
+			if !fn(v.adds[top.item], top.dist) {
+				return
+			}
+		default:
+			first, count, leaf := v.snap.nodeFirstCount(int(top.node))
+			if leaf {
+				for j := first; j < first+count; j++ {
+					h.push(heapItem{dist: v.snap.itemDistLInf(j, p), node: snapItem, item: int32(j)})
+				}
+			} else {
+				for c := first; c < first+count; c++ {
+					h.push(heapItem{dist: v.snap.nodeDistLInf(c, p), node: int32(c)})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,674 @@
+// Package flatidx implements the flat read-path feature index: an
+// immutable, bulk-loaded, pointer-free packed R-tree over the paper's 4-d
+// feature vectors, a small mutable delta overlay absorbing inserts and
+// deletes, and a background merge that rebuilds the packed tree off the hot
+// path and atomically swaps snapshots.
+//
+// The packed tree (Snapshot) is one contiguous byte slab: a fixed-size
+// header, a node region (rect + implicit child range per node, root first),
+// an item region (the STR-packed <point, id> leaf entries), and an optional
+// envelope region carrying each item's 16-segment PAA profile so the range
+// walk itself can be envelope-tight. Child offsets are implicit — the node
+// layout is a pure function of the item count — so a snapshot has no
+// pointers to chase, no per-node page round-trips, and a range walk
+// allocates nothing beyond the caller's result buffer. A snapshot is also
+// trivially a file: Save writes the slab plus a CRC, Load verifies and
+// adopts it.
+//
+// Readers never lock: every query loads one *view (snapshot + delta) from
+// an atomic pointer and works against that immutable generation for its
+// whole lifetime (see DESIGN.md §11 for the read-semantics argument).
+// Writers and the merge serialize on one mutex; swapping in a merged
+// snapshot is a single atomic pointer store, so a reader sees either the
+// old generation or the new one, never a torn tree.
+package flatidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Entry is one indexed <feature point, sequence ID> pair — the flat
+// counterpart of core.IndexEntry (field-compatible; the core wrapper
+// converts). Entries are compared by value: the index holds a set of them.
+type Entry struct {
+	ID    seq.ID
+	Point [4]float64
+}
+
+// Slab layout constants. All integers are little-endian; all floats are
+// IEEE-754 bits stored little-endian.
+const (
+	magic      = "TWFS" // time-warping flat snapshot
+	version    = 1
+	headerSize = 32                      // magic(4) version(4) flags(4) nNodes(4) nItems(4) height(4) gen(8)
+	nodeSize   = 72                      // rect lo[4](32) hi[4](32) first(4) count|leafBit(4)
+	itemSize   = 36                      // point[4](32) id(4)
+	envSize    = 4 + 2*seq.PAASegments*8 // len(4) min[16](128) max[16](128)
+
+	// Fanout is the packed tree's node capacity. STR packs every node full
+	// (the last node per level may be short), so with 4000 items the tree is
+	// 250 leaves, 16 internals, one root — three node levels, ~19 KB of
+	// nodes.
+	Fanout = 16
+
+	flagEnvelopes = 1 << 0 // the slab carries the envelope region
+	leafBit       = 1 << 31
+
+	// maxItems bounds the decodable item count: it keeps every offset
+	// computation far from int overflow even on 32-bit ints and rejects
+	// absurd headers before any size arithmetic.
+	maxItems = 1 << 27
+)
+
+// Snapshot is one immutable packed tree. All methods are read-only and safe
+// for unlimited concurrent use; a Snapshot is never modified after Build or
+// Decode returns it.
+type Snapshot struct {
+	slab     []byte
+	nNodes   int
+	nItems   int
+	height   int
+	hasEnv   bool
+	gen      uint64
+	itemsOff int
+	envsOff  int
+}
+
+// levelSizes returns the per-level node counts of the packed tree over n
+// items, root level first — the deterministic layout both Build and Decode
+// agree on. nil for n == 0 (an empty snapshot has no nodes).
+func levelSizes(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	sizes := []int{(n + Fanout - 1) / Fanout}
+	for sizes[0] > 1 {
+		sizes = append([]int{(sizes[0] + Fanout - 1) / Fanout}, sizes...)
+	}
+	return sizes
+}
+
+// Build packs entries into a fresh snapshot using Sort-Tile-Recursive
+// ordering (the same packing discipline the Guttman engine's BulkLoad
+// uses). envs, when non-nil, must be parallel to entries; entries whose
+// envelope has Len == 0 are stored as envelope-less and are never
+// walk-pruned. gen is the snapshot generation recorded in the header.
+func Build(entries []Entry, envs []seq.PAAEnvelope, gen uint64) (*Snapshot, error) {
+	if envs != nil && len(envs) != len(entries) {
+		return nil, fmt.Errorf("flatidx: %d entries but %d envelopes", len(entries), len(envs))
+	}
+	n := len(entries)
+	hasEnv := false
+	for i := range envs {
+		if envs[i].Len > 0 {
+			hasEnv = true
+			break
+		}
+	}
+	sizes := levelSizes(n)
+	nNodes := 0
+	for _, s := range sizes {
+		nNodes += s
+	}
+	total := headerSize + nNodes*nodeSize + n*itemSize
+	if hasEnv {
+		total += n * envSize
+	}
+	s := &Snapshot{
+		slab:     make([]byte, total),
+		nNodes:   nNodes,
+		nItems:   n,
+		height:   len(sizes),
+		hasEnv:   hasEnv,
+		gen:      gen,
+		itemsOff: headerSize + nNodes*nodeSize,
+	}
+	if hasEnv {
+		s.envsOff = s.itemsOff + n*itemSize
+	}
+
+	// Header.
+	copy(s.slab[0:4], magic)
+	putU32 := func(off int, v uint32) { binary.LittleEndian.PutUint32(s.slab[off:], v) }
+	putU32(4, version)
+	flags := uint32(0)
+	if hasEnv {
+		flags = flagEnvelopes
+	}
+	putU32(8, flags)
+	putU32(12, uint32(nNodes))
+	putU32(16, uint32(n))
+	putU32(20, uint32(len(sizes)))
+	binary.LittleEndian.PutUint64(s.slab[24:], gen)
+
+	if n == 0 {
+		return s, nil
+	}
+
+	// Items, in STR order.
+	ord := strOrder(entries)
+	for j, oi := range ord {
+		off := s.itemsOff + j*itemSize
+		for d := 0; d < 4; d++ {
+			binary.LittleEndian.PutUint64(s.slab[off+d*8:], math.Float64bits(entries[oi].Point[d]))
+		}
+		putU32(off+32, uint32(entries[oi].ID))
+		if hasEnv {
+			var pe seq.PAAEnvelope
+			if envs != nil {
+				pe = envs[oi]
+			}
+			s.putEnv(j, &pe)
+		}
+	}
+
+	// Nodes, level by level (root level first in the slab), rects filled
+	// bottom-up. levelStart[ℓ] is the global index of level ℓ's first node.
+	levelStart := make([]int, len(sizes))
+	for ℓ := 1; ℓ < len(sizes); ℓ++ {
+		levelStart[ℓ] = levelStart[ℓ-1] + sizes[ℓ-1]
+	}
+	for ℓ := len(sizes) - 1; ℓ >= 0; ℓ-- {
+		leaf := ℓ == len(sizes)-1
+		childCount := n
+		if !leaf {
+			childCount = sizes[ℓ+1]
+		}
+		for w := 0; w < sizes[ℓ]; w++ {
+			g := levelStart[ℓ] + w
+			first := w * Fanout
+			count := childCount - first
+			if count > Fanout {
+				count = Fanout
+			}
+			var lo, hi [4]float64
+			if leaf {
+				s.itemPoint(first, &lo)
+				hi = lo
+				var p [4]float64
+				for j := first + 1; j < first+count; j++ {
+					s.itemPoint(j, &p)
+					for d := 0; d < 4; d++ {
+						if p[d] < lo[d] {
+							lo[d] = p[d]
+						}
+						if p[d] > hi[d] {
+							hi[d] = p[d]
+						}
+					}
+				}
+			} else {
+				cBase := levelStart[ℓ+1]
+				s.nodeRect(cBase+first, &lo, &hi)
+				var clo, chi [4]float64
+				for c := first + 1; c < first+count; c++ {
+					s.nodeRect(cBase+c, &clo, &chi)
+					for d := 0; d < 4; d++ {
+						if clo[d] < lo[d] {
+							lo[d] = clo[d]
+						}
+						if chi[d] > hi[d] {
+							hi[d] = chi[d]
+						}
+					}
+				}
+				first += cBase // store the global child index
+			}
+			off := headerSize + g*nodeSize
+			for d := 0; d < 4; d++ {
+				binary.LittleEndian.PutUint64(s.slab[off+d*8:], math.Float64bits(lo[d]))
+				binary.LittleEndian.PutUint64(s.slab[off+32+d*8:], math.Float64bits(hi[d]))
+			}
+			putU32(off+64, uint32(first))
+			cf := uint32(count)
+			if leaf {
+				cf |= leafBit
+			}
+			putU32(off+68, cf)
+		}
+	}
+	return s, nil
+}
+
+// strOrder returns the Sort-Tile-Recursive permutation of entries: sort by
+// the first dimension, cut into slabs sized to whole leaves, recurse on the
+// next dimension within each slab. The stable sort makes the packing
+// deterministic for a given input order.
+func strOrder(entries []Entry) []int {
+	ord := make([]int, len(entries))
+	for i := range ord {
+		ord[i] = i
+	}
+	var tile func(idx []int, dims int)
+	tile = func(idx []int, dims int) {
+		if len(idx) <= Fanout {
+			return
+		}
+		dim := 4 - dims
+		sort.SliceStable(idx, func(a, b int) bool {
+			return entries[idx[a]].Point[dim] < entries[idx[b]].Point[dim]
+		})
+		if dims <= 1 {
+			return
+		}
+		pages := (len(idx) + Fanout - 1) / Fanout
+		slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dims))))
+		if slabs < 1 {
+			slabs = 1
+		}
+		per := (len(idx) + slabs - 1) / slabs
+		if rem := per % Fanout; rem != 0 {
+			per += Fanout - rem // slab cuts on whole-leaf boundaries
+		}
+		for off := 0; off < len(idx); off += per {
+			end := off + per
+			if end > len(idx) {
+				end = len(idx)
+			}
+			tile(idx[off:end], dims-1)
+		}
+	}
+	tile(ord, 4)
+	return ord
+}
+
+// Decode adopts a slab produced by Build (or read back from a snapshot
+// file), validating the header, the deterministic node layout, and the
+// geometric invariants (every item inside its leaf rect, every child rect
+// inside its parent's) before returning. It never panics on hostile bytes:
+// anything structurally off — sizes, flags, child ranges, leaf markers,
+// non-finite or non-containing rects — is an error. The slab is retained,
+// not copied; the caller must not modify it afterwards.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("flatidx: slab too short (%d bytes)", len(data))
+	}
+	if string(data[0:4]) != magic {
+		return nil, errors.New("flatidx: bad magic")
+	}
+	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(data[off:]) }
+	if v := u32(4); v != version {
+		return nil, fmt.Errorf("flatidx: unsupported version %d", v)
+	}
+	flags := u32(8)
+	if flags&^uint32(flagEnvelopes) != 0 {
+		return nil, fmt.Errorf("flatidx: unknown flags %#x", flags)
+	}
+	nNodes, nItems, height := int(u32(12)), int(u32(16)), int(u32(20))
+	if nItems < 0 || nItems > maxItems {
+		return nil, fmt.Errorf("flatidx: implausible item count %d", nItems)
+	}
+	sizes := levelSizes(nItems)
+	wantNodes := 0
+	for _, s := range sizes {
+		wantNodes += s
+	}
+	if nNodes != wantNodes || height != len(sizes) {
+		return nil, fmt.Errorf("flatidx: header claims %d nodes height %d, layout for %d items wants %d nodes height %d",
+			nNodes, height, nItems, wantNodes, len(sizes))
+	}
+	hasEnv := flags&flagEnvelopes != 0
+	total := headerSize + nNodes*nodeSize + nItems*itemSize
+	if hasEnv {
+		total += nItems * envSize
+	}
+	if len(data) != total {
+		return nil, fmt.Errorf("flatidx: slab is %d bytes, layout wants %d", len(data), total)
+	}
+	s := &Snapshot{
+		slab:     data,
+		nNodes:   nNodes,
+		nItems:   nItems,
+		height:   height,
+		hasEnv:   hasEnv,
+		gen:      binary.LittleEndian.Uint64(data[24:]),
+		itemsOff: headerSize + nNodes*nodeSize,
+	}
+	if hasEnv {
+		s.envsOff = s.itemsOff + nItems*itemSize
+	}
+	if err := s.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CheckInvariants re-validates the packed structure: the implicit child
+// layout must match the deterministic packing for the item count, leaf
+// markers must sit exactly on the leaf level, every node rect must be
+// finite and ordered, every item must lie inside its leaf's rect, and every
+// child rect inside its parent's. An error means the slab is corrupt (a
+// violated rect invariant would silently false-dismiss queries, which is
+// why this is checked on every Load).
+func (s *Snapshot) CheckInvariants() error {
+	sizes := levelSizes(s.nItems)
+	levelStart := make([]int, len(sizes))
+	for ℓ := 1; ℓ < len(sizes); ℓ++ {
+		levelStart[ℓ] = levelStart[ℓ-1] + sizes[ℓ-1]
+	}
+	var lo, hi, clo, chi, p [4]float64
+	for ℓ, size := range sizes {
+		leaf := ℓ == len(sizes)-1
+		childCount := s.nItems
+		if !leaf {
+			childCount = sizes[ℓ+1]
+		}
+		for w := 0; w < size; w++ {
+			g := levelStart[ℓ] + w
+			first, count, gotLeaf := s.nodeFirstCount(g)
+			wantFirst := w * Fanout
+			wantCount := childCount - wantFirst
+			if wantCount > Fanout {
+				wantCount = Fanout
+			}
+			if !leaf {
+				wantFirst += levelStart[ℓ+1]
+			}
+			if gotLeaf != leaf || first != wantFirst || count != wantCount {
+				return fmt.Errorf("flatidx: node %d has first=%d count=%d leaf=%v, layout wants first=%d count=%d leaf=%v",
+					g, first, count, gotLeaf, wantFirst, wantCount, leaf)
+			}
+			s.nodeRect(g, &lo, &hi)
+			for d := 0; d < 4; d++ {
+				// !(lo <= hi) also rejects NaN bounds.
+				if !(lo[d] <= hi[d]) || math.IsInf(lo[d], 0) || math.IsInf(hi[d], 0) {
+					return fmt.Errorf("flatidx: node %d rect dimension %d is non-finite or inverted", g, d)
+				}
+			}
+			if leaf {
+				for j := first; j < first+count; j++ {
+					s.itemPoint(j, &p)
+					for d := 0; d < 4; d++ {
+						if !(p[d] >= lo[d] && p[d] <= hi[d]) {
+							return fmt.Errorf("flatidx: item %d escapes its leaf rect (node %d, dimension %d)", j, g, d)
+						}
+					}
+				}
+			} else {
+				for c := first; c < first+count; c++ {
+					s.nodeRect(c, &clo, &chi)
+					for d := 0; d < 4; d++ {
+						if !(clo[d] >= lo[d] && chi[d] <= hi[d]) {
+							return fmt.Errorf("flatidx: child %d escapes its parent rect (node %d, dimension %d)", c, g, d)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Bytes returns the snapshot's backing slab. The caller must treat it as
+// read-only; it is the exact byte sequence Save persists.
+func (s *Snapshot) Bytes() []byte { return s.slab }
+
+// Len returns the number of packed items.
+func (s *Snapshot) Len() int { return s.nItems }
+
+// Generation returns the snapshot generation recorded at Build time.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// HasEnvelopes reports whether the slab carries the PAA envelope region.
+func (s *Snapshot) HasEnvelopes() bool { return s.hasEnv }
+
+// ---- slab accessors ----
+
+func (s *Snapshot) f64(off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(s.slab[off:]))
+}
+
+func (s *Snapshot) nodeFirstCount(n int) (first, count int, leaf bool) {
+	off := headerSize + n*nodeSize
+	first = int(binary.LittleEndian.Uint32(s.slab[off+64:]))
+	cf := binary.LittleEndian.Uint32(s.slab[off+68:])
+	return first, int(cf &^ uint32(leafBit)), cf&leafBit != 0
+}
+
+func (s *Snapshot) nodeRect(n int, lo, hi *[4]float64) {
+	off := headerSize + n*nodeSize
+	for d := 0; d < 4; d++ {
+		lo[d] = s.f64(off + d*8)
+		hi[d] = s.f64(off + 32 + d*8)
+	}
+}
+
+func (s *Snapshot) itemPoint(j int, p *[4]float64) {
+	off := s.itemsOff + j*itemSize
+	for d := 0; d < 4; d++ {
+		p[d] = s.f64(off + d*8)
+	}
+}
+
+func (s *Snapshot) itemID(j int) seq.ID {
+	return seq.ID(binary.LittleEndian.Uint32(s.slab[s.itemsOff+j*itemSize+32:]))
+}
+
+func (s *Snapshot) item(j int) Entry {
+	var e Entry
+	s.itemPoint(j, &e.Point)
+	e.ID = s.itemID(j)
+	return e
+}
+
+// env decodes item j's stored PAA envelope into pe, reporting whether one
+// is present (Len > 0).
+func (s *Snapshot) env(j int, pe *seq.PAAEnvelope) bool {
+	if !s.hasEnv {
+		return false
+	}
+	off := s.envsOff + j*envSize
+	pe.Len = int(binary.LittleEndian.Uint32(s.slab[off:]))
+	if pe.Len == 0 {
+		return false
+	}
+	off += 4
+	for k := 0; k < seq.PAASegments; k++ {
+		pe.Min[k] = s.f64(off + k*8)
+		pe.Max[k] = s.f64(off + (seq.PAASegments+k)*8)
+	}
+	return true
+}
+
+func (s *Snapshot) putEnv(j int, pe *seq.PAAEnvelope) {
+	off := s.envsOff + j*envSize
+	binary.LittleEndian.PutUint32(s.slab[off:], uint32(pe.Len))
+	off += 4
+	for k := 0; k < seq.PAASegments; k++ {
+		binary.LittleEndian.PutUint64(s.slab[off+k*8:], math.Float64bits(pe.Min[k]))
+		binary.LittleEndian.PutUint64(s.slab[off+(seq.PAASegments+k)*8:], math.Float64bits(pe.Max[k]))
+	}
+}
+
+// nodeIntersects mirrors rtree.Rect.Intersects on closed rects: false iff
+// the node rect and [lo, hi] are disjoint along some axis.
+func (s *Snapshot) nodeIntersects(n int, lo, hi *[4]float64) bool {
+	off := headerSize + n*nodeSize
+	for d := 0; d < 4; d++ {
+		if lo[d] > s.f64(off+32+d*8) || s.f64(off+d*8) > hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeContainsPoint reports whether p lies inside node n's closed rect.
+func (s *Snapshot) nodeContainsPoint(n int, p *[4]float64) bool {
+	off := headerSize + n*nodeSize
+	for d := 0; d < 4; d++ {
+		if p[d] < s.f64(off+d*8) || p[d] > s.f64(off+32+d*8) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeDistLInf is the L∞ minimum distance from p to node n's rect — the
+// same axis-gap maximum rtree.MinDist computes under NormLInf, so the k-NN
+// walk streams bit-identical lower bounds.
+func (s *Snapshot) nodeDistLInf(n int, p *[4]float64) float64 {
+	off := headerSize + n*nodeSize
+	max := 0.0
+	for d := 0; d < 4; d++ {
+		var g float64
+		if lo := s.f64(off + d*8); p[d] < lo {
+			g = lo - p[d]
+		} else if hi := s.f64(off + 32 + d*8); p[d] > hi {
+			g = p[d] - hi
+		}
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// itemDistLInf is the L∞ distance from p to item j's point.
+func (s *Snapshot) itemDistLInf(j int, p *[4]float64) float64 {
+	off := s.itemsOff + j*itemSize
+	max := 0.0
+	for d := 0; d < 4; d++ {
+		g := s.f64(off+d*8) - p[d]
+		if g < 0 {
+			g = -g
+		}
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// appendRange appends every live item inside the closed rect [lo, hi] to
+// dst, skipping tombstoned entries. Allocation-free beyond dst growth.
+func (s *Snapshot) appendRange(dst []Entry, lo, hi *[4]float64, dels map[Entry]struct{}) []Entry {
+	if s.nItems == 0 {
+		return dst
+	}
+	return s.searchNode(0, dst, lo, hi, dels)
+}
+
+func (s *Snapshot) searchNode(n int, dst []Entry, lo, hi *[4]float64, dels map[Entry]struct{}) []Entry {
+	first, count, leaf := s.nodeFirstCount(n)
+	if leaf {
+		for j := first; j < first+count; j++ {
+			off := s.itemsOff + j*itemSize
+			var e Entry
+			in := true
+			for d := 0; d < 4; d++ {
+				v := s.f64(off + d*8)
+				if v < lo[d] || v > hi[d] {
+					in = false
+					break
+				}
+				e.Point[d] = v
+			}
+			if !in {
+				continue
+			}
+			e.ID = seq.ID(binary.LittleEndian.Uint32(s.slab[off+32:]))
+			if len(dels) != 0 {
+				if _, dead := dels[e]; dead {
+					continue
+				}
+			}
+			dst = append(dst, e)
+		}
+		return dst
+	}
+	for c := first; c < first+count; c++ {
+		if s.nodeIntersects(c, lo, hi) {
+			dst = s.searchNode(c, dst, lo, hi, dels)
+		}
+	}
+	return dst
+}
+
+// searchNodeEnv is appendRange with an envelope admission test: an in-rect
+// item that carries a stored PAA envelope is passed to admit before being
+// appended, and rejected items are counted in pruned instead. Items without
+// a stored envelope are always admitted. pe is caller-owned scratch reused
+// across the walk so the pruning test allocates nothing.
+func (s *Snapshot) searchNodeEnv(n int, dst []Entry, lo, hi *[4]float64, dels map[Entry]struct{},
+	admit func(id seq.ID, pe *seq.PAAEnvelope) bool, pe *seq.PAAEnvelope, pruned int) ([]Entry, int) {
+	first, count, leaf := s.nodeFirstCount(n)
+	if leaf {
+		for j := first; j < first+count; j++ {
+			off := s.itemsOff + j*itemSize
+			var e Entry
+			in := true
+			for d := 0; d < 4; d++ {
+				v := s.f64(off + d*8)
+				if v < lo[d] || v > hi[d] {
+					in = false
+					break
+				}
+				e.Point[d] = v
+			}
+			if !in {
+				continue
+			}
+			e.ID = seq.ID(binary.LittleEndian.Uint32(s.slab[off+32:]))
+			if len(dels) != 0 {
+				if _, dead := dels[e]; dead {
+					continue
+				}
+			}
+			if s.env(j, pe) && !admit(e.ID, pe) {
+				pruned++
+				continue
+			}
+			dst = append(dst, e)
+		}
+		return dst, pruned
+	}
+	for c := first; c < first+count; c++ {
+		if s.nodeIntersects(c, lo, hi) {
+			dst, pruned = s.searchNodeEnv(c, dst, lo, hi, dels, admit, pe, pruned)
+		}
+	}
+	return dst, pruned
+}
+
+// contains reports whether the snapshot holds exactly e (point and ID).
+func (s *Snapshot) contains(e Entry) bool {
+	if s.nItems == 0 {
+		return false
+	}
+	return s.containsNode(0, &e)
+}
+
+func (s *Snapshot) containsNode(n int, e *Entry) bool {
+	first, count, leaf := s.nodeFirstCount(n)
+	if leaf {
+		for j := first; j < first+count; j++ {
+			off := s.itemsOff + j*itemSize
+			if seq.ID(binary.LittleEndian.Uint32(s.slab[off+32:])) != e.ID {
+				continue
+			}
+			match := true
+			for d := 0; d < 4; d++ {
+				if s.f64(off+d*8) != e.Point[d] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return true
+			}
+		}
+		return false
+	}
+	for c := first; c < first+count; c++ {
+		if s.nodeContainsPoint(c, &e.Point) && s.containsNode(c, e) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package hostinfo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNumCPU(t *testing.T) {
+	if NumCPU() < 1 {
+		t.Fatalf("NumCPU() = %d", NumCPU())
+	}
+}
+
+func TestCPUModelNonEmpty(t *testing.T) {
+	if CPUModel() == "" {
+		t.Fatal("CPUModel() returned empty string; want a model or \"unknown\"")
+	}
+}
+
+func TestReadCPUModel(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		content string
+		want    string
+	}{
+		{"processor\t: 0\nmodel name\t: Intel(R) Xeon(R) CPU @ 2.10GHz\nflags\t: fpu\n", "Intel(R) Xeon(R) CPU @ 2.10GHz"},
+		{"Processor\t: ARMv8 Processor rev 1\n", "ARMv8 Processor rev 1"},
+		{"processor: 0\nflags: fpu\n", "unknown"},
+		{"", "unknown"},
+	}
+	for i, c := range cases {
+		if got := readCPUModel(write("cpuinfo", c.content)); got != c.want {
+			t.Errorf("case %d: got %q, want %q", i, got, c.want)
+		}
+	}
+	if got := readCPUModel(filepath.Join(dir, "missing")); got != "unknown" {
+		t.Errorf("missing file: got %q", got)
+	}
+}

@@ -117,6 +117,41 @@ func (h *Histogram) Count() int64 {
 // Sum returns the total observed duration.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
 
+// HistogramData is a plain-value snapshot of a histogram — the mergeable
+// form subsystems hand across package boundaries (e.g. per-shard index
+// merge histograms summed into one exported series).
+type HistogramData struct {
+	Counts [histBuckets]int64
+	SumNs  int64
+}
+
+// Data returns a one-pass snapshot of the histogram.
+func (h *Histogram) Data() HistogramData {
+	var d HistogramData
+	for i := range h.buckets {
+		d.Counts[i] = h.buckets[i].Load()
+	}
+	d.SumNs = h.sumNs.Load()
+	return d
+}
+
+// Add accumulates other into d.
+func (d *HistogramData) Add(other HistogramData) {
+	for i := range d.Counts {
+		d.Counts[i] += other.Counts[i]
+	}
+	d.SumNs += other.SumNs
+}
+
+// Count returns the total number of observations in the snapshot.
+func (d HistogramData) Count() int64 {
+	var total int64
+	for _, c := range d.Counts {
+		total += c
+	}
+	return total
+}
+
 // bucketBound returns the upper bound of bucket i in seconds.
 func bucketBound(i int) float64 { return float64(uint64(1)<<uint(i)) / 1e6 }
 
@@ -157,7 +192,8 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
-	fn     func() float64 // scrape-time collector (counter or gauge family)
+	fn     func() float64       // scrape-time collector (counter or gauge family)
+	hfn    func() HistogramData // scrape-time collector (histogram family)
 }
 
 // family groups the series sharing one metric name.
@@ -240,6 +276,14 @@ func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
 	s.fn = fn
 }
 
+// HistogramFunc registers a histogram whose buckets are collected at scrape
+// time — the export hook for subsystems that keep their own obs.Histogram
+// (or an aggregate of several) without registering it directly.
+func (r *Registry) HistogramFunc(name, labels, help string, fn func() HistogramData) {
+	s := r.register(name, labels, help, kindHistogram)
+	s.hfn = fn
+}
+
 // WriteText renders every registered metric in the Prometheus text
 // exposition format, families in registration order.
 func (r *Registry) WriteText(w io.Writer) error {
@@ -268,14 +312,10 @@ func renderSeries(b *strings.Builder, f *family, s *series) {
 	switch {
 	case s.h != nil:
 		counts, total := s.h.snapshot()
-		var cum int64
-		for i := 0; i < histBuckets-1; i++ {
-			cum += counts[i]
-			writeSample(b, f.name+"_bucket", joinLabels(s.labels, `le="`+formatFloat(bucketBound(i))+`"`), float64(cum))
-		}
-		writeSample(b, f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(total))
-		writeSample(b, f.name+"_sum", s.labels, s.h.Sum().Seconds())
-		writeSample(b, f.name+"_count", s.labels, float64(total))
+		renderHistogram(b, f, s, counts, total, s.h.Sum().Seconds())
+	case s.hfn != nil:
+		d := s.hfn()
+		renderHistogram(b, f, s, d.Counts, d.Count(), time.Duration(d.SumNs).Seconds())
 	case s.fn != nil:
 		writeSample(b, f.name, s.labels, s.fn())
 	case s.c != nil:
@@ -283,6 +323,17 @@ func renderSeries(b *strings.Builder, f *family, s *series) {
 	case s.g != nil:
 		writeSample(b, f.name, s.labels, s.g.Value())
 	}
+}
+
+func renderHistogram(b *strings.Builder, f *family, s *series, counts [histBuckets]int64, total int64, sumSeconds float64) {
+	var cum int64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += counts[i]
+		writeSample(b, f.name+"_bucket", joinLabels(s.labels, `le="`+formatFloat(bucketBound(i))+`"`), float64(cum))
+	}
+	writeSample(b, f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(total))
+	writeSample(b, f.name+"_sum", s.labels, sumSeconds)
+	writeSample(b, f.name+"_count", s.labels, float64(total))
 }
 
 func joinLabels(a, b string) string {

@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 
 	twsim "repro"
+	"repro/internal/core"
 	"repro/internal/pagefile"
 )
 
@@ -223,6 +224,18 @@ func (l *lockedDB) StorageStats() twsim.StorageStats {
 	return l.db.StorageStats()
 }
 
+func (l *lockedDB) IndexEngineStats() core.IndexEngineStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.IndexEngineStats()
+}
+
+func (l *lockedDB) OpenDiagnostics() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.OpenDiagnostics()
+}
+
 func (l *lockedDB) Verify() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -382,6 +395,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w)
 		return
 	}
+	ies := s.backend.IndexEngineStats()
 	out := map[string]any{
 		"sequences":    s.backend.Len(),
 		"data_bytes":   s.backend.DataBytes(),
@@ -389,6 +403,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"repair":       repairJSON(s.backend.LastRepair()),
 		"query_totals": s.totals.json(),
 		"storage":      storageJSON(s.backend.StorageStats()),
+		"index_engine": map[string]any{
+			"engine":              ies.Engine,
+			"snapshot_generation": ies.Generation,
+			"delta_entries":       ies.DeltaEntries,
+			"merges":              ies.Merges,
+			"slab_bytes":          ies.SlabBytes,
+		},
 	}
 	// Sharded backends additionally report a per-shard breakdown so
 	// operators can spot skew — in storage (sequences, pages) and in query

@@ -49,6 +49,8 @@ type Store interface {
 	SearchBandWorkers(query []float64, epsilon float64, band, workers int) (*core.Result, error)
 	NearestKStatsBandWorkers(query []float64, k, band int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error)
 	StorageStats() core.StorageStats
+	IndexEngineStats() core.IndexEngineStats
+	OpenDiagnostics() []string
 	Len() int
 	DataBytes() int64
 	IndexPages() int
@@ -253,6 +255,33 @@ func (e *Engine) StorageStats() core.StorageStats {
 		e.locks[i].RUnlock()
 	}
 	return total
+}
+
+// IndexEngineStats aggregates the feature-index engine counters across
+// shards (snapshot generations, delta sizes, merge counts for the flat
+// engine).
+func (e *Engine) IndexEngineStats() core.IndexEngineStats {
+	var total core.IndexEngineStats
+	for i := range e.stores {
+		e.locks[i].RLock()
+		total.Add(e.stores[i].IndexEngineStats())
+		e.locks[i].RUnlock()
+	}
+	return total
+}
+
+// OpenDiagnostics concatenates every shard's open-time notes, each prefixed
+// with its shard number.
+func (e *Engine) OpenDiagnostics() []string {
+	var notes []string
+	for i := range e.stores {
+		e.locks[i].RLock()
+		for _, n := range e.stores[i].OpenDiagnostics() {
+			notes = append(notes, fmt.Sprintf("shard %d: %s", i, n))
+		}
+		e.locks[i].RUnlock()
+	}
+	return notes
 }
 
 // Verify runs each shard's full integrity check concurrently.

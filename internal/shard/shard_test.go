@@ -78,6 +78,12 @@ func (f *fakeStore) NearestKStatsBandWorkers(query []float64, k, band int, bound
 
 func (f *fakeStore) StorageStats() core.StorageStats { return core.StorageStats{} }
 
+func (f *fakeStore) IndexEngineStats() core.IndexEngineStats {
+	return core.IndexEngineStats{Engine: core.EngineGuttman}
+}
+
+func (f *fakeStore) OpenDiagnostics() []string { return nil }
+
 func (f *fakeStore) Len() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()

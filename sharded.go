@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/seq"
 	"repro/internal/shard"
 )
@@ -214,6 +215,13 @@ func (s *ShardedDB) LastRepair() RepairStats { return s.eng.LastRepair() }
 
 // StorageStats snapshots the storage-layer counters summed over shards.
 func (s *ShardedDB) StorageStats() StorageStats { return s.eng.StorageStats() }
+
+// IndexEngineStats aggregates the per-shard feature-index engine counters.
+func (s *ShardedDB) IndexEngineStats() core.IndexEngineStats { return s.eng.IndexEngineStats() }
+
+// OpenDiagnostics concatenates every shard's open-time notes, prefixed with
+// the shard number.
+func (s *ShardedDB) OpenDiagnostics() []string { return s.eng.OpenDiagnostics() }
 
 // Add stores one sequence, taking only the owning shard's write lock, and
 // returns its global ID. Sequences containing NaN or ±Inf are rejected with

@@ -67,11 +67,35 @@ const (
 	SplitLinear    = rtree.LinearSplit
 )
 
+// Index engine names for Options.IndexEngine.
+const (
+	// EngineGuttman is the classic paged Guttman R-tree (the default).
+	EngineGuttman = core.EngineGuttman
+	// EngineFlat is the flat snapshot + delta engine: an immutable packed
+	// tree walked lock- and allocation-free, a small mutable delta absorbing
+	// writes, and a background merge that atomically swaps snapshots. It
+	// also packs each sequence's PAA envelope next to its leaf entry, making
+	// the index walk itself envelope-tight. Query results are bit-identical
+	// to the guttman engine.
+	EngineFlat = core.EngineFlat
+)
+
 // Options configures a DB.
 type Options struct {
 	// Base is the per-element distance inside DTW. The zero value is
 	// BaseLInf, the paper's model.
 	Base Base
+	// IndexEngine selects the feature-index engine: EngineGuttman or
+	// EngineFlat. Empty means: the engine an existing database was created
+	// with (detected from which index file is present), guttman for new
+	// databases. Results are bit-identical across engines; only the read
+	// path's machinery differs.
+	IndexEngine string
+	// FlatMergeThreshold is the flat engine's delta size (adds + tombstones)
+	// that schedules a background snapshot merge. 0 means the engine
+	// default; negative disables automatic merging (Flush/Close still merge
+	// synchronously). Ignored by the guttman engine.
+	FlatMergeThreshold int
 	// PageSize is the page size of both the data heap file and the index
 	// (0 = 1 KB, the paper's setting).
 	PageSize int
@@ -142,19 +166,77 @@ type RepairStats = core.RepairStats
 // require external serialization.
 type DB struct {
 	store       *seqdb.DB
-	index       *core.FeatureIndex
+	index       core.Index
 	envs        *core.EnvStore
 	base        Base
 	dir         string // empty when in-memory
 	opts        Options
+	engine      string // resolved index engine
 	repair      RepairStats
-	envsRebuilt bool // Open rebuilt the envelope sidecar; Flush persists it
+	envsRebuilt bool     // Open rebuilt the envelope sidecar; Flush persists it
+	openNotes   []string // one line per Open-time repair/rebuild (OpenDiagnostics)
 }
 
 const (
-	indexFileName = "feature.rtree"
-	envsFileName  = "envelopes.paa"
+	indexFileName     = "feature.rtree" // guttman engine page file
+	flatIndexFileName = "feature.flat"  // flat engine snapshot file
+	envsFileName      = "envelopes.paa"
 )
+
+// resolveEngine picks the index engine: the explicit option when set, else
+// the engine an existing on-disk database was created with (detected from
+// which index file is present), else guttman.
+func (o Options) resolveEngine(dir string) string {
+	if o.IndexEngine != "" {
+		return o.IndexEngine
+	}
+	if dir != "" {
+		if _, err := os.Stat(filepath.Join(dir, flatIndexFileName)); err == nil {
+			return core.EngineFlat
+		}
+	}
+	return core.EngineGuttman
+}
+
+// indexFileFor returns the index file name the engine persists to.
+func indexFileFor(engine string) string {
+	if engine == core.EngineFlat {
+		return flatIndexFileName
+	}
+	return indexFileName
+}
+
+// indexOptions assembles the core-level index options for the resolved
+// engine; path is empty for in-memory databases.
+func (o Options) indexOptions(engine, path string) core.IndexOptions {
+	return core.IndexOptions{
+		Engine:             engine,
+		PageSize:           o.PageSize,
+		PoolPages:          o.PoolPages,
+		Split:              o.Split,
+		OnDiskPath:         path,
+		FlatMergeThreshold: o.FlatMergeThreshold,
+	}
+}
+
+// note records one Open-time diagnostic line (see OpenDiagnostics).
+func (db *DB) note(format string, args ...any) {
+	db.openNotes = append(db.openNotes, fmt.Sprintf(format, args...))
+}
+
+// OpenDiagnostics returns one human-readable line per repair or rebuild the
+// most recent Open (or Repair) performed — index rebuilt from the heap,
+// snapshot file rejected by its checksum, envelope sidecar re-derived.
+// Empty when the database opened clean. twsimd logs each line at startup so
+// silent self-healing leaves a trace.
+func (db *DB) OpenDiagnostics() []string {
+	return append([]string(nil), db.openNotes...)
+}
+
+// IndexEngineStats describes the resolved index engine: its name and, for
+// the flat engine, snapshot generation, delta size, merge count, and
+// snapshot slab size.
+func (db *DB) IndexEngineStats() core.IndexEngineStats { return db.index.EngineStats() }
 
 // OpenMem creates an ephemeral in-memory database (page layout and buffer
 // accounting identical to the on-disk form).
@@ -163,16 +245,13 @@ func OpenMem(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	index, err := core.NewFeatureIndex(core.IndexOptions{
-		PageSize:  opts.PageSize,
-		PoolPages: opts.PoolPages,
-		Split:     opts.Split,
-	})
+	engine := opts.resolveEngine("")
+	index, err := core.NewIndex(opts.indexOptions(engine, ""))
 	if err != nil {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, opts: opts}, nil
+	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, opts: opts, engine: engine}, nil
 }
 
 // Create creates a new on-disk database in directory dir.
@@ -181,17 +260,13 @@ func Create(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	index, err := core.NewFeatureIndex(core.IndexOptions{
-		PageSize:   opts.PageSize,
-		PoolPages:  opts.PoolPages,
-		Split:      opts.Split,
-		OnDiskPath: filepath.Join(dir, indexFileName),
-	})
+	engine := opts.resolveEngine("")
+	index, err := core.NewIndex(opts.indexOptions(engine, filepath.Join(dir, indexFileFor(engine))))
 	if err != nil {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, dir: dir, opts: opts}, nil
+	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, dir: dir, opts: opts, engine: engine}, nil
 }
 
 // Open opens an existing on-disk database.
@@ -208,14 +283,13 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("twsim: %s does not contain a database: %w", dir, err)
 	}
-	db := &DB{store: store, base: opts.Base, dir: dir, opts: opts}
-	index, err := core.OpenFeatureIndex(filepath.Join(dir, indexFileName), core.IndexOptions{
-		PoolPages: opts.PoolPages,
-		Split:     opts.Split,
-	})
+	engine := opts.resolveEngine(dir)
+	db := &DB{store: store, base: opts.Base, dir: dir, opts: opts, engine: engine}
+	index, err := core.OpenIndex(filepath.Join(dir, indexFileFor(engine)), opts.indexOptions(engine, ""))
 	if err != nil {
-		// Unopenable (missing, truncated, corrupt, wrong dimension):
+		// Unopenable (missing, truncated, corrupt CRC, wrong dimension):
 		// rebuild it from the heap.
+		db.note("index engine=%s file=%s rebuilt-on-open: %v", engine, indexFileFor(engine), err)
 		if err := db.rebuildIndex(); err != nil {
 			store.Close()
 			return nil, fmt.Errorf("twsim: rebuilding index: %w", err)
@@ -223,6 +297,9 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err := db.loadEnvs(); err != nil {
 			db.Close()
 			return nil, fmt.Errorf("twsim: rebuilding envelope store: %w", err)
+		}
+		if db.envsRebuilt {
+			db.note("envelope-sidecar rebuilt-on-open: entries=%d", db.envs.Len())
 		}
 		if err := db.Flush(); err != nil {
 			db.Close()
@@ -233,6 +310,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.index = index
 	dirty := false
 	if index.Len() != store.Len() {
+		db.note("index engine=%s reconciled-on-open: indexed=%d live=%d", engine, index.Len(), store.Len())
 		if _, err := db.Repair(); err != nil {
 			db.Close()
 			return nil, err
@@ -242,6 +320,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := db.loadEnvs(); err != nil {
 		db.Close()
 		return nil, fmt.Errorf("twsim: rebuilding envelope store: %w", err)
+	}
+	if db.envsRebuilt {
+		db.note("envelope-sidecar rebuilt-on-open: entries=%d", db.envs.Len())
 	}
 	if dirty || db.envsRebuilt {
 		if err := db.Flush(); err != nil {
@@ -278,23 +359,22 @@ func (db *DB) loadEnvs() error {
 }
 
 // rebuildIndex replaces db.index with one bulk-loaded from the live heap
-// records (removing the old on-disk index file first, when there is one),
-// recording the repair in db.repair. The previous index, if any, must
-// already be closed.
+// records, recording the repair in db.repair. Both engines' index files are
+// removed first (when on disk): rebuilding under one engine must not leave
+// the other engine's stale file behind to be auto-detected — and silently
+// resurrected — by a later engine-less Open. The previous index, if any,
+// must already be closed.
 func (db *DB) rebuildIndex() error {
 	path := ""
 	if db.dir != "" {
-		path = filepath.Join(db.dir, indexFileName)
-		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			return err
+		for _, name := range []string{indexFileName, flatIndexFileName} {
+			if err := os.Remove(filepath.Join(db.dir, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
 		}
+		path = filepath.Join(db.dir, indexFileFor(db.engine))
 	}
-	index, rs, err := core.RebuildIndex(db.store, core.IndexOptions{
-		PageSize:   db.opts.PageSize,
-		PoolPages:  db.opts.PoolPages,
-		Split:      db.opts.Split,
-		OnDiskPath: path,
-	})
+	index, rs, err := core.RebuildIndex(db.store, db.opts.indexOptions(db.engine, path))
 	if err != nil {
 		return err
 	}
@@ -446,13 +526,26 @@ func (db *DB) AddAll(values [][]float64) (ID, error) {
 		}
 		return appended[0], nil
 	}
+	loader, wantEnvs := db.index.(core.EnvBulkLoader)
 	features := make([]seq.Feature, 0, len(values))
+	var envelopes []seq.PAAEnvelope
+	if wantEnvs {
+		envelopes = make([]seq.PAAEnvelope, 0, len(values))
+	}
 	for _, v := range values {
 		s := seq.Sequence(v)
 		f, err := seq.ExtractFeature(s)
 		if err != nil {
 			rollback()
 			return seq.InvalidID, err
+		}
+		if wantEnvs {
+			pe, err := seq.ExtractPAAEnvelope(s)
+			if err != nil {
+				rollback()
+				return seq.InvalidID, err
+			}
+			envelopes = append(envelopes, pe)
 		}
 		id, err := db.store.Append(s)
 		if err != nil {
@@ -463,10 +556,18 @@ func (db *DB) AddAll(values [][]float64) (ID, error) {
 		features = append(features, f)
 	}
 	// BulkLoad is internally atomic: on failure the index is still empty
-	// and only the heap appends need undoing.
-	if err := db.index.BulkLoad(appended, features); err != nil {
+	// and only the heap appends need undoing. Engines that pack PAA
+	// envelopes into the index (the flat engine) get them supplied here so
+	// the packed leaves are envelope-tight from the first query.
+	var loadErr error
+	if wantEnvs {
+		loadErr = loader.BulkLoadEnv(appended, features, envelopes)
+	} else {
+		loadErr = db.index.BulkLoad(appended, features)
+	}
+	if loadErr != nil {
 		rollback()
-		return seq.InvalidID, err
+		return seq.InvalidID, loadErr
 	}
 	for i, id := range appended {
 		if pe, err := seq.ExtractPAAEnvelope(seq.Sequence(values[i])); err == nil {
