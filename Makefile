@@ -1,25 +1,37 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke bench-flat bench-flat-smoke
+.PHONY: ci fmt vet build test race test-no-mmap fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke bench-flat bench-flat-smoke bench-knn bench-knn-smoke
 
 # Full gate: formatting, static checks, build, the whole test suite
 # (including the fault-injection recovery tests) under the race detector,
-# a short fuzz pass over the envelope/lower-bound oracles, the
-# observability smoke (boots twsimd, scrapes /metrics, validates the
-# exposition), and short benchmark smokes for the sharded engine, the
-# refine cascade (including the banded leg with its brute-force banded
-# oracle), intra-query parallel refinement, and the flat-vs-Guttman index
-# engine comparison (bit-identity + zero-alloc walk).
-ci: fmt vet build race fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke bench-flat-smoke
+# the flat-engine suite re-run with mmap disabled (the eager-read fallback
+# must behave identically), a short fuzz pass over the envelope/lower-bound
+# oracles and the mmap snapshot reader, the observability smoke (boots
+# twsimd, scrapes /metrics, validates the exposition), and short benchmark
+# smokes for the sharded engine, the refine cascade (including the banded
+# leg with its brute-force banded oracle), intra-query parallel refinement,
+# the flat-vs-Guttman index engine comparison (bit-identity + zero-alloc
+# walk), and the envelope-ordered k-NN harness (ordering on/off
+# bit-identity + conservation law).
+ci: fmt vet build race test-no-mmap fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke bench-flat-smoke bench-knn-smoke
+
+# The flat-engine packages once more with TWSIM_NO_MMAP=1: every snapshot
+# open goes through the eager read-and-checksum fallback instead of the
+# mmap path, so both Load flavors stay green on every CI run.
+test-no-mmap:
+	TWSIM_NO_MMAP=1 $(GO) test ./internal/flatidx ./internal/core .
 
 # Short coverage-guided fuzz passes over the ordering oracles: the deque
-# envelope vs the quadratic reference, and the lower-bound chain
-# LB_Keogh <= LB_Improved <= BandDistance with BandDistance >= Distance.
+# envelope vs the quadratic reference, the lower-bound chain
+# LB_Keogh <= LB_Improved <= BandDistance with BandDistance >= Distance,
+# the flat-slab codec, and the mmap snapshot loader (hostile files must
+# error out or load into an index that walks without faulting).
 # Go permits one fuzz target per -fuzz run, so each gets its own pass.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz='^FuzzEnvelopeDeque$$' -fuzztime=5s ./internal/dtw
 	$(GO) test -run=^$$ -fuzz='^FuzzBandedBoundChain$$' -fuzztime=5s ./internal/dtw
 	$(GO) test -run=^$$ -fuzz='^FuzzSlabRoundtrip$$' -fuzztime=5s ./internal/flatidx
+	$(GO) test -run=^$$ -fuzz='^FuzzMmapLoad$$' -fuzztime=5s ./internal/flatidx
 
 # Boots a real twsimd on an ephemeral port, drives traffic, and verifies
 # GET /metrics is valid Prometheus exposition with the key series present
@@ -88,3 +100,16 @@ bench-flat:
 # verification, relaxes the speedup fence (smoke sizes are noise-bound).
 bench-flat-smoke:
 	$(GO) run ./cmd/benchflat -smoke >/dev/null
+
+# Envelope-ordered k-NN: exact DTW calls, frontier pushes/re-pushes, and
+# qps for k in {1,10,100} x engines {guttman,flat} x bands {0,8}, ordering
+# on vs off, with on/off bit-identity and the conservation law enforced on
+# every row; writes BENCH_knn.json. Full mode fails unless ordering cuts
+# exact DTW calls by >= 30% at k=10 band=8 on both engines.
+bench-knn:
+	$(GO) run ./cmd/benchknn
+
+# Tiny workload, no output file; keeps bit-identity and conservation
+# checks, skips the reduction fence (smoke sizes are noise-bound).
+bench-knn-smoke:
+	$(GO) run ./cmd/benchknn -smoke >/dev/null

@@ -277,7 +277,10 @@ func TestFlatEnginePersistence(t *testing.T) {
 	}
 
 	// Corrupt the snapshot payload; the CRC must catch it and Open must
-	// rebuild from the heap, noting the repair.
+	// rebuild from the heap, noting the repair. The mmap open path defers
+	// body checks past Open (lazy CRC, caught by Verify instead), so pin
+	// this half to the eager fallback reader.
+	t.Setenv("TWSIM_NO_MMAP", "1")
 	snapPath := filepath.Join(flatDir, "feature.flat")
 	raw, err := os.ReadFile(snapPath)
 	if err != nil {

@@ -378,6 +378,93 @@ func (c *cascade) verifyBanded(s seq.Sequence, cutoff float64, stats *QueryStats
 	return c.verifyDP(s, cutoff, stats)
 }
 
+// Tier identifiers for deferred k-NN resolution: a deferred candidate
+// carries the tier that produced its strongest lower bound, so a dismissal
+// at resolve time credits the tier that actually proved it (keeping
+// Candidates = ΣPruned + DTWCalls exact).
+const (
+	tierNone = iota
+	tierKeogh
+	tierYi
+	tierImproved
+	// tierWalkKey marks a defer key inherited from the index walk — the
+	// max of the Tier 0 feature mindist and the Tier 0.5 stored-envelope
+	// LB_PAA. Dismissals credit the Tier 0 counter (the two components are
+	// not separable at resolve time and Tier 0 is the walk's native bound).
+	tierWalkKey
+)
+
+// bound runs Tiers 1a–1c on a fetched candidate without the exact DP. It
+// returns the strongest lower bound computed and the tier that produced
+// it; pruned=true (tier counter incremented) when that bound already
+// exceeds cutoff. When pruned=false no counter moves — the caller defers
+// the candidate and later either dismisses it (creditTier) or resolves it
+// with verifyDP. The tier chain and prune attribution mirror verify /
+// verifyBanded exactly.
+func (c *cascade) bound(s seq.Sequence, cutoff float64, stats *QueryStats) (lb float64, tier int, pruned bool) {
+	if c.disabled || s.Empty() {
+		return 0, tierNone, false
+	}
+	if c.band >= 1 && len(s) == len(c.q) {
+		kB, err := dtw.LBKeoghSafe(s, c.bandEnv, c.base, c.band)
+		if err != nil {
+			kB = 0
+		}
+		if kB > cutoff {
+			stats.LBKeoghPruned++
+			return kB, tierKeogh, true
+		}
+		yi := c.yiComplete(s, kB)
+		if yi > cutoff {
+			stats.LBYiPruned++
+			return yi, tierYi, true
+		}
+		imp := dtw.CombineImproved(kB, dtw.LBImprovedPass2(s, c.q, c.bandEnv, c.base, &c.impr), c.base)
+		if imp > cutoff {
+			stats.LBImprovedPruned++
+			return imp, tierImproved, true
+		}
+		// Both yi and imp are sound, so the max is the sharpest defer key.
+		if yi > imp {
+			return yi, tierYi, false
+		}
+		return imp, tierImproved, false
+	}
+	kS, err := dtw.LBKeoghSafe(s, c.env, c.base, -1)
+	if err != nil {
+		kS = 0
+	}
+	if kS > cutoff {
+		stats.LBKeoghPruned++
+		return kS, tierKeogh, true
+	}
+	yi := c.yiComplete(s, kS)
+	if yi > cutoff {
+		stats.LBYiPruned++
+		return yi, tierYi, true
+	}
+	return yi, tierYi, false
+}
+
+// creditTier attributes a deferred candidate's resolve-time dismissal to
+// the tier whose bound proved it.
+func creditTier(tier int, stats *QueryStats) {
+	switch tier {
+	case tierKeogh:
+		stats.LBKeoghPruned++
+	case tierYi:
+		stats.LBYiPruned++
+	case tierImproved:
+		stats.LBImprovedPruned++
+	case tierWalkKey:
+		stats.LBKimPruned++
+	default:
+		// tierNone bounds are 0 and can never exceed a nonnegative cutoff;
+		// defensive: attribute to the corridor, which verifyDP owns.
+		stats.CorridorPruned++
+	}
+}
+
 // verifyDP runs only Tiers 2–3 (the exact DP). LB-Scan uses this directly:
 // its own LB_Yi filter already ran, so re-running Tier 1 would double-count
 // work without pruning anything new. Unconstrained queries use the fused

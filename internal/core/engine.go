@@ -54,6 +54,40 @@ type envTightIndex interface {
 	RangeQueryEntriesEnv(fq seq.Feature, epsilon float64, admit func(id seq.ID, pe *seq.PAAEnvelope) bool) ([]IndexEntry, int, error)
 }
 
+// KNNWalkStats counts one k-NN walk's frontier work, engine-independent
+// (both engines' walks report the same three counters).
+type KNNWalkStats struct {
+	// Pushes is the total number of frontier pushes (nodes, items, and
+	// envelope re-keys).
+	Pushes int64
+	// Repushes counts items that re-entered the frontier with an
+	// envelope-sharpened priority.
+	Repushes int64
+	// EnvStops is 1 when the walk was stopped on an item whose key had been
+	// raised above its mindist by the envelope bound — the ordering tier
+	// ended the walk earlier than the mindist alone would have.
+	EnvStops int64
+}
+
+// knnEnvWalker is implemented by engines whose k-NN walk reads stored PAA
+// envelopes out of its own leaf storage (the flat engine's slab) to re-key
+// each surfacing candidate. xform is a monotone transform applied to every
+// mindist so the stream is keyed in the caller's comparable space; sharpen
+// (nil = plain mindist ordering) maps a stored envelope to an additional
+// lower bound in that space.
+type knnEnvWalker interface {
+	NearestWalkEnv(fq seq.Feature, xform func(float64) float64,
+		sharpen func(pe *seq.PAAEnvelope) float64, fn func(id seq.ID, key float64) bool) (KNNWalkStats, error)
+}
+
+// knnKeyedWalker is implemented by engines without in-index envelopes whose
+// walk still accepts a per-candidate sharpen callback (the guttman engine;
+// the search layer resolves envelopes from the EnvStore).
+type knnKeyedWalker interface {
+	NearestWalkKeyed(fq seq.Feature, xform func(float64) float64,
+		sharpen func(id seq.ID) float64, fn func(id seq.ID, key float64) bool) (KNNWalkStats, error)
+}
+
 // IndexEngineStats describes an index engine instance for /stats and
 // /metrics. The snapshot/delta fields are zero for the guttman engine.
 type IndexEngineStats struct {
@@ -70,6 +104,9 @@ type IndexEngineStats struct {
 	Merges int64 `json:"merges"`
 	// SlabBytes is the packed snapshot size in bytes (flat engine).
 	SlabBytes int64 `json:"slab_bytes"`
+	// MmapBytes is the size of the snapshot's live file mapping, 0 when the
+	// snapshot is heap-backed (flat engine; summed across shards).
+	MmapBytes int64 `json:"mmap_bytes"`
 	// MergeHist is the merge-duration histogram (flat engine); it feeds the
 	// twsim_index_merge_seconds series.
 	MergeHist obs.HistogramData `json:"-"`
@@ -86,6 +123,7 @@ func (s *IndexEngineStats) Add(other IndexEngineStats) {
 	s.DeltaEntries += other.DeltaEntries
 	s.Merges += other.Merges
 	s.SlabBytes += other.SlabBytes
+	s.MmapBytes += other.MmapBytes
 	s.MergeHist.Add(other.MergeHist)
 }
 
@@ -121,6 +159,7 @@ func OpenIndex(path string, opts IndexOptions) (Index, error) {
 }
 
 var (
-	_ Index = (*FeatureIndex)(nil)
-	_ Index = (*FlatIndex)(nil)
+	_ Index          = (*FeatureIndex)(nil)
+	_ Index          = (*FlatIndex)(nil)
+	_ knnKeyedWalker = (*FeatureIndex)(nil)
 )

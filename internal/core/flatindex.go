@@ -177,6 +177,19 @@ func (x *FlatIndex) NearestWalk(fq seq.Feature, fn func(id seq.ID, lowerBound fl
 	return nil
 }
 
+// NearestWalkEnv streams IDs in non-decreasing key order with the two-level
+// envelope-sharpened frontier: keys are xform(L∞ mindist) raised by
+// sharpen(stored slab envelope) for candidates that carry one. With nil
+// sharpen the stream reduces to the transformed NearestWalk order.
+func (x *FlatIndex) NearestWalkEnv(fq seq.Feature, xform func(float64) float64,
+	sharpen func(pe *seq.PAAEnvelope) float64, fn func(id seq.ID, key float64) bool) (KNNWalkStats, error) {
+	p := fq.Vector()
+	ws := x.idx.NearestWalkEnv(&p, xform, sharpen, func(e flatidx.Entry, key float64) bool {
+		return fn(e.ID, key)
+	})
+	return KNNWalkStats{Pushes: ws.Pushes, Repushes: ws.Repushes, EnvStops: ws.EnvStops}, nil
+}
+
 // Len returns the number of indexed sequences.
 func (x *FlatIndex) Len() int { return x.idx.Len() }
 
@@ -202,6 +215,7 @@ func (x *FlatIndex) EngineStats() IndexEngineStats {
 		DeltaEntries: x.idx.DeltaEntries(),
 		Merges:       x.idx.Merges(),
 		SlabBytes:    x.idx.SlabBytes(),
+		MmapBytes:    x.idx.MmapBytes(),
 		MergeHist:    x.idx.MergeHist(),
 	}
 }
@@ -246,4 +260,5 @@ var (
 	_ EnvBulkLoader = (*FlatIndex)(nil)
 	_ envInserter   = (*FlatIndex)(nil)
 	_ envTightIndex = (*FlatIndex)(nil)
+	_ knnEnvWalker  = (*FlatIndex)(nil)
 )

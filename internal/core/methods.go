@@ -235,6 +235,11 @@ type TWSimSearch struct {
 	// Envs, when set, enables the pre-fetch LB_PAA cascade tier against the
 	// per-record PAA envelopes.
 	Envs *EnvStore
+	// NoEnvOrder disables the k-NN walk's envelope-sharpened frontier
+	// ordering (the two-level re-key by max(mindist, LB_PAA)), keeping the
+	// plain mindist stream. Results are bit-identical either way; the flag
+	// exists for benchmarks and equivalence tests. NoCascade implies it.
+	NoEnvOrder bool
 }
 
 // Name implements Searcher.
@@ -333,6 +338,62 @@ func (t *TWSimSearch) NearestKSharedStats(q seq.Sequence, k int, shared *SharedB
 	return ms, stats, err
 }
 
+// envOrdering reports whether the envelope-tight k-NN tier is active for
+// this query: the walk re-keys candidates by max(mindist, LB_PAA) and the
+// refine loop seeds its cutoff from aligned-path upper bounds. Off when
+// the cascade is off (NoCascade keeps the brute-force baseline honest) or
+// explicitly disabled for A/B verification.
+func (t *TWSimSearch) envOrdering(q seq.Sequence) bool {
+	return !t.NoCascade && !t.NoEnvOrder && len(q) > 0
+}
+
+// knnWalk runs the index walk for one k-NN query: fn receives candidates in
+// non-decreasing key order, where the key is comparableLB(Base, L∞ mindist)
+// raised — when envelope ordering is enabled and the engine supports it —
+// to max(·, LB_PAA(Q, stored envelope)). Both halves of the max lower-bound
+// the candidate's (banded) DTW distance in comparable space, so a stop on
+// `key > cutoff` dismisses only candidates whose exact distance is already
+// above the cutoff (DESIGN.md §12), just earlier than the mindist alone
+// allows. With ordering off (or unsupported) the same keyed walk runs with
+// a nil sharpener, so the stream is the transformed legacy order and the
+// frontier counters stay comparable across modes. The walk's frontier
+// counters land in stats when it finishes.
+func (t *TWSimSearch) knnWalk(q seq.Sequence, fq seq.Feature, stats *QueryStats,
+	fn func(id seq.ID, key float64) bool) error {
+	xform := func(d float64) float64 { return comparableLB(t.Base, d) }
+	useEnv := t.envOrdering(q)
+	if w, ok := t.Index.(knnEnvWalker); ok {
+		var sharpen func(pe *seq.PAAEnvelope) float64
+		if useEnv {
+			pruner := newPAAPruner(q, t.Base, t.Band)
+			sharpen = pruner.lbPAA
+		}
+		ws, err := w.NearestWalkEnv(fq, xform, sharpen, fn)
+		stats.addKNNWalk(ws)
+		return err
+	}
+	if w, ok := t.Index.(knnKeyedWalker); ok {
+		var sharpen func(id seq.ID) float64
+		if useEnv && t.Envs.Len() > 0 {
+			pruner := newPAAPruner(q, t.Base, t.Band)
+			sharpen = func(id seq.ID) float64 {
+				if pe, ok := t.Envs.Get(id); ok {
+					return pruner.lbPAA(&pe)
+				}
+				return 0
+			}
+		}
+		ws, err := w.NearestWalkKeyed(fq, xform, sharpen, fn)
+		stats.addKNNWalk(ws)
+		return err
+	}
+	// Engines without a keyed walk stream raw mindists; apply the transform
+	// here so the stop test is identical.
+	return t.Index.NearestWalk(fq, func(id seq.ID, lb float64) bool {
+		return fn(id, comparableLB(t.Base, lb))
+	})
+}
+
 // nearestKShared is NearestKShared with the per-tier work counters
 // exposed. Once k survivors exist the cutoff is finite and every candidate
 // runs the full cascade against it (and against the cross-shard bound when
@@ -360,20 +421,51 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 	}
 	c := newCascade(q, t.Base, t.Band, t.Envs, t.NoCascade)
 	defer c.close()
+	// Deferred resolution pays only where the Tier 1 bounds are sharp: for
+	// banded queries the banded Keogh/Improved chain tracks the exact DP
+	// closely and the DTW-call floor drops ~35% (BENCH_knn.json). Unbanded
+	// bounds are too loose to dismiss anything the immediate loop would
+	// not, and the loose aligned-path cutoff just makes the corridor
+	// refiner run its pre-passes for nothing — so unbanded queries keep
+	// the immediate-refine loop (the walk sharpening above still applies).
+	var ub *ubTracker
+	var dq deferHeap
+	if t.envOrdering(q) && t.Band >= 1 {
+		ub = newUBTracker(k)
+	}
 	var best []Match // sorted ascending by Dist
-	var walkErr error
-	err = t.Index.NearestWalk(fq, func(id seq.ID, lb float64) bool {
+	cutoffNow := func() float64 {
 		cutoff := math.Inf(1)
 		if len(best) == k {
 			cutoff = best[k-1].Dist
+		}
+		if ub != nil {
+			if u := ub.Kth(); u < cutoff {
+				cutoff = u
+			}
 		}
 		if shared != nil {
 			if g := shared.Load(); g < cutoff {
 				cutoff = g
 			}
 		}
-		if comparableLB(t.Base, lb) > cutoff {
-			return false // every later candidate has Dtw >= comparable lb > cutoff
+		return cutoff
+	}
+	admit := func(id seq.ID, d float64) {
+		best = append(best, Match{ID: id, Dist: d})
+		sortMatches(best)
+		if len(best) > k {
+			best = best[:k]
+		}
+		if shared != nil && len(best) == k {
+			shared.Update(best[k-1].Dist)
+		}
+	}
+	var walkErr error
+	err = t.knnWalk(q, fq, stats, func(id seq.ID, key float64) bool {
+		cutoff := cutoffNow()
+		if key > cutoff {
+			return false // every later candidate has Dtw >= key > cutoff
 		}
 		// Tier 0.5 runs before the fetch; a candidate it dismisses is still
 		// a candidate, so count it here to keep Candidates = ΣPruned +
@@ -392,29 +484,94 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 			return false
 		}
 		stats.Candidates++
-		var d float64
-		if math.IsInf(cutoff, 1) {
-			stats.DTWCalls++
-			d = c.exactDistance(s)
-		} else {
-			var ok bool
-			d, ok = c.verify(s, cutoff, stats)
-			if !ok {
-				return true
+		if ub == nil {
+			// Ordering off (or cascade off): the legacy immediate-refine
+			// loop — full DTW while the cutoff is infinite, the cascade
+			// afterwards.
+			var d float64
+			if math.IsInf(cutoff, 1) {
+				stats.DTWCalls++
+				d = c.exactDistance(s)
+			} else {
+				var ok bool
+				d, ok = c.verify(s, cutoff, stats)
+				if !ok {
+					return true
+				}
+			}
+			admit(id, d)
+			return true
+		}
+		// Envelope-ordered: no exact DP runs during the walk. The
+		// candidate's aligned-path upper bound feeds the k-smallest-UB
+		// tracker, whose Kth() keeps the cutoff finite (and the walk stop
+		// live) without a single DTW call; the cascade's Tier 1 bounds
+		// either dismiss the candidate now or become its defer key, and the
+		// exact DP runs later, in ascending strongest-LB order, against a
+		// near-final cutoff (DESIGN.md §12).
+		if u, ok := c.upperBoundAligned(s); ok {
+			if w := ub.Add(u); w < cutoff {
+				cutoff = w
+				if shared != nil {
+					// Kth() bounds this partition's k-th exact distance,
+					// which bounds the global one — a valid shared update
+					// long before any exact distance exists.
+					shared.Update(w)
+				}
 			}
 		}
-		best = append(best, Match{ID: id, Dist: d})
-		sortMatches(best)
-		if len(best) > k {
-			best = best[:k]
+		lb, tier, pruned := c.bound(s, cutoff, stats)
+		if pruned {
+			return true
 		}
-		if shared != nil && len(best) == k {
-			shared.Update(best[k-1].Dist)
+		// The walk key is itself a lower bound (Tiers 0/0.5) and sometimes
+		// beats the Tier 1 chain; the defer key is the max of everything
+		// known, so resolve-time dismissal loses nothing the walk proved.
+		if key > lb {
+			lb, tier = key, tierWalkKey
+		}
+		dq.push(deferred{id: id, s: s, lb: lb, tier: tier})
+		// A deferred candidate whose bound is ≤ the current walk key is the
+		// global minimum remaining lower bound (walk keys only ascend), so
+		// resolving it now IS the ascending-LB order — and its exact
+		// distance replaces the UB cutoff with a tighter one, shortening
+		// the walk.
+		for len(dq) > 0 && dq[0].lb <= key {
+			top := dq.pop()
+			cutoff := cutoffNow()
+			if top.lb > cutoff {
+				creditTier(top.tier, stats)
+				continue
+			}
+			if d, ok := c.verifyDP(top.s, cutoff, stats); ok {
+				admit(top.id, d)
+			}
 		}
 		return true
 	})
 	if walkErr != nil {
 		return nil, walkErr
 	}
-	return best, err
+	if err != nil {
+		return nil, err
+	}
+	// Resolve deferred candidates in ascending strongest-LB order: the
+	// cutoff — min(k-th exact of resolved, k-th UB, shared) — is near its
+	// final value from the first pop, so each pop either proves the
+	// candidate out on its Tier 1 bound or runs the DP the search truly
+	// cannot avoid.
+	for len(dq) > 0 {
+		top := dq.pop()
+		cutoff := cutoffNow()
+		if top.lb > cutoff {
+			creditTier(top.tier, stats)
+			continue
+		}
+		d, ok := c.verifyDP(top.s, cutoff, stats)
+		if !ok {
+			continue
+		}
+		admit(top.id, d)
+	}
+	return best, nil
 }

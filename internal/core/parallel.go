@@ -112,9 +112,10 @@ type knnCand struct {
 // and verify concurrently against the shrinking cutoff.
 //
 // Soundness (no false dismissal) despite workers observing momentarily
-// stale cutoffs: the cutoff — min(local k-th best, shared bound) — only
-// ever shrinks, so any value a worker or the walk-stop test reads is ≥ the
-// final cutoff. A true top-k member m has Dtw(m) ≤ final k-th best ≤ every
+// stale cutoffs: the cutoff — min(local k-th best, k-th smallest
+// aligned-path upper bound, shared bound) — only ever shrinks (each
+// component is monotone non-increasing), so any value a worker or the
+// walk-stop test reads is ≥ the final cutoff. A true top-k member m has Dtw(m) ≤ final k-th best ≤ every
 // cutoff ever observed, so the walk cannot stop before streaming m
 // (comparableLB(m) ≤ Dtw(m) ≤ cutoff) and m's verification cannot reject
 // it (verify accepts at ≤ cutoff). Staleness therefore only admits extra
@@ -126,12 +127,21 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 	var (
 		mu   sync.Mutex
 		best []Match // sorted ascending by (Dist, ID), ≤ k entries
+		ub   *ubTracker
 	)
+	if t.envOrdering(q) && t.Band >= 1 {
+		ub = newUBTracker(k)
+	}
 	cutoff := func() float64 {
 		mu.Lock()
 		c := math.Inf(1)
 		if len(best) == k {
 			c = best[k-1].Dist
+		}
+		if ub != nil {
+			if u := ub.Kth(); u < c {
+				c = u
+			}
 		}
 		mu.Unlock()
 		if shared != nil {
@@ -175,6 +185,19 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 				}
 				ws.Candidates++
 				cut := cutoff()
+				// The candidate's own aligned-path upper bound may tighten
+				// the cutoff before its cascade runs; min(k-th exact, k-th
+				// UB, shared) stays sound throughout (DESIGN.md §12).
+				if ub != nil {
+					if u, ok := c.upperBoundAligned(s); ok {
+						mu.Lock()
+						w := ub.Add(u)
+						mu.Unlock()
+						if w < cut {
+							cut = w
+						}
+					}
+				}
 				var d float64
 				if math.IsInf(cut, 1) {
 					ws.DTWCalls++
@@ -199,14 +222,14 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 		}(w)
 	}
 
-	walkErr := t.Index.NearestWalk(fq, func(id seq.ID, lb float64) bool {
+	walkErr := t.knnWalk(q, fq, stats, func(id seq.ID, key float64) bool {
 		if failed.Load() {
 			return false
 		}
-		if comparableLB(t.Base, lb) > cutoff() {
-			return false // ascending bounds: every later candidate is above too
+		if key > cutoff() {
+			return false // ascending keys: every later candidate is above too
 		}
-		work <- knnCand{id: id, lb: lb}
+		work <- knnCand{id: id, lb: key}
 		return true
 	})
 	close(work)

@@ -78,6 +78,16 @@ type QueryStats struct {
 	// surface as CorridorPruned instead, so this is nonzero mainly when
 	// the cascade is disabled.
 	DTWAbandoned int
+	// KNNFrontierPushes counts k-NN walk frontier pushes (nodes, items, and
+	// envelope re-keys) across both engines' keyed walks.
+	KNNFrontierPushes int
+	// KNNRepushes counts k-NN candidates that re-entered the walk frontier
+	// with an envelope-sharpened priority.
+	KNNRepushes int
+	// KNNEnvCutoffs counts k-NN walks stopped on an envelope-raised key —
+	// walks the ordering tier ended earlier than the mindist alone would
+	// have.
+	KNNEnvCutoffs int
 	// TreeNodes counts suffix tree nodes visited (ST-Filter).
 	TreeNodes int
 	// TreePages is the modeled number of suffix-tree pages a disk-resident
@@ -127,6 +137,9 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.LBImprovedPruned += other.LBImprovedPruned
 	s.CorridorPruned += other.CorridorPruned
 	s.DTWAbandoned += other.DTWAbandoned
+	s.KNNFrontierPushes += other.KNNFrontierPushes
+	s.KNNRepushes += other.KNNRepushes
+	s.KNNEnvCutoffs += other.KNNEnvCutoffs
 	s.TreeNodes += other.TreeNodes
 	s.TreePages += other.TreePages
 	s.DataReads += other.DataReads
@@ -138,6 +151,13 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.Wall += other.Wall
 	s.FilterWall += other.FilterWall
 	s.RefineWall += other.RefineWall
+}
+
+// addKNNWalk folds one index walk's frontier counters into s.
+func (s *QueryStats) addKNNWalk(ws KNNWalkStats) {
+	s.KNNFrontierPushes += int(ws.Pushes)
+	s.KNNRepushes += int(ws.Repushes)
+	s.KNNEnvCutoffs += int(ws.EnvStops)
 }
 
 // CandidateRatio returns Candidates divided by the database size n

@@ -46,6 +46,12 @@ type view struct {
 	// dels is copy-on-write: the map a view holds is never mutated again.
 	// nil when there are no tombstones (the common case after a merge).
 	dels map[Entry]struct{}
+	// envs aliases a prefix of the writer's append-only envelope array,
+	// parallel to adds (envs[i] belongs to adds[i]; Len == 0 marks an
+	// envelope-less add). Published together with adds under the same
+	// prefix-aliasing discipline, so the k-NN walk can envelope-key delta
+	// adds without racing the writer.
+	envs []seq.PAAEnvelope
 }
 
 // Index is the flat engine: an immutable packed snapshot plus a small
@@ -57,10 +63,14 @@ type Index struct {
 	view atomic.Pointer[view]
 
 	mu      sync.Mutex
-	adds    []Entry                    // writer-owned append-only array (see view.adds)
-	addsSet map[Entry]int              // entry → index in adds
-	envAdds map[seq.ID]seq.PAAEnvelope // envelopes for delta adds, merged into the next slab
+	adds    []Entry           // writer-owned append-only array (see view.adds)
+	addsSet map[Entry]int     // entry → index in adds
+	addEnvs []seq.PAAEnvelope // writer-owned envelope array, parallel to adds (see view.envs)
 	closed  bool
+
+	// openBytesRead is the number of bytes Load explicitly read from the
+	// snapshot file (0 on the mmap path, which only faults in the header).
+	openBytesRead int64
 
 	merging   atomic.Bool // a background merge is scheduled or running
 	merges    atomic.Int64
@@ -73,7 +83,7 @@ func New(opts Options) *Index {
 	if opts.MergeThreshold == 0 {
 		opts.MergeThreshold = DefaultMergeThreshold
 	}
-	x := &Index{opts: opts, addsSet: make(map[Entry]int), envAdds: make(map[seq.ID]seq.PAAEnvelope)}
+	x := &Index{opts: opts, addsSet: make(map[Entry]int)}
 	snap, err := Build(nil, nil, 0)
 	if err != nil {
 		panic(err) // cannot happen: empty build is infallible
@@ -91,17 +101,17 @@ func NewFromSnapshot(snap *Snapshot, opts Options) *Index {
 }
 
 // Insert adds e to the index; env, when non-nil and non-empty, is the PAA
-// envelope stored alongside it at the next merge. Inserting an entry that
-// is already present (same ID and point) is a no-op apart from refreshing
-// the pending envelope; re-inserting a tombstoned snapshot entry just
-// clears the tombstone.
+// envelope stored alongside it (visible to the envelope-keyed walk at once,
+// packed into the slab at the next merge). Inserting an entry that is
+// already present (same ID and point) is a no-op — the first insert's
+// envelope wins, because its array slot is already published to readers and
+// must never be rewritten; re-inserting a tombstoned snapshot entry just
+// clears the tombstone (the snapshot copy and its stored envelope become
+// visible again).
 func (x *Index) Insert(e Entry, env *seq.PAAEnvelope) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	v := x.view.Load()
-	if env != nil && env.Len > 0 {
-		x.envAdds[e.ID] = *env
-	}
 	if _, dead := v.dels[e]; dead {
 		// Resurrect: drop the tombstone; the snapshot copy (and its stored
 		// envelope) become visible again.
@@ -110,7 +120,7 @@ func (x *Index) Insert(e Entry, env *seq.PAAEnvelope) {
 		if len(dels) == 0 {
 			dels = nil
 		}
-		x.view.Store(&view{snap: v.snap, adds: v.adds, dels: dels})
+		x.view.Store(&view{snap: v.snap, adds: v.adds, dels: dels, envs: v.envs})
 		return
 	}
 	if _, ok := x.addsSet[e]; ok {
@@ -120,8 +130,13 @@ func (x *Index) Insert(e Entry, env *seq.PAAEnvelope) {
 		return
 	}
 	x.adds = append(x.adds, e)
+	if env != nil && env.Len > 0 {
+		x.addEnvs = append(x.addEnvs, *env)
+	} else {
+		x.addEnvs = append(x.addEnvs, seq.PAAEnvelope{})
+	}
 	x.addsSet[e] = len(x.adds) - 1
-	x.view.Store(&view{snap: v.snap, adds: x.adds, dels: v.dels})
+	x.view.Store(&view{snap: v.snap, adds: x.adds, dels: v.dels, envs: x.addEnvs})
 	x.maybeMergeLocked()
 }
 
@@ -133,18 +148,21 @@ func (x *Index) Delete(e Entry) bool {
 	defer x.mu.Unlock()
 	v := x.view.Load()
 	if i, ok := x.addsSet[e]; ok {
-		// Readers may hold views aliasing the current array, so build a
-		// fresh one without e rather than shifting in place.
+		// Readers may hold views aliasing the current arrays, so build
+		// fresh ones without e rather than shifting in place (the envelope
+		// array moves in lockstep to stay parallel).
 		next := make([]Entry, 0, len(x.adds)-1)
 		next = append(next, x.adds[:i]...)
 		next = append(next, x.adds[i+1:]...)
-		x.adds = next
+		nextEnvs := make([]seq.PAAEnvelope, 0, len(x.addEnvs)-1)
+		nextEnvs = append(nextEnvs, x.addEnvs[:i]...)
+		nextEnvs = append(nextEnvs, x.addEnvs[i+1:]...)
+		x.adds, x.addEnvs = next, nextEnvs
 		delete(x.addsSet, e)
 		for j := i; j < len(x.adds); j++ {
 			x.addsSet[x.adds[j]] = j
 		}
-		delete(x.envAdds, e.ID)
-		x.view.Store(&view{snap: v.snap, adds: x.adds, dels: v.dels})
+		x.view.Store(&view{snap: v.snap, adds: x.adds, dels: v.dels, envs: x.addEnvs})
 		return true
 	}
 	if _, dead := v.dels[e]; dead {
@@ -155,8 +173,7 @@ func (x *Index) Delete(e Entry) bool {
 	}
 	dels := copyDels(v.dels)
 	dels[e] = struct{}{}
-	delete(x.envAdds, e.ID)
-	x.view.Store(&view{snap: v.snap, adds: v.adds, dels: dels})
+	x.view.Store(&view{snap: v.snap, adds: v.adds, dels: dels, envs: v.envs})
 	x.maybeMergeLocked()
 	return true
 }
@@ -248,9 +265,13 @@ func (x *Index) mergeLocked() {
 		}
 		envs = append(envs, pe)
 	}
-	for _, e := range v.adds {
+	for i, e := range v.adds {
 		entries = append(entries, e)
-		envs = append(envs, x.envAdds[e.ID])
+		if i < len(v.envs) {
+			envs = append(envs, v.envs[i])
+		} else {
+			envs = append(envs, seq.PAAEnvelope{})
+		}
 	}
 	snap, err := Build(entries, envs, v.snap.Generation()+1)
 	if err != nil {
@@ -259,7 +280,7 @@ func (x *Index) mergeLocked() {
 	x.view.Store(&view{snap: snap})
 	x.adds = nil
 	x.addsSet = make(map[Entry]int)
-	x.envAdds = make(map[seq.ID]seq.PAAEnvelope)
+	x.addEnvs = nil
 	x.merges.Add(1)
 	x.mergeHist.Observe(time.Since(start))
 }
@@ -376,12 +397,26 @@ func (x *Index) MergeHist() obs.HistogramData { return x.mergeHist.Data() }
 // SlabBytes returns the size of the current snapshot slab.
 func (x *Index) SlabBytes() int64 { return int64(len(x.view.Load().snap.Bytes())) }
 
+// MmapBytes returns the size of the current snapshot's file mapping, or 0
+// when the snapshot is heap-backed (built in memory, loaded through the
+// portable fallback, or already superseded by a merge).
+func (x *Index) MmapBytes() int64 { return x.view.Load().snap.mapped }
+
+// OpenBytesRead returns the number of bytes Load explicitly read from the
+// snapshot file when this index was opened: the whole file on the portable
+// fallback path, 0 on the mmap path (where only the header page is faulted
+// in before the first query).
+func (x *Index) OpenBytesRead() int64 { return x.openBytesRead }
+
 // CheckInvariants validates the packed snapshot and the delta invariants
 // (adds disjoint from snapshot, tombstones present in snapshot).
 func (x *Index) CheckInvariants() error {
 	v := x.view.Load()
 	if err := v.snap.CheckInvariants(); err != nil {
 		return err
+	}
+	if len(v.envs) != len(v.adds) {
+		return fmt.Errorf("flatidx: view has %d delta adds but %d delta envelopes", len(v.adds), len(v.envs))
 	}
 	for i := range v.adds {
 		if v.snap.contains(v.adds[i]) {

@@ -255,7 +255,9 @@ func TestSaveLoadRoundtripAndCorruption(t *testing.T) {
 		t.Fatal("loaded snapshot lost its envelopes")
 	}
 
-	// A flipped byte must fail the CRC.
+	// A flipped byte must fail the CRC. The mmap path defers body checks to
+	// CheckInvariants (lazy CRC), so pin this half to the eager fallback.
+	t.Setenv("TWSIM_NO_MMAP", "1")
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

@@ -1,14 +1,30 @@
 package flatidx
 
+import (
+	"sync"
+
+	"repro/internal/seq"
+)
+
 // Best-first (Hjaltason–Samet) nearest-neighbor walk over snapshot ∪ delta
 // under the L∞ norm — the flat counterpart of rtree.NearestWalk with
 // NormLInf. The priority queue is a hand-rolled binary heap of plain
-// structs (no container/heap interface boxing), so a walk's only
-// allocations are the heap array itself.
+// structs (no container/heap interface boxing) drawn from a sync.Pool, so a
+// steady-state walk allocates nothing at all.
+//
+// The walk optionally runs a two-level frontier: nodes stay ordered by the
+// (transformed) L∞ rect mindist, but an item surfacing for the first time
+// is re-keyed by max(transformed mindist, sharpen(stored envelope)) before
+// it is emitted — when the sharpened key no longer beats the frontier, the
+// item re-enters the heap and later items surface first. Both levels are
+// lower bounds of the distance the caller refines against, so the emitted
+// key stream stays non-decreasing and the caller's stop condition is sound;
+// it just fires earlier than the mindist alone would let it.
 
 // heapItem is one frontier element: a packed node (node >= 0), a snapshot
 // item (node == snapItem), or a delta add (node == deltaItem, item indexes
-// the view's adds array).
+// the view's adds array). The keyed variants mark an item whose priority
+// was raised by its envelope bound — already sharpened, never re-keyed.
 type heapItem struct {
 	dist float64
 	node int32
@@ -16,8 +32,10 @@ type heapItem struct {
 }
 
 const (
-	snapItem  = -1
-	deltaItem = -2
+	snapItem       = -1
+	deltaItem      = -2
+	keyedSnapItem  = -3
+	keyedDeltaItem = -4
 )
 
 type knnHeap []heapItem
@@ -60,6 +78,30 @@ func (h *knnHeap) pop() heapItem {
 	return top
 }
 
+// WalkStats counts one nearest walk's frontier work.
+type WalkStats struct {
+	// Pushes is the total number of frontier pushes (nodes, items, and
+	// envelope re-keys).
+	Pushes int64
+	// Repushes counts items that re-entered the frontier with an
+	// envelope-sharpened priority (the second frontier level).
+	Repushes int64
+	// EnvStops is 1 when the walk was stopped by the caller on an item whose
+	// key had been raised above its L∞ mindist by the envelope bound — the
+	// ordering tier ended the walk earlier than the mindist alone would have.
+	EnvStops int64
+}
+
+// walkState is the pooled per-walk scratch: the frontier array plus the
+// envelope decode buffer (pooled together so the envelope-keyed walk stays
+// allocation-free too).
+type walkState struct {
+	h  knnHeap
+	pe seq.PAAEnvelope
+}
+
+var walkPool = sync.Pool{New: func() any { return &walkState{h: make(knnHeap, 0, 128)} }}
+
 // NearestWalk streams live entries in non-decreasing L∞ distance from p,
 // calling fn with each entry and its distance; fn returning false stops
 // the walk. Distances are exactly the rtree MinDist values (axis-gap
@@ -67,10 +109,44 @@ func (h *knnHeap) pop() heapItem {
 // search layer's stop condition fires at the identical entry on both
 // engines.
 func (x *Index) NearestWalk(p *[4]float64, fn func(e Entry, dist float64) bool) {
+	var ws WalkStats
+	x.nearestWalk(p, nil, nil, fn, &ws)
+}
+
+// NearestWalkEnv is NearestWalk with the two-level envelope-sharpened
+// frontier. xform (nil = identity) is a monotone non-decreasing transform
+// applied to every L∞ mindist, so the caller can key the whole frontier in
+// its own comparable space; sharpen (nil = disabled) maps a stored PAA
+// envelope to an additional lower bound in that same space, and each
+// surfaced item is re-keyed by the max of the two before it is emitted.
+// Items without a stored envelope (including envelope-less delta adds)
+// keep their transformed mindist. fn receives the final key; the key
+// stream is non-decreasing.
+func (x *Index) NearestWalkEnv(p *[4]float64, xform func(float64) float64,
+	sharpen func(pe *seq.PAAEnvelope) float64, fn func(e Entry, key float64) bool) WalkStats {
+	var ws WalkStats
+	x.nearestWalk(p, xform, sharpen, fn, &ws)
+	return ws
+}
+
+func identityKey(d float64) float64 { return d }
+
+func (x *Index) nearestWalk(p *[4]float64, xform func(float64) float64,
+	sharpen func(pe *seq.PAAEnvelope) float64, fn func(e Entry, key float64) bool, ws *WalkStats) {
 	v := x.view.Load()
-	h := make(knnHeap, 0, 64)
+	xf := xform
+	if xf == nil {
+		xf = identityKey
+	}
+	st := walkPool.Get().(*walkState)
+	h := st.h[:0]
+	defer func() {
+		st.h = h[:0]
+		walkPool.Put(st)
+	}()
 	if v.snap.Len() > 0 {
-		h.push(heapItem{dist: v.snap.nodeDistLInf(0, p), node: 0})
+		h.push(heapItem{dist: xf(v.snap.nodeDistLInf(0, p)), node: 0})
+		ws.Pushes++
 	}
 	for i := range v.adds {
 		e := &v.adds[i]
@@ -84,7 +160,8 @@ func (x *Index) NearestWalk(p *[4]float64, fn func(e Entry, dist float64) bool) 
 				max = g
 			}
 		}
-		h.push(heapItem{dist: max, node: deltaItem, item: int32(i)})
+		h.push(heapItem{dist: xf(max), node: deltaItem, item: int32(i)})
+		ws.Pushes++
 	}
 	for len(h) > 0 {
 		top := h.pop()
@@ -94,24 +171,72 @@ func (x *Index) NearestWalk(p *[4]float64, fn func(e Entry, dist float64) bool) 
 			if _, dead := v.dels[e]; dead {
 				continue
 			}
+			if sharpen != nil && v.snap.env(int(top.item), &st.pe) {
+				if lb := sharpen(&st.pe); lb > top.dist {
+					// The envelope raised the key. If it no longer beats the
+					// frontier, defer the item (tombstone already checked, so
+					// the keyed pop emits without re-decoding); otherwise it
+					// is still the minimum and can be emitted at the new key.
+					if len(h) > 0 && lb > h[0].dist {
+						h.push(heapItem{dist: lb, node: keyedSnapItem, item: top.item})
+						ws.Pushes++
+						ws.Repushes++
+						continue
+					}
+					top.dist, top.node = lb, keyedSnapItem
+				}
+			}
 			if !fn(e, top.dist) {
+				if top.node == keyedSnapItem {
+					ws.EnvStops++
+				}
+				return
+			}
+		case keyedSnapItem:
+			if !fn(v.snap.item(int(top.item)), top.dist) {
+				ws.EnvStops++
 				return
 			}
 		case deltaItem:
+			if sharpen != nil && int(top.item) < len(v.envs) {
+				// Delta envelopes ride the same two-level re-key as snapshot
+				// items: the view's envs array is published together with adds
+				// (slots immutable once visible), so the read races nothing.
+				if pe := &v.envs[top.item]; pe.Len > 0 {
+					if lb := sharpen(pe); lb > top.dist {
+						if len(h) > 0 && lb > h[0].dist {
+							h.push(heapItem{dist: lb, node: keyedDeltaItem, item: top.item})
+							ws.Pushes++
+							ws.Repushes++
+							continue
+						}
+						top.dist, top.node = lb, keyedDeltaItem
+					}
+				}
+			}
 			if !fn(v.adds[top.item], top.dist) {
+				if top.node == keyedDeltaItem {
+					ws.EnvStops++
+				}
+				return
+			}
+		case keyedDeltaItem:
+			if !fn(v.adds[top.item], top.dist) {
+				ws.EnvStops++
 				return
 			}
 		default:
 			first, count, leaf := v.snap.nodeFirstCount(int(top.node))
 			if leaf {
 				for j := first; j < first+count; j++ {
-					h.push(heapItem{dist: v.snap.itemDistLInf(j, p), node: snapItem, item: int32(j)})
+					h.push(heapItem{dist: xf(v.snap.itemDistLInf(j, p)), node: snapItem, item: int32(j)})
 				}
 			} else {
 				for c := first; c < first+count; c++ {
-					h.push(heapItem{dist: v.snap.nodeDistLInf(c, p), node: int32(c)})
+					h.push(heapItem{dist: xf(v.snap.nodeDistLInf(c, p)), node: int32(c)})
 				}
 			}
+			ws.Pushes += int64(count)
 		}
 	}
 }

@@ -1,0 +1,69 @@
+// Package mapfile opens a file as a read-only byte slice, memory-mapping it
+// when the platform supports mmap and falling back to reading the whole
+// file into memory otherwise. The caller gets one uniform Mapping either
+// way; only the Mapped flag (and the cost of Open) differs.
+//
+// The fallback also engages when the TWSIM_NO_MMAP environment variable is
+// set to any non-empty value, which lets tests and operators force the
+// read-into-memory path on platforms where mmap would normally win.
+package mapfile
+
+import "os"
+
+// Mapping is an open read-only view of a file's bytes.
+type Mapping struct {
+	// Data holds the file contents. When Mapped, writes to it fault; the
+	// caller must treat it as read-only in either mode.
+	Data []byte
+	// Mapped reports whether Data is a live memory mapping (true) or a
+	// private heap copy read from the file (false).
+	Mapped bool
+	// BytesRead counts bytes actually read from the file by Open: the full
+	// file size on the fallback path, 0 on the mmap path (pages fault in
+	// lazily as they are touched).
+	BytesRead int64
+
+	close func() error
+}
+
+// Close releases the mapping (munmap when Mapped, no-op otherwise). It is
+// idempotent; Data must not be touched after the first Close.
+func (m *Mapping) Close() error {
+	if m == nil || m.close == nil {
+		return nil
+	}
+	fn := m.close
+	m.close = nil
+	m.Data = nil
+	return fn()
+}
+
+// Disabled reports whether Open will skip mmap: either the platform has no
+// support compiled in, or TWSIM_NO_MMAP is set.
+func Disabled() bool {
+	return !mmapSupported || os.Getenv("TWSIM_NO_MMAP") != ""
+}
+
+// Open maps path read-only, or reads it into memory when mapping is
+// disabled, unsupported, fails, or the file is empty (zero-length mappings
+// are not portable).
+func Open(path string) (*Mapping, error) {
+	if Disabled() {
+		return readAll(path)
+	}
+	m, err := mmapOpen(path)
+	if err != nil {
+		// mmap can fail for reasons that do not doom a plain read (exotic
+		// filesystems, resource limits); degrade rather than error out.
+		return readAll(path)
+	}
+	return m, nil
+}
+
+func readAll(path string) (*Mapping, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{Data: buf, BytesRead: int64(len(buf))}, nil
+}

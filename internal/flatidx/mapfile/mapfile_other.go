@@ -1,0 +1,11 @@
+//go:build !unix
+
+package mapfile
+
+import "errors"
+
+const mmapSupported = false
+
+func mmapOpen(path string) (*Mapping, error) {
+	return nil, errors.New("mapfile: mmap unsupported on this platform")
+}

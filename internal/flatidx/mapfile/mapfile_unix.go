@@ -1,0 +1,41 @@
+//go:build unix
+
+package mapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapOpen maps path read-only via mmap(2). The file descriptor is closed
+// before returning — the mapping keeps the inode's pages reachable on its
+// own, so a later rename-over or unlink of the path does not disturb it.
+func mmapOpen(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{Data: []byte{}, Mapped: false}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{
+		Data:   data,
+		Mapped: true,
+		close:  func() error { return syscall.Munmap(data) },
+	}, nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package flatidx
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package flatidx
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its allocation tracking makes sync.Pool operations allocate, so the
+// zero-allocation regression tests are skipped under -race (the race run
+// covers correctness; `go test` covers the alloc budget).
+const raceEnabled = true

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sort"
 
@@ -69,6 +70,12 @@ const (
 // Snapshot is one immutable packed tree. All methods are read-only and safe
 // for unlimited concurrent use; a Snapshot is never modified after Build or
 // Decode returns it.
+//
+// A snapshot loaded through the mmap path keeps its slab inside a read-only
+// file mapping: release unmaps it, and Load arms it as a finalizer so the
+// mapping is dropped only once the garbage collector proves no view (and no
+// in-flight reader holding one) can reach the snapshot anymore — the
+// munmap-after-last-reference fence behind the atomic snapshot swap.
 type Snapshot struct {
 	slab     []byte
 	nNodes   int
@@ -78,6 +85,40 @@ type Snapshot struct {
 	gen      uint64
 	itemsOff int
 	envsOff  int
+
+	// levelStart[ℓ]/levelSize[ℓ] describe the deterministic node layout
+	// (root level first). nodeFirstCount derives child ranges from them
+	// instead of trusting slab bytes, so a slab admitted by the lazy
+	// header-only validation can never index out of bounds — corrupt body
+	// bytes yield wrong coordinates at worst, never a fault.
+	levelStart []int
+	levelSize  []int
+
+	mapped  int64        // mapping size when file-backed via mmap, else 0
+	wantCRC uint32       // trailing file CRC, for the lazy full check
+	crcSet  bool         // wantCRC is meaningful (snapshot came from a file)
+	release func() error // unmaps the backing file; nil when heap-backed
+}
+
+// initLayout fills the computed per-level node layout for nItems.
+func (s *Snapshot) initLayout() {
+	sizes := levelSizes(s.nItems)
+	s.levelSize = sizes
+	s.levelStart = make([]int, len(sizes))
+	for ℓ := 1; ℓ < len(sizes); ℓ++ {
+		s.levelStart[ℓ] = s.levelStart[ℓ-1] + sizes[ℓ-1]
+	}
+}
+
+// releaseMapping unmaps the snapshot's backing file mapping, if any. It is
+// installed as the snapshot's finalizer by the mmap Load path; by the time
+// the collector runs it, no reader can still hold a view referencing this
+// snapshot, so the slab memory is provably unreachable.
+func (s *Snapshot) releaseMapping() {
+	if s.release != nil {
+		_ = s.release()
+		s.release = nil
+	}
 }
 
 // levelSizes returns the per-level node counts of the packed tree over n
@@ -132,6 +173,7 @@ func Build(entries []Entry, envs []seq.PAAEnvelope, gen uint64) (*Snapshot, erro
 	if hasEnv {
 		s.envsOff = s.itemsOff + n*itemSize
 	}
+	s.initLayout()
 
 	// Header.
 	copy(s.slab[0:4], magic)
@@ -286,6 +328,26 @@ func strOrder(entries []Entry) []int {
 // non-finite or non-containing rects — is an error. The slab is retained,
 // not copied; the caller must not modify it afterwards.
 func Decode(data []byte) (*Snapshot, error) {
+	s, err := DecodeLite(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DecodeLite is Decode without the O(slab) structural pass: it validates
+// only the header (magic, version, flags, counts consistent with the
+// deterministic layout, total size) — constant work, touching one page of a
+// mapped file. Child ranges are computed from the layout rather than read
+// from the slab, so even a body-corrupted slab cannot make the accessors
+// index out of bounds; corruption the header check cannot see is caught by
+// the lazy full check (CheckInvariants) or surfaces as wrong floats, never
+// as a fault. The mmap Load path uses this so opening a huge database costs
+// O(header) bytes; rebuild/repair paths still run the full validation.
+func DecodeLite(data []byte) (*Snapshot, error) {
 	if len(data) < headerSize {
 		return nil, fmt.Errorf("flatidx: slab too short (%d bytes)", len(data))
 	}
@@ -333,20 +395,25 @@ func Decode(data []byte) (*Snapshot, error) {
 	if hasEnv {
 		s.envsOff = s.itemsOff + nItems*itemSize
 	}
-	if err := s.CheckInvariants(); err != nil {
-		return nil, err
-	}
+	s.initLayout()
 	return s, nil
 }
 
-// CheckInvariants re-validates the packed structure: the implicit child
-// layout must match the deterministic packing for the item count, leaf
-// markers must sit exactly on the leaf level, every node rect must be
-// finite and ordered, every item must lie inside its leaf's rect, and every
-// child rect inside its parent's. An error means the slab is corrupt (a
-// violated rect invariant would silently false-dismiss queries, which is
-// why this is checked on every Load).
+// CheckInvariants re-validates the packed structure: the file CRC when the
+// snapshot is file-backed (the lazy half of the per-open header check), the
+// stored child layout against the deterministic packing for the item count,
+// leaf markers exactly on the leaf level, every node rect finite and
+// ordered, every item inside its leaf's rect, and every child rect inside
+// its parent's. An error means the slab is corrupt (a violated rect
+// invariant would silently false-dismiss queries). The fallback Load path
+// runs this eagerly; the mmap path defers it to Verify/Repair so opening
+// stays O(header).
 func (s *Snapshot) CheckInvariants() error {
+	if s.crcSet {
+		if got := crc32.ChecksumIEEE(s.slab); got != s.wantCRC {
+			return fmt.Errorf("flatidx: snapshot checksum mismatch (got %08x want %08x)", got, s.wantCRC)
+		}
+	}
 	sizes := levelSizes(s.nItems)
 	levelStart := make([]int, len(sizes))
 	for ℓ := 1; ℓ < len(sizes); ℓ++ {
@@ -361,7 +428,7 @@ func (s *Snapshot) CheckInvariants() error {
 		}
 		for w := 0; w < size; w++ {
 			g := levelStart[ℓ] + w
-			first, count, gotLeaf := s.nodeFirstCount(g)
+			first, count, gotLeaf := s.rawNodeFirstCount(g)
 			wantFirst := w * Fanout
 			wantCount := childCount - wantFirst
 			if wantCount > Fanout {
@@ -424,7 +491,37 @@ func (s *Snapshot) f64(off int) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(s.slab[off:]))
 }
 
+// nodeFirstCount returns node n's child range. It is computed from the
+// deterministic layout (levelStart/levelSize), not read from the slab: the
+// stored first/count fields exist for format self-description and are
+// cross-checked by CheckInvariants, but the walk never trusts them — a
+// body-corrupted slab admitted by the lazy header check can therefore
+// never produce an out-of-bounds child index.
 func (s *Snapshot) nodeFirstCount(n int) (first, count int, leaf bool) {
+	ℓ := len(s.levelStart) - 1
+	for s.levelStart[ℓ] > n {
+		ℓ--
+	}
+	w := n - s.levelStart[ℓ]
+	leaf = ℓ == len(s.levelStart)-1
+	childCount := s.nItems
+	if !leaf {
+		childCount = s.levelSize[ℓ+1]
+	}
+	first = w * Fanout
+	count = childCount - first
+	if count > Fanout {
+		count = Fanout
+	}
+	if !leaf {
+		first += s.levelStart[ℓ+1]
+	}
+	return first, count, leaf
+}
+
+// rawNodeFirstCount reads node n's stored child-range fields from the slab;
+// CheckInvariants compares them against the computed layout.
+func (s *Snapshot) rawNodeFirstCount(n int) (first, count int, leaf bool) {
 	off := headerSize + n*nodeSize
 	first = int(binary.LittleEndian.Uint32(s.slab[off+64:]))
 	cf := binary.LittleEndian.Uint32(s.slab[off+68:])

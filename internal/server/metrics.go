@@ -73,6 +73,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.CounterFunc("twsim_lb_yi_pruned_total", "", "Candidates dismissed by cascade Tier 1b (two-sided Yi bound).", counterOf(&s.totals.lbYiPruned))
 	reg.CounterFunc("twsim_lb_improved_pruned_total", "", "Candidates dismissed by cascade Tier 1c (Lemire's LB_Improved second pass; banded queries only).", counterOf(&s.totals.lbImprovedPruned))
 	reg.CounterFunc("twsim_corridor_pruned_total", "", "Candidates dismissed by cascade Tiers 2-3 (sparse corridor DP).", counterOf(&s.totals.corridorPruned))
+	reg.CounterFunc("twsim_knn_frontier_repushes_total", "", "k-NN candidates re-entering the walk frontier with an envelope-sharpened priority.", counterOf(&s.totals.knnRepushes))
+	reg.CounterFunc("twsim_knn_envelope_cutoffs_total", "", "k-NN walks stopped on an envelope-raised key (the ordering tier ended the walk early).", counterOf(&s.totals.knnEnvCutoffs))
 
 	// Database size gauges.
 	reg.GaugeFunc("twsim_sequences", "", "Live sequences stored.", func() float64 { return float64(s.backend.Len()) })
@@ -93,6 +95,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 		engine(func(st core.IndexEngineStats) float64 { return float64(st.DeltaEntries) }))
 	reg.CounterFunc("twsim_index_merges_total", "", "Flat-engine snapshot rebuilds (delta merged into a new packed slab and atomically swapped in).",
 		engine(func(st core.IndexEngineStats) float64 { return float64(st.Merges) }))
+	reg.GaugeFunc("twsim_index_mmap_bytes", "", "Flat-engine snapshot bytes served from a live file mapping (0 when heap-backed, summed over shards).",
+		engine(func(st core.IndexEngineStats) float64 { return float64(st.MmapBytes) }))
 	reg.HistogramFunc("twsim_index_merge_seconds", "", "Flat-engine snapshot merge latency (slab rebuild + atomic swap).",
 		func() obs.HistogramData { return s.backend.IndexEngineStats().MergeHist })
 

@@ -83,6 +83,7 @@ type queryTotals struct {
 	dtwCalls, dtwAbandoned                              atomic.Int64
 	lbKimPruned, lbPAAPruned, lbKeoghPruned, lbYiPruned atomic.Int64
 	lbImprovedPruned, corridorPruned                    atomic.Int64
+	knnRepushes, knnEnvCutoffs                          atomic.Int64
 }
 
 func (t *queryTotals) accumulate(st twsim.QueryStats) {
@@ -97,21 +98,25 @@ func (t *queryTotals) accumulate(st twsim.QueryStats) {
 	t.lbYiPruned.Add(int64(st.LBYiPruned))
 	t.lbImprovedPruned.Add(int64(st.LBImprovedPruned))
 	t.corridorPruned.Add(int64(st.CorridorPruned))
+	t.knnRepushes.Add(int64(st.KNNRepushes))
+	t.knnEnvCutoffs.Add(int64(st.KNNEnvCutoffs))
 }
 
 func (t *queryTotals) json() map[string]any {
 	return map[string]any{
-		"searches":           t.searches.Load(),
-		"candidates":         t.candidates.Load(),
-		"results":            t.results.Load(),
-		"dtw_calls":          t.dtwCalls.Load(),
-		"dtw_abandoned":      t.dtwAbandoned.Load(),
-		"lb_kim_pruned":      t.lbKimPruned.Load(),
-		"lb_paa_pruned":      t.lbPAAPruned.Load(),
-		"lb_keogh_pruned":    t.lbKeoghPruned.Load(),
-		"lb_yi_pruned":       t.lbYiPruned.Load(),
-		"lb_improved_pruned": t.lbImprovedPruned.Load(),
-		"corridor_pruned":    t.corridorPruned.Load(),
+		"searches":             t.searches.Load(),
+		"candidates":           t.candidates.Load(),
+		"results":              t.results.Load(),
+		"dtw_calls":            t.dtwCalls.Load(),
+		"dtw_abandoned":        t.dtwAbandoned.Load(),
+		"lb_kim_pruned":        t.lbKimPruned.Load(),
+		"lb_paa_pruned":        t.lbPAAPruned.Load(),
+		"lb_keogh_pruned":      t.lbKeoghPruned.Load(),
+		"lb_yi_pruned":         t.lbYiPruned.Load(),
+		"lb_improved_pruned":   t.lbImprovedPruned.Load(),
+		"corridor_pruned":      t.corridorPruned.Load(),
+		"knn_repushes":         t.knnRepushes.Load(),
+		"knn_envelope_cutoffs": t.knnEnvCutoffs.Load(),
 	}
 }
 
@@ -341,16 +346,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func shardQueriesJSON(qt twsim.QueryTotals) map[string]any {
 	return map[string]any{
-		"searches":           qt.Searches,
-		"candidates":         qt.Candidates,
-		"dtw_calls":          qt.DTWCalls,
-		"dtw_abandoned":      qt.DTWAbandoned,
-		"lb_kim_pruned":      qt.LBKimPruned,
-		"lb_paa_pruned":      qt.LBPAAPruned,
-		"lb_keogh_pruned":    qt.LBKeoghPruned,
-		"lb_yi_pruned":       qt.LBYiPruned,
-		"lb_improved_pruned": qt.LBImprovedPruned,
-		"corridor_pruned":    qt.CorridorPruned,
+		"searches":             qt.Searches,
+		"candidates":           qt.Candidates,
+		"dtw_calls":            qt.DTWCalls,
+		"dtw_abandoned":        qt.DTWAbandoned,
+		"lb_kim_pruned":        qt.LBKimPruned,
+		"lb_paa_pruned":        qt.LBPAAPruned,
+		"lb_keogh_pruned":      qt.LBKeoghPruned,
+		"lb_yi_pruned":         qt.LBYiPruned,
+		"lb_improved_pruned":   qt.LBImprovedPruned,
+		"corridor_pruned":      qt.CorridorPruned,
+		"knn_repushes":         qt.KNNRepushes,
+		"knn_envelope_cutoffs": qt.KNNEnvCutoffs,
 	}
 }
 

@@ -23,6 +23,8 @@ type QueryTotals struct {
 	LBYiPruned       int64
 	LBImprovedPruned int64
 	CorridorPruned   int64
+	KNNRepushes      int64
+	KNNEnvCutoffs    int64
 }
 
 // queryCounters is the lock-free accumulation form of QueryTotals; the
@@ -30,6 +32,7 @@ type QueryTotals struct {
 type queryCounters struct {
 	searches, candidates, dtwCalls, dtwAbandoned      atomic.Int64
 	lbKim, lbPAA, lbKeogh, lbYi, lbImproved, corridor atomic.Int64
+	knnRepushes, knnEnvCutoffs                        atomic.Int64
 }
 
 func (c *queryCounters) accumulate(qs core.QueryStats) {
@@ -43,6 +46,8 @@ func (c *queryCounters) accumulate(qs core.QueryStats) {
 	c.lbYi.Add(int64(qs.LBYiPruned))
 	c.lbImproved.Add(int64(qs.LBImprovedPruned))
 	c.corridor.Add(int64(qs.CorridorPruned))
+	c.knnRepushes.Add(int64(qs.KNNRepushes))
+	c.knnEnvCutoffs.Add(int64(qs.KNNEnvCutoffs))
 }
 
 func (c *queryCounters) snapshot() QueryTotals {
@@ -57,6 +62,8 @@ func (c *queryCounters) snapshot() QueryTotals {
 		LBYiPruned:       c.lbYi.Load(),
 		LBImprovedPruned: c.lbImproved.Load(),
 		CorridorPruned:   c.corridor.Load(),
+		KNNRepushes:      c.knnRepushes.Load(),
+		KNNEnvCutoffs:    c.knnEnvCutoffs.Load(),
 	}
 }
 

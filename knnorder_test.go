@@ -1,0 +1,164 @@
+package twsim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	twsim "repro"
+)
+
+// knnCorpus builds a deterministic random-walk corpus plus near-miss
+// queries shared by the ordering-oracle tests.
+func knnCorpus(rng *rand.Rand, n, length, queries int) (data, qs [][]float64) {
+	data = make([][]float64, n)
+	for i := range data {
+		s := make([]float64, length)
+		v := rng.NormFloat64()
+		for j := range s {
+			v += rng.NormFloat64() * 0.1
+			s[j] = v
+		}
+		data[i] = s
+	}
+	qs = make([][]float64, queries)
+	for i := range qs {
+		q := append([]float64(nil), data[rng.Intn(n)]...)
+		for j := range q {
+			q[j] += (rng.Float64() - 0.5) * 0.1
+		}
+		qs[i] = q
+	}
+	return data, qs
+}
+
+// TestNearestKOrderingOracle is the envelope-ordering bit-identity matrix:
+// for every base × backend shape × engine × band × worker budget, a
+// database with envelope-sharpened k-NN ordering (the default) and one
+// with it disabled must return identical matches — same IDs, same float64
+// distances, same order — for every query and k. The ordering tier re-keys
+// candidates by sound lower bounds and defers exact DP work; it may only
+// reorder and skip work, never change an answer (DESIGN.md §12).
+func TestNearestKOrderingOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	data, qs := knnCorpus(rng, 120, 64, 4)
+
+	for _, base := range []twsim.Base{twsim.BaseLInf, twsim.BaseL1, twsim.BaseL2Sq} {
+		for _, sharded := range []bool{false, true} {
+			for _, engine := range []string{twsim.EngineGuttman, twsim.EngineFlat} {
+				for _, band := range []int{0, 8} {
+					for _, workers := range []int{1, 4} {
+						name := fmt.Sprintf("base=%v/sharded=%v/engine=%s/band=%d/workers=%d",
+							base, sharded, engine, band, workers)
+						t.Run(name, func(t *testing.T) {
+							open := func(disable bool) twsim.Backend {
+								opts := twsim.Options{
+									Base:               base,
+									Band:               band,
+									RefineWorkers:      workers,
+									IndexEngine:        engine,
+									FlatMergeThreshold: 32,
+									DisableEnvOrdering: disable,
+								}
+								var b twsim.Backend
+								var err error
+								if sharded {
+									b, err = twsim.OpenMemSharded(twsim.ShardedOptions{Options: opts, Shards: 3})
+								} else {
+									b, err = twsim.OpenMem(opts)
+								}
+								if err != nil {
+									t.Fatalf("open (disable=%v): %v", disable, err)
+								}
+								if _, err := b.AddBatch(data); err != nil {
+									t.Fatalf("load (disable=%v): %v", disable, err)
+								}
+								return b
+							}
+							on := open(false)
+							defer on.Close()
+							off := open(true)
+							defer off.Close()
+							for qi, q := range qs {
+								for _, k := range []int{1, 7} {
+									mOn, err := on.NearestKBand(q, k, band)
+									if err != nil {
+										t.Fatal(err)
+									}
+									mOff, err := off.NearestKBand(q, k, band)
+									if err != nil {
+										t.Fatal(err)
+									}
+									if !matchesEqual(mOn, mOff) {
+										t.Fatalf("query %d k=%d: ordering on/off diverged: on=%v off=%v",
+											qi, k, mOn, mOff)
+									}
+								}
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNearestKMmapOracle: a flat-engine database answers k-NN and range
+// queries bit-identically whether its snapshot slab is mmap'd or read
+// eagerly through the TWSIM_NO_MMAP fallback.
+func TestNearestKMmapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	data, qs := knnCorpus(rng, 150, 64, 4)
+	dir := t.TempDir()
+
+	opts := twsim.Options{Band: 8, IndexEngine: twsim.EngineFlat}
+	db, err := twsim.Create(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AddAll(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	type answers struct {
+		knn     [][]twsim.Match
+		matches [][]twsim.Match
+	}
+	collect := func() answers {
+		db, err := twsim.Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		var a answers
+		for _, q := range qs {
+			ms, err := db.NearestKBand(q, 5, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.knn = append(a.knn, ms)
+			r, err := db.Search(q, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.matches = append(a.matches, r.Matches)
+		}
+		return a
+	}
+
+	mapped := collect()
+	t.Setenv("TWSIM_NO_MMAP", "1")
+	fallback := collect()
+
+	for qi := range qs {
+		if !matchesEqual(mapped.knn[qi], fallback.knn[qi]) {
+			t.Fatalf("query %d: k-NN diverged between mmap and fallback opens", qi)
+		}
+		if !matchesEqual(mapped.matches[qi], fallback.matches[qi]) {
+			t.Fatalf("query %d: Search diverged between mmap and fallback opens", qi)
+		}
+	}
+}

@@ -109,6 +109,13 @@ type Options struct {
 	// way — the cascade only skips work, never answers — so the flag exists
 	// for benchmarking and verification, not correctness.
 	DisableCascade bool
+	// DisableEnvOrdering turns off the k-NN walk's envelope-sharpened
+	// frontier ordering (candidates re-keyed by max(mindist, LB_PAA) before
+	// surfacing), keeping the plain mindist stream. Matches and distances
+	// are bit-identical either way — the ordering only fires the walk's stop
+	// condition earlier — so the flag exists for benchmarking and
+	// verification, not correctness. DisableCascade implies it.
+	DisableEnvOrdering bool
 	// RefineWorkers bounds the intra-query parallelism of the refinement
 	// step (candidate fetch + cascade + exact DTW): 0 means GOMAXPROCS,
 	// 1 restores the fully serial execution, and results are bit-identical
@@ -614,7 +621,8 @@ func (db *DB) Get(id ID) ([]float64, error) {
 // and Sakoe–Chiba band half-width (0 = unconstrained).
 func (db *DB) searcher(workers, band int) *core.TWSimSearch {
 	return &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base,
-		NoCascade: db.opts.DisableCascade, Workers: workers, Band: band, Envs: db.envs}
+		NoCascade: db.opts.DisableCascade, NoEnvOrder: db.opts.DisableEnvOrdering,
+		Workers: workers, Band: band, Envs: db.envs}
 }
 
 // validateBand rejects invalid band half-widths at the API boundary. 0 is
