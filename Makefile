@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race test-no-mmap fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke bench-flat bench-flat-smoke bench-knn bench-knn-smoke
+.PHONY: ci fmt vet build test race test-no-mmap fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke bench-flat bench-flat-smoke bench-knn bench-knn-smoke bench-cache bench-cache-smoke
 
 # Full gate: formatting, static checks, build, the whole test suite
 # (including the fault-injection recovery tests) under the race detector,
@@ -11,9 +11,11 @@ GO ?= go
 # smokes for the sharded engine, the refine cascade (including the banded
 # leg with its brute-force banded oracle), intra-query parallel refinement,
 # the flat-vs-Guttman index engine comparison (bit-identity + zero-alloc
-# walk), and the envelope-ordered k-NN harness (ordering on/off
-# bit-identity + conservation law).
-ci: fmt vet build race test-no-mmap fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke bench-flat-smoke bench-knn-smoke
+# walk), the envelope-ordered k-NN harness (ordering on/off bit-identity +
+# conservation law), and the result-cache/serving-under-load harness
+# (zero-work hit path, cached-vs-uncached bit-identity under interleaved
+# writes, real 429 shedding through an HTTP server).
+ci: fmt vet build race test-no-mmap fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke bench-flat-smoke bench-knn-smoke bench-cache-smoke
 
 # The flat-engine packages once more with TWSIM_NO_MMAP=1: every snapshot
 # open goes through the eager read-and-checksum fallback instead of the
@@ -113,3 +115,18 @@ bench-knn:
 # checks, skips the reduction fence (smoke sizes are noise-bound).
 bench-knn-smoke:
 	$(GO) run ./cmd/benchknn -smoke >/dev/null
+
+# Result cache + serving under load: cold-vs-hot query latency (with the
+# 10x hot-hit fence and the zero-work hit check), hit ratio under a Zipf
+# query mix with interleaved writes (cached results verified bit-identical
+# against an uncached twin), and an overload leg through a real HTTP
+# server with admission limits (accepted p50/p99, 429 counts); writes
+# BENCH_cache.json.
+bench-cache:
+	$(GO) run ./cmd/benchcache
+
+# Tiny workload, no output file; keeps the zero-work hit check, the
+# bit-identity verification, and the 429 shedding check, skips the 10x
+# latency fence (smoke sizes are noise-bound).
+bench-cache-smoke:
+	$(GO) run ./cmd/benchcache -smoke >/dev/null

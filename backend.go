@@ -1,6 +1,8 @@
 package twsim
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/seq"
 )
@@ -46,6 +48,28 @@ type Backend interface {
 	SearchBatch(queries [][]float64, epsilon float64, parallelism int) ([]*Result, error)
 	// SearchBatchBand is SearchBatch under an explicit band half-width.
 	SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error)
+	// SearchCtx is SearchBand governed by a context: a done context (client
+	// disconnect, deadline) abandons the query at its next candidate
+	// boundary and returns the context's error; Options.QueryDeadline, when
+	// set, caps execution time on top. A nil context never cancels. A
+	// completed query is bit-identical to SearchBand.
+	SearchCtx(ctx context.Context, query []float64, epsilon float64, band int) (*Result, error)
+	// NearestKCtx is NearestKStatsBand governed by a context (see SearchCtx).
+	NearestKCtx(ctx context.Context, query []float64, k, band int) (*Result, error)
+	// SearchBatchCtx is SearchBatchBand governed by a context: a done
+	// context stops dispatching and abandons in-flight queries, failing the
+	// whole batch with the context's error.
+	SearchBatchCtx(ctx context.Context, queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error)
+	// DefaultBand returns the band half-width queries run under when no
+	// per-call override is given (Options.Band) — serving layers use it to
+	// resolve requests that omit the band.
+	DefaultBand() int
+	// ResultCacheStats snapshots the whole-query result cache counters
+	// (all zero when the cache is disabled).
+	ResultCacheStats() core.ResultCacheStats
+	// BuildSubseqIndex indexes sliding windows of the current contents for
+	// subsequence matching (per shard, fanned out, for a sharded backend).
+	BuildSubseqIndex(windowLens []int, step int) (*SubseqIndex, error)
 	// Len returns the number of live sequences.
 	Len() int
 	// DataBytes returns the logical size of the stored data.
@@ -130,13 +154,19 @@ func (db *DB) NearestKStatsWorkers(query []float64, k int, bound *SharedBound, w
 	return db.NearestKStatsBandWorkers(query, k, db.opts.Band, bound, workers)
 }
 
-// NearestKStatsBandWorkers is the most general k-NN entry point: explicit
-// Sakoe–Chiba band half-width (0 = unconstrained), optional cross-partition
-// shared bound, and explicit worker count. It is the form the sharded
-// engine calls per shard, so k-NN work shows up in per-shard counters and
-// the exported conservation law (Candidates = ΣPruned + DTWCalls) covers
-// k-NN traffic too.
+// NearestKStatsBandWorkers is NearestKStatsBandWorkersCtx with no context.
 func (db *DB) NearestKStatsBandWorkers(query []float64, k, band int, bound *SharedBound, workers int) ([]Match, QueryStats, error) {
+	return db.NearestKStatsBandWorkersCtx(nil, query, k, band, bound, workers)
+}
+
+// NearestKStatsBandWorkersCtx is the most general k-NN entry point:
+// explicit context (nil never cancels; a done context abandons the walk at
+// its next candidate boundary), Sakoe–Chiba band half-width
+// (0 = unconstrained), optional cross-partition shared bound, and explicit
+// worker count. It is the form the sharded engine calls per shard, so k-NN
+// work shows up in per-shard counters and the exported conservation law
+// (Candidates = ΣPruned + DTWCalls) covers k-NN traffic too.
+func (db *DB) NearestKStatsBandWorkersCtx(ctx context.Context, query []float64, k, band int, bound *SharedBound, workers int) ([]Match, QueryStats, error) {
 	if len(query) == 0 {
 		return nil, QueryStats{}, seq.ErrEmpty
 	}
@@ -146,5 +176,9 @@ func (db *DB) NearestKStatsBandWorkers(query []float64, k, band int, bound *Shar
 	if err := validateBand(band); err != nil {
 		return nil, QueryStats{}, err
 	}
-	return db.searcher(workers, band).NearestKSharedStats(seq.Sequence(query), k, bound)
+	return db.searcher(ctx, workers, band).NearestKSharedStats(seq.Sequence(query), k, bound)
 }
+
+// SearchBandWorkersCtx on *DB lives in twsim.go; together with
+// NearestKStatsBandWorkersCtx it satisfies the sharded engine's
+// shard.Store interface.

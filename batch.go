@@ -1,6 +1,7 @@
 package twsim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,6 +22,17 @@ func (db *DB) SearchBatch(queries [][]float64, epsilon float64, parallelism int)
 // SearchBatchBand is SearchBatch under an explicit Sakoe–Chiba band
 // half-width for this call (0 = unconstrained), overriding Options.Band.
 func (db *DB) SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error) {
+	return db.SearchBatchCtx(nil, queries, epsilon, band, parallelism)
+}
+
+// SearchBatchCtx is SearchBatchBand governed by a context: once ctx is done
+// the dispatcher stops feeding queries, in-flight queries abandon at their
+// next candidate boundary, and the whole batch fails with the context's
+// error. Options.QueryDeadline, when set, bounds the whole batch (the
+// deadline is attached once, not per query). The per-query result cache is
+// not consulted on the batch path — batch throughput is dominated by cold
+// queries, and the per-query stamping would serialize on the cache stripes.
+func (db *DB) SearchBatchCtx(ctx context.Context, queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error) {
 	if epsilon < 0 {
 		return nil, fmt.Errorf("twsim: negative tolerance %g", epsilon)
 	}
@@ -42,6 +54,8 @@ func (db *DB) SearchBatchBand(queries [][]float64, epsilon float64, band, parall
 	if len(queries) == 0 {
 		return out, nil
 	}
+	ctx, cancel := db.opts.applyDeadline(ctx)
+	defer cancel()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -59,7 +73,7 @@ func (db *DB) SearchBatchBand(queries [][]float64, epsilon float64, band, parall
 			defer wg.Done()
 			// One worker per query already fills the machine; nesting
 			// intra-query refine workers under that would oversubscribe.
-			m := db.searcher(1, band)
+			m := db.searcher(ctx, 1, band)
 			for i := range work {
 				if failed() {
 					continue // drain: the batch is already doomed

@@ -1,0 +1,431 @@
+// Command benchcache measures the whole-query result cache and the
+// serving-under-load tier (admission control + per-query deadlines),
+// writing the results as JSON.
+//
+// Usage:
+//
+//	go run ./cmd/benchcache                    # full run, writes BENCH_cache.json
+//	go run ./cmd/benchcache -smoke             # small CI smoke run (no file)
+//	go run ./cmd/benchcache -seqs 8000 -len 256
+//
+// Three legs, each with its own invariants:
+//
+//   - Latency: the same fixed-seed query set is run cold (every query a
+//     miss) and hot (every query a hit) at GOMAXPROCS 1 and full width.
+//     Every hot-path response must be flagged CacheHit with zero DTW
+//     calls and zero candidates — the hit path never touches the index.
+//     Full mode fails unless the hot p50 is at least 10x faster than the
+//     cold p50.
+//
+//   - Zipf mix: a Zipf-distributed query stream interleaved with writes
+//     (adds and removes) runs against a cached database and an uncached
+//     twin receiving the identical operation sequence. Every response
+//     must be bit-identical between the two — a stale hit surfaces as a
+//     divergence — and the measured hit ratio is recorded along with the
+//     invalidation count.
+//
+//   - Overload: a real HTTP server with MaxInflight/QueueDepth limits is
+//     hammered by more concurrent clients than it admits. The leg records
+//     accepted/shed counts and the accepted-request p50/p99; it fails
+//     unless shedding actually happened (429 + Retry-After observed) and
+//     every shed request carried the Retry-After header.
+//
+// Every row carries gomaxprocs, num_cpu, and cpu_model so a result file
+// is interpretable without knowing which machine produced it.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	twsim "repro"
+	"repro/internal/hostinfo"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+type latencyRow struct {
+	Engine    string  `json:"engine"`
+	Procs     int     `json:"gomaxprocs"`
+	NumCPU    int     `json:"num_cpu"`
+	CPUModel  string  `json:"cpu_model"`
+	Queries   int     `json:"queries"`
+	ColdP50us float64 `json:"cold_p50_us"`
+	ColdP99us float64 `json:"cold_p99_us"`
+	HotP50us  float64 `json:"hot_p50_us"`
+	HotP99us  float64 `json:"hot_p99_us"`
+	Speedup   float64 `json:"hot_speedup_p50"`
+	HitDTW    int     `json:"hit_dtw_calls"` // must be 0: hits never touch the index
+}
+
+type zipfRow struct {
+	Engine        string  `json:"engine"`
+	Procs         int     `json:"gomaxprocs"`
+	Ops           int     `json:"ops"`
+	Writes        int     `json:"writes"`
+	HitRatio      float64 `json:"hit_ratio"`
+	Invalidations int64   `json:"invalidations"`
+	Evictions     int64   `json:"evictions"`
+}
+
+type overloadRow struct {
+	MaxInflight int     `json:"max_inflight"`
+	QueueDepth  int     `json:"queue_depth"`
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests"`
+	Accepted    int     `json:"accepted"`
+	Shed        int     `json:"shed_429"`
+	AcceptP50ms float64 `json:"accepted_p50_ms"`
+	AcceptP99ms float64 `json:"accepted_p99_ms"`
+}
+
+type report struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	CPUModel   string        `json:"cpu_model"`
+	Sequences  int           `json:"sequences"`
+	SeqLen     int           `json:"seq_len"`
+	Smoke      bool          `json:"smoke"`
+	Latency    []latencyRow  `json:"latency"`
+	Zipf       []zipfRow     `json:"zipf_mix"`
+	Overload   []overloadRow `json:"overload"`
+}
+
+func percentile(d []time.Duration, p float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p * float64(len(s)-1))
+	return float64(s[i].Nanoseconds()) / 1e3 // microseconds
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_cache.json", "result file (empty = stdout only)")
+		smoke   = flag.Bool("smoke", false, "small fast run for CI; implies -out \"\" and skips the 10x latency fence")
+		seqs    = flag.Int("seqs", 4000, "number of random-walk sequences")
+		seqLen  = flag.Int("len", 128, "sequence length")
+		queries = flag.Int("queries", 64, "distinct queries in the latency leg")
+		ops     = flag.Int("ops", 2000, "operations in the Zipf mix leg")
+	)
+	flag.Parse()
+	if *smoke {
+		*out = ""
+		*seqs, *seqLen, *queries, *ops = 300, 64, 16, 300
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	data := synth.RandomWalkSet(rng, *seqs, *seqLen)
+	values := make([][]float64, len(data))
+	for i, s := range data {
+		values[i] = s
+	}
+	qs := synth.Queries(rng, data, *queries)
+	queryVals := make([][]float64, len(qs))
+	for i, q := range qs {
+		queryVals[i] = q
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     hostinfo.NumCPU(),
+		CPUModel:   hostinfo.CPUModel(),
+		Sequences:  *seqs,
+		SeqLen:     *seqLen,
+		Smoke:      *smoke,
+	}
+
+	epsilon := 0.25 * float64(*seqLen)
+
+	// ---- Leg 1: hot-hit vs cold latency, per GOMAXPROCS ----
+	for _, procs := range procsList() {
+		r := runLatencyLeg(values, queryVals, epsilon, procs)
+		rep.Latency = append(rep.Latency, r)
+		log.Printf("latency procs=%d: cold p50 %.1fus p99 %.1fus, hot p50 %.1fus p99 %.1fus (%.0fx)",
+			procs, r.ColdP50us, r.ColdP99us, r.HotP50us, r.HotP99us, r.Speedup)
+		if !*smoke && r.Speedup < 10 {
+			log.Fatalf("benchcache: hot p50 only %.1fx faster than cold at procs=%d, below the 10x fence", r.Speedup, procs)
+		}
+	}
+
+	// ---- Leg 2: Zipf query mix with interleaved writes ----
+	z := runZipfLeg(values, queryVals, epsilon, *ops)
+	rep.Zipf = append(rep.Zipf, z)
+	log.Printf("zipf mix: %d ops (%d writes): hit ratio %.2f, %d invalidations, %d evictions",
+		z.Ops, z.Writes, z.HitRatio, z.Invalidations, z.Evictions)
+
+	// ---- Leg 3: overload through a real HTTP server ----
+	o := runOverloadLeg(rng, *smoke)
+	rep.Overload = append(rep.Overload, o)
+	log.Printf("overload inflight=%d queue=%d clients=%d: %d accepted (p50 %.1fms, p99 %.1fms), %d shed with 429",
+		o.MaxInflight, o.QueueDepth, o.Clients, o.Accepted, o.AcceptP50ms, o.AcceptP99ms, o.Shed)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("benchcache: writing %s: %v", *out, err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}
+
+func procsList() []int {
+	n := runtime.NumCPU()
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+func openDB(values [][]float64, cacheBytes int64) *twsim.DB {
+	db, err := twsim.OpenMem(twsim.Options{ResultCacheBytes: cacheBytes})
+	if err != nil {
+		log.Fatalf("benchcache: open: %v", err)
+	}
+	if _, err := db.AddAll(values); err != nil {
+		log.Fatalf("benchcache: load: %v", err)
+	}
+	return db
+}
+
+func runLatencyLeg(values, queryVals [][]float64, epsilon float64, procs int) latencyRow {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	db := openDB(values, 64<<20)
+	defer db.Close()
+
+	// Warm pass primes the storage pools (not the result cache) so the
+	// cold timings measure query work, not first-touch page faults.
+	warm := openDB(values, 0)
+	for _, q := range queryVals {
+		if _, err := warm.SearchCtx(nil, q, epsilon, 0); err != nil {
+			log.Fatalf("benchcache: warm: %v", err)
+		}
+	}
+	warm.Close()
+
+	cold := make([]time.Duration, len(queryVals))
+	for i, q := range queryVals {
+		start := time.Now()
+		res, err := db.SearchCtx(nil, q, epsilon, 0)
+		cold[i] = time.Since(start)
+		if err != nil {
+			log.Fatalf("benchcache: cold query %d: %v", i, err)
+		}
+		if res.CacheHit {
+			log.Fatalf("benchcache: cold query %d reported a cache hit", i)
+		}
+	}
+	hot := make([]time.Duration, len(queryVals))
+	hitDTW := 0
+	for i, q := range queryVals {
+		start := time.Now()
+		res, err := db.SearchCtx(nil, q, epsilon, 0)
+		hot[i] = time.Since(start)
+		if err != nil {
+			log.Fatalf("benchcache: hot query %d: %v", i, err)
+		}
+		if !res.CacheHit {
+			log.Fatalf("benchcache: hot query %d missed the cache", i)
+		}
+		if res.Stats.DTWCalls != 0 || res.Stats.Candidates != 0 {
+			log.Fatalf("benchcache: hot query %d did index work: %+v", i, res.Stats)
+		}
+		hitDTW += res.Stats.DTWCalls
+	}
+	r := latencyRow{
+		Engine:    "single",
+		Procs:     procs,
+		NumCPU:    hostinfo.NumCPU(),
+		CPUModel:  hostinfo.CPUModel(),
+		Queries:   len(queryVals),
+		ColdP50us: percentile(cold, 0.50),
+		ColdP99us: percentile(cold, 0.99),
+		HotP50us:  percentile(hot, 0.50),
+		HotP99us:  percentile(hot, 0.99),
+		HitDTW:    hitDTW,
+	}
+	if r.HotP50us > 0 {
+		r.Speedup = r.ColdP50us / r.HotP50us
+	}
+	return r
+}
+
+func runZipfLeg(values, queryVals [][]float64, epsilon float64, ops int) zipfRow {
+	cached := openDB(values, 64<<20)
+	defer cached.Close()
+	plain := openDB(values, 0)
+	defer plain.Close()
+
+	rng := rand.New(rand.NewSource(77))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(len(queryVals)-1))
+	writes := 0
+	var added []twsim.ID
+	for op := 0; op < ops; op++ {
+		// Roughly 1 write per 8 queries, alternating adds and removes, so
+		// generations keep advancing while the hot head of the Zipf
+		// distribution re-warms.
+		if op%8 == 7 {
+			writes++
+			if len(added) > 4 && rng.Intn(2) == 0 {
+				victim := added[0]
+				added = added[1:]
+				for _, db := range []*twsim.DB{cached, plain} {
+					if _, err := db.Remove(victim); err != nil {
+						log.Fatalf("benchcache: zipf remove: %v", err)
+					}
+				}
+			} else {
+				walk := synth.RandomWalkSet(rng, 1, len(values[0]))[0]
+				id, err := cached.Add(walk)
+				if err != nil {
+					log.Fatalf("benchcache: zipf add: %v", err)
+				}
+				id2, err := plain.Add(walk)
+				if err != nil {
+					log.Fatalf("benchcache: zipf add twin: %v", err)
+				}
+				if id != id2 {
+					log.Fatalf("benchcache: twin databases assigned different IDs (%d vs %d)", id, id2)
+				}
+				added = append(added, id)
+			}
+			continue
+		}
+		q := queryVals[int(zipf.Uint64())]
+		got, err := cached.SearchCtx(nil, q, epsilon, 0)
+		if err != nil {
+			log.Fatalf("benchcache: zipf query: %v", err)
+		}
+		want, err := plain.SearchCtx(nil, q, epsilon, 0)
+		if err != nil {
+			log.Fatalf("benchcache: zipf twin query: %v", err)
+		}
+		if err := sameMatches(got.Matches, want.Matches); err != nil {
+			log.Fatalf("benchcache: cached result diverged from uncached twin after %d writes (cache_hit=%v): %v",
+				writes, got.CacheHit, err)
+		}
+	}
+	st := cached.ResultCacheStats()
+	return zipfRow{
+		Engine:        "single",
+		Procs:         runtime.GOMAXPROCS(0),
+		Ops:           ops,
+		Writes:        writes,
+		HitRatio:      st.HitRatio(),
+		Invalidations: st.Invalidations,
+		Evictions:     st.Evictions,
+	}
+}
+
+func sameMatches(a, b []twsim.Match) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d matches vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+			return fmt.Errorf("match %d: (%d, %g) vs (%d, %g)", i, a[i].ID, a[i].Dist, b[i].ID, b[i].Dist)
+		}
+	}
+	return nil
+}
+
+func runOverloadLeg(rng *rand.Rand, smoke bool) overloadRow {
+	// The leg needs queries slow enough that the burst actually piles up
+	// at admission, independent of the (possibly tiny) smoke corpus: a
+	// dedicated dataset where a huge epsilon forces every stored sequence
+	// through exact DTW (~100ms+ per query).
+	overloadData := synth.RandomWalkSet(rng, 1500, 100)
+	values := make([][]float64, len(overloadData))
+	for i, s := range overloadData {
+		values[i] = s
+	}
+	oqs := synth.Queries(rng, overloadData, 16)
+	queryVals := make([][]float64, len(oqs))
+	for i, q := range oqs {
+		queryVals[i] = q
+	}
+	db := openDB(values, 0)
+	defer db.Close()
+	limits := server.Limits{MaxInflight: 2, QueueDepth: 2}
+	srv := server.NewBackendLimits(db, limits)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	clients := 16
+	perClient := 8
+	if smoke {
+		clients, perClient = 8, 4
+	}
+	const overloadEpsilon = 1e12
+	fire := make(chan struct{})
+	var (
+		mu       sync.Mutex
+		accepted []time.Duration
+		shed     int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := server.NewClient(ts.URL, ts.Client())
+			<-fire
+			for i := 0; i < perClient; i++ {
+				q := queryVals[(c*perClient+i)%len(queryVals)]
+				start := time.Now()
+				_, err := cl.SearchCtx(nil, q, overloadEpsilon, 0)
+				elapsed := time.Since(start)
+				var oe *server.ErrOverloaded
+				switch {
+				case err == nil:
+					mu.Lock()
+					accepted = append(accepted, elapsed)
+					mu.Unlock()
+				case errors.As(err, &oe):
+					if oe.RetryAfter <= 0 {
+						log.Fatalf("benchcache: 429 without a Retry-After")
+					}
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				default:
+					log.Fatalf("benchcache: overload client %d: %v", c, err)
+				}
+			}
+		}(c)
+	}
+	close(fire)
+	wg.Wait()
+	if shed == 0 {
+		log.Fatalf("benchcache: overload leg shed nothing (%d clients against %d slots + %d queue); the admission tier never engaged",
+			clients, limits.MaxInflight, limits.QueueDepth)
+	}
+	return overloadRow{
+		MaxInflight: limits.MaxInflight,
+		QueueDepth:  limits.QueueDepth,
+		Clients:     clients,
+		Requests:    clients * perClient,
+		Accepted:    len(accepted),
+		Shed:        shed,
+		AcceptP50ms: percentile(accepted, 0.50) / 1e3,
+		AcceptP99ms: percentile(accepted, 0.99) / 1e3,
+	}
+}

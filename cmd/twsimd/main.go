@@ -43,6 +43,24 @@
 // without page I/O or deserialization. The cache+pool hit ratios are
 // reported under "storage" in GET /stats and as gauges on GET /metrics.
 //
+// Serving under load:
+//
+//   - -result-cache-mb M enables the whole-query result cache (default 0 =
+//     off): a repeated /search or /knn answers from memory with zero
+//     index/heap/DTW work. Any write invalidates affected entries via the
+//     database's write generation, so a hit is always bit-identical to
+//     recomputing. Counters: twsim_result_cache_* on /metrics,
+//     "result_cache" on /stats; hits carry "cache_hit": true.
+//   - -deadline-ms T bounds each query's execution (0 = none); a query past
+//     the deadline is abandoned at its next candidate boundary and answers
+//     503. A client that disconnects mid-query likewise has its query
+//     abandoned (logged as 499).
+//   - -max-inflight N caps the queries executing at once (0 = unlimited);
+//     up to -queue-depth more wait for a slot, and anything beyond that is
+//     shed immediately with 429 + Retry-After (seconds set by
+//     -retry-after-s). Outcome counters:
+//     twsim_queries_{shed,cancelled,deadline_exceeded}_total.
+//
 // Observability:
 //
 //   - GET /metrics serves the Prometheus text exposition (per-endpoint
@@ -94,6 +112,12 @@ func main() {
 		band    = flag.Int("band", 0, "default Sakoe-Chiba band half-width queries answer under (0 = unconstrained; requests may override per query)")
 		cacheMB = flag.Int("seq-cache-mb", 4, "decoded-sequence cache size in MiB per partition (0 = disabled)")
 
+		resultCacheMB = flag.Int("result-cache-mb", 0, "whole-query result cache size in MiB (0 = disabled); repeated queries answer from memory with zero index/DTW work, invalidated by any write")
+		deadlineMS    = flag.Int("deadline-ms", 0, "per-query execution deadline in milliseconds (0 = none); a query past it is abandoned and answers 503")
+		maxInflight   = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = unlimited); excess queries queue then shed with 429")
+		queueDepth    = flag.Int("queue-depth", 64, "queries allowed to wait for an execution slot when -max-inflight is set; arrivals beyond it shed immediately")
+		retryAfterS   = flag.Int("retry-after-s", 0, "Retry-After seconds advertised on shed (429) responses (0 = 1s)")
+
 		slowMS    = flag.Int("slow-query-ms", 0, "log queries at or above this wall time in milliseconds (0 = disabled)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 
@@ -113,6 +137,8 @@ func main() {
 		Band:               *band,
 		IndexEngine:        *engine,
 		SeqCacheBytes:      int64(*cacheMB) << 20,
+		ResultCacheBytes:   int64(*resultCacheMB) << 20,
+		QueryDeadline:      time.Duration(*deadlineMS) * time.Millisecond,
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
 	}
 	var db twsim.Backend
@@ -157,7 +183,11 @@ func main() {
 		log.Printf("twsimd: integrity check passed (%d sequences)", db.Len())
 	}
 
-	srv := server.NewBackend(db)
+	srv := server.NewBackendLimits(db, server.Limits{
+		MaxInflight:       *maxInflight,
+		QueueDepth:        *queueDepth,
+		RetryAfterSeconds: *retryAfterS,
+	})
 	httpSrv := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,

@@ -80,7 +80,7 @@ func (a *AdaptiveSearch) Search(q seq.Sequence, epsilon float64) (*Result, error
 		}
 		sortMatches(res.Matches)
 	} else {
-		res.Matches, err = refine(a.DB, a.Base, q, epsilon, entries, false, 0, nil, 1, &res.Stats)
+		res.Matches, err = refine(nil, a.DB, a.Base, q, epsilon, entries, false, 0, nil, 1, &res.Stats)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -10,6 +11,23 @@ import (
 	"repro/internal/seq"
 	"repro/internal/seqdb"
 )
+
+// ctxErr reports the context's error when it is already done; a nil context
+// never cancels. Cancellation is checked at candidate boundaries (one check
+// per dispatch slot, never per DP cell), so an abandoned query stops issuing
+// DTW calls after at most one in-flight candidate per worker — cheap enough
+// to sit on the hot path, prompt enough to matter under load.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // Searcher is a whole-matching similarity search method: it returns every
 // data sequence S with Dtw(S, Q) ≤ epsilon. All implementations in this
@@ -39,11 +57,11 @@ type Searcher interface {
 // refineParallel); the matches and the aggregated stats are bit-identical
 // to the serial loop because the pruning cutoff is the fixed tolerance ε,
 // so every candidate's verdict is independent of evaluation order.
-func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
+func refine(ctx context.Context, db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 	entries []IndexEntry, noCascade bool, band int, envs *EnvStore,
 	workers int, stats *QueryStats) ([]Match, error) {
 	if workers > 1 && len(entries) > 1 {
-		return refineParallel(db, base, q, epsilon, len(entries),
+		return refineParallel(ctx, db, base, q, epsilon, len(entries),
 			func(i int) (seq.ID, [4]float64, bool) { return entries[i].ID, entries[i].Point, true },
 			noCascade, band, envs, workers, stats)
 	}
@@ -51,6 +69,9 @@ func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 	defer c.close()
 	var matches []Match
 	for _, e := range entries {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if !c.admitPoint(e.Point, epsilon, stats) {
 			continue
 		}
@@ -78,7 +99,7 @@ func refine(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 func refineIDs(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 	candidates []seq.ID, noCascade bool, workers int, stats *QueryStats) ([]Match, error) {
 	if workers > 1 && len(candidates) > 1 {
-		return refineParallel(db, base, q, epsilon, len(candidates),
+		return refineParallel(nil, db, base, q, epsilon, len(candidates),
 			func(i int) (seq.ID, [4]float64, bool) { return candidates[i], [4]float64{}, false },
 			noCascade, 0, nil, workers, stats)
 	}
@@ -240,6 +261,13 @@ type TWSimSearch struct {
 	// plain mindist stream. Results are bit-identical either way; the flag
 	// exists for benchmarks and equivalence tests. NoCascade implies it.
 	NoEnvOrder bool
+	// Ctx, when set, cancels the query at the next candidate boundary: the
+	// refine loop (serial or parallel) and the k-NN walk check it once per
+	// candidate and return its error, so an abandoned query stops issuing
+	// DTW calls promptly. Cancellation can only abandon work, never skip a
+	// qualifying candidate, so a completed query is bit-identical whether or
+	// not a context was attached. Nil never cancels.
+	Ctx context.Context
 }
 
 // Name implements Searcher.
@@ -247,6 +275,9 @@ func (t *TWSimSearch) Name() string { return "TW-Sim-Search" }
 
 // Search implements Searcher.
 func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
+	if err := ctxErr(t.Ctx); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	dbBefore := t.DB.Stats()
 	idxBefore := t.Index.Stats()
@@ -280,7 +311,7 @@ func (t *TWSimSearch) Search(q seq.Sequence, epsilon float64) (*Result, error) {
 	res.Stats.Candidates = len(entries) + envPruned
 	res.Stats.LBPAAPruned = envPruned
 	refineStart := time.Now()
-	res.Matches, err = refine(t.DB, t.Base, q, epsilon, entries, t.NoCascade, t.Band, t.Envs, t.Workers, &res.Stats)
+	res.Matches, err = refine(t.Ctx, t.DB, t.Base, q, epsilon, entries, t.NoCascade, t.Band, t.Envs, t.Workers, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -463,6 +494,10 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 	}
 	var walkErr error
 	err = t.knnWalk(q, fq, stats, func(id seq.ID, key float64) bool {
+		if cerr := ctxErr(t.Ctx); cerr != nil {
+			walkErr = cerr
+			return false
+		}
 		cutoff := cutoffNow()
 		if key > cutoff {
 			return false // every later candidate has Dtw >= key > cutoff
@@ -561,6 +596,9 @@ func (t *TWSimSearch) nearestKShared(q seq.Sequence, k int, shared *SharedBound,
 	// candidate out on its Tier 1 bound or runs the DP the search truly
 	// cannot avoid.
 	for len(dq) > 0 {
+		if err := ctxErr(t.Ctx); err != nil {
+			return nil, err
+		}
 		top := dq.pop()
 		cutoff := cutoffNow()
 		if top.lb > cutoff {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -24,7 +25,11 @@ import (
 //
 // candAt returns the i-th candidate's ID, its stored index point, and
 // whether a point exists (Tier 0 is skipped for bare-ID filters).
-func refineParallel(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
+//
+// ctx is checked once per dispatch slot — the moment a worker claims its
+// next candidate index, before any fetch or DP — so a cancelled query stops
+// issuing DTW calls after at most one in-flight candidate per worker.
+func refineParallel(ctx context.Context, db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64,
 	n int, candAt func(int) (seq.ID, [4]float64, bool),
 	noCascade bool, band int, envs *EnvStore, workers int, stats *QueryStats) ([]Match, error) {
 	if workers > n {
@@ -51,6 +56,11 @@ func refineParallel(db *seqdb.DB, base seq.Base, q seq.Sequence, epsilon float64
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
+					return
+				}
+				if cerr := ctxErr(ctx); cerr != nil {
+					workerErrs[w], errAt[w] = cerr, i
+					failed.Store(true)
 					return
 				}
 				id, pt, hasPt := candAt(i)
@@ -168,6 +178,11 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 				if failed.Load() {
 					continue // drain so the producer never blocks
 				}
+				if cerr := ctxErr(t.Ctx); cerr != nil {
+					workerErrs[w] = cerr
+					failed.Store(true)
+					continue
+				}
 				// Tier 0.5 before the fetch; dismissed candidates still
 				// count so Candidates = ΣPruned + DTWCalls holds.
 				if !c.admitEnvelope(cand.id, cutoff(), ws) {
@@ -222,8 +237,13 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 		}(w)
 	}
 
+	var ctxAbort error
 	walkErr := t.knnWalk(q, fq, stats, func(id seq.ID, key float64) bool {
 		if failed.Load() {
+			return false
+		}
+		if cerr := ctxErr(t.Ctx); cerr != nil {
+			ctxAbort = cerr
 			return false
 		}
 		if key > cutoff() {
@@ -245,6 +265,9 @@ func (t *TWSimSearch) nearestKParallel(q seq.Sequence, fq seq.Feature, k, worker
 	}
 	if walkErr != nil {
 		return nil, walkErr
+	}
+	if ctxAbort != nil {
+		return nil, ctxAbort
 	}
 	return best, nil
 }

@@ -211,6 +211,11 @@ type Result struct {
 	// and the slow-query log records it, so a slow request in the log can
 	// be joined with the response that produced it.
 	RequestID uint64
+	// CacheHit reports that the matches were served from the whole-query
+	// result cache: Stats then carries zero work counters (no index walk,
+	// no fetch, no DTW ran — the conservation law holds trivially as 0=0)
+	// and only Results and Wall are populated.
+	CacheHit bool
 }
 
 // IDs returns the matched sequence IDs in result order.

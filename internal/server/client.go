@@ -2,9 +2,12 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // Client is a Go client for the twsimd HTTP API.
@@ -27,7 +30,28 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// ErrOverloaded is returned when the server shed the request at admission
+// control (429). RetryAfter carries the server's suggested backoff, when
+// given. Detect it with errors.As and respect RetryAfter before resending.
+type ErrOverloaded struct {
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *ErrOverloaded) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("twsimd: overloaded: %s (retry after %s)", e.Message, e.RetryAfter)
+	}
+	return "twsimd: overloaded: " + e.Message
+}
+
 func (c *Client) do(method, path string, body, out any) error {
+	return c.doCtx(nil, method, path, body, out)
+}
+
+// doCtx issues one request; a nil ctx means no cancellation. A 429 response
+// becomes *ErrOverloaded with the server's Retry-After parsed.
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) error {
 	var reqBody *bytes.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -38,7 +62,10 @@ func (c *Client) do(method, path string, body, out any) error {
 	} else {
 		reqBody = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequest(method, c.base+path, reqBody)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reqBody)
 	if err != nil {
 		return err
 	}
@@ -51,10 +78,20 @@ func (c *Client) do(method, path string, body, out any) error {
 	dec := json.NewDecoder(resp.Body)
 	if resp.StatusCode >= 400 {
 		var ae apiError
-		if err := dec.Decode(&ae); err == nil && ae.Error != "" {
-			return fmt.Errorf("twsimd: %s (%s)", ae.Error, resp.Status)
+		if err := dec.Decode(&ae); err != nil || ae.Error == "" {
+			ae.Error = resp.Status
 		}
-		return fmt.Errorf("twsimd: %s", resp.Status)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			oe := &ErrOverloaded{Message: ae.Error}
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				oe.RetryAfter = time.Duration(secs) * time.Second
+			}
+			return oe
+		}
+		if ae.Error == resp.Status {
+			return fmt.Errorf("twsimd: %s", resp.Status)
+		}
+		return fmt.Errorf("twsimd: %s (%s)", ae.Error, resp.Status)
 	}
 	if out == nil {
 		return nil
@@ -154,6 +191,21 @@ func (c *Client) SearchBand(query []float64, epsilon float64, band int) (*Search
 	return &out, nil
 }
 
+// SearchCtx is SearchBand governed by a context: cancelling ctx closes the
+// connection, which the server observes and abandons the query server-side
+// too. band < 0 means the server's default (the band field is omitted).
+func (c *Client) SearchCtx(ctx context.Context, query []float64, epsilon float64, band int) (*SearchResponse, error) {
+	body := map[string]any{"query": query, "epsilon": epsilon}
+	if band >= 0 {
+		body["band"] = band
+	}
+	var out SearchResponse
+	if err := c.doCtx(ctx, http.MethodPost, "/search", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // NearestK returns the k nearest sequences under time warping, under the
 // server's default band.
 func (c *Client) NearestK(query []float64, k int) ([]MatchJSON, error) {
@@ -172,6 +224,21 @@ func (c *Client) NearestKBand(query []float64, k, band int) ([]MatchJSON, error)
 	}
 	err := c.do(http.MethodPost, "/knn", map[string]any{"query": query, "k": k, "band": band}, &out)
 	return out.Matches, err
+}
+
+// NearestKCtx is NearestKBand governed by a context (see SearchCtx),
+// returning the full response with stats, request ID and cache-hit flag.
+// band < 0 means the server's default.
+func (c *Client) NearestKCtx(ctx context.Context, query []float64, k, band int) (*SearchResponse, error) {
+	body := map[string]any{"query": query, "k": k}
+	if band >= 0 {
+		body["band"] = band
+	}
+	var out SearchResponse
+	if err := c.doCtx(ctx, http.MethodPost, "/knn", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // BuildSubseqIndex builds the server-side subsequence index.

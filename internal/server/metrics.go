@@ -126,6 +126,34 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("twsim_seq_cache_entries", "", "Sequences resident in the decoded-sequence cache.", pool(func(st twsim.StorageStats) float64 { return float64(st.Cache.Entries) }))
 	reg.GaugeFunc("twsim_seq_cache_hit_ratio", "", "Decoded-sequence cache hit ratio.", pool(func(st twsim.StorageStats) float64 { return st.Cache.HitRatio() }))
 
+	// Whole-query result cache: collectors snapshot ResultCacheStats at
+	// scrape time (all series read 0 with the cache disabled).
+	rc := func(sel func(core.ResultCacheStats) float64) func() float64 {
+		return func() float64 { return sel(s.backend.ResultCacheStats()) }
+	}
+	reg.CounterFunc("twsim_result_cache_hits_total", "", "Queries answered from the result cache with zero index/DTW work.",
+		rc(func(st core.ResultCacheStats) float64 { return float64(st.Hits) }))
+	reg.CounterFunc("twsim_result_cache_misses_total", "", "Result cache lookups that fell through to the index.",
+		rc(func(st core.ResultCacheStats) float64 { return float64(st.Misses) }))
+	reg.CounterFunc("twsim_result_cache_evictions_total", "", "Result cache entries evicted to stay within the byte budget.",
+		rc(func(st core.ResultCacheStats) float64 { return float64(st.Evictions) }))
+	reg.CounterFunc("twsim_result_cache_invalidations_total", "", "Result cache entries dropped because a write advanced the database generation.",
+		rc(func(st core.ResultCacheStats) float64 { return float64(st.Invalidations) }))
+	reg.GaugeFunc("twsim_result_cache_bytes", "", "Bytes resident in the result cache.",
+		rc(func(st core.ResultCacheStats) float64 { return float64(st.Bytes) }))
+	reg.GaugeFunc("twsim_result_cache_entries", "", "Entries resident in the result cache.",
+		rc(func(st core.ResultCacheStats) float64 { return float64(st.Entries) }))
+	reg.GaugeFunc("twsim_result_cache_hit_ratio", "", "Result cache hit ratio.",
+		rc(func(st core.ResultCacheStats) float64 { return st.HitRatio() }))
+
+	// Admission-control outcomes (see Limits): shed at the queue (429),
+	// abandoned on client disconnect (499), abandoned on the per-query
+	// deadline (503).
+	reg.CounterFunc("twsim_queries_shed_total", "", "Queries rejected at admission control with 429.", counterOf(&s.shed))
+	reg.CounterFunc("twsim_queries_cancelled_total", "", "Queries abandoned because the client disconnected (499).", counterOf(&s.cancelled))
+	reg.CounterFunc("twsim_queries_deadline_exceeded_total", "", "Queries abandoned on the per-query deadline (503).", counterOf(&s.deadlineExceeded))
+	reg.GaugeFunc("twsim_queries_queued", "", "Queries currently waiting for an admission slot.", counterOf(&s.queued))
+
 	return m
 }
 

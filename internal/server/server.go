@@ -22,10 +22,16 @@
 // ...]) for spotting skew. /stats always carries "query_totals" — the
 // cumulative /search work counters including the refinement cascade's
 // per-tier prune counts, which each /search response also reports for its
-// own query. The subsequence endpoints require a single-database
-// backend and answer 501 otherwise. Every error returns JSON
-// {"error": "..."} with an appropriate status code; queries containing NaN
-// or ±Inf are rejected with 400 (twsim.ErrNonFinite).
+// own query — plus "result_cache" (the whole-query cache counters) and
+// "admission" (in-flight limits and shed/cancelled/deadline outcomes).
+// The subsequence endpoints work on both engine shapes: a sharded backend
+// builds one window index per shard and merges fan-out results into the
+// global ID space. Every error returns JSON {"error": "..."} with an
+// appropriate status code; queries containing NaN or ±Inf are rejected
+// with 400 (twsim.ErrNonFinite). Queries abandoned because the client
+// disconnected answer 499 (nginx's convention); queries past
+// Options.QueryDeadline answer 503; queries shed at admission control
+// (NewBackendLimits) answer 429 with a Retry-After header.
 //
 // Observability: every endpoint is instrumented with request counters (by
 // status class) and latency histograms, exported together with the query
@@ -36,6 +42,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,23 +58,61 @@ import (
 	"repro/internal/pagefile"
 )
 
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// reported when a query was abandoned because the client disconnected
+// before the answer was computed. The response is never seen by that
+// client; the status exists for the access-side metrics.
+const StatusClientClosedRequest = 499
+
 // MaxBodyBytes bounds request bodies to keep a misbehaving client from
 // exhausting memory (16 MiB ≈ a 2M-element sequence).
 const MaxBodyBytes = 16 << 20
 
+// Limits configures the admission-control tier in front of the query
+// endpoints (/search, /knn). The zero value disables admission control.
+type Limits struct {
+	// MaxInflight bounds the queries executing concurrently. 0 disables
+	// admission control entirely (no semaphore, no queue, no shedding).
+	MaxInflight int
+	// QueueDepth bounds the queries waiting for an execution slot once
+	// MaxInflight are running; an arrival finding the queue full is shed
+	// with 429 and a Retry-After header. 0 means no waiting: every arrival
+	// beyond MaxInflight is shed immediately.
+	QueueDepth int
+	// RetryAfterSeconds is the Retry-After value sent with a 429
+	// (0 = 1 second).
+	RetryAfterSeconds int
+}
+
+func (l Limits) retryAfter() string {
+	if l.RetryAfterSeconds <= 0 {
+		return "1"
+	}
+	return strconv.Itoa(l.RetryAfterSeconds)
+}
+
 // Server is an http.Handler serving one twsim.Backend.
 type Server struct {
 	backend twsim.Backend
-	// db and locked are non-nil only for single-database backends: db
-	// powers the subsequence endpoints, locked is the write serialization
-	// wrapped around it (a ShardedDB synchronizes internally instead).
-	db      *twsim.DB
+	// locked is non-nil only for single-database backends: the write
+	// serialization wrapped around the bare *twsim.DB (a ShardedDB
+	// synchronizes internally instead).
 	locked  *lockedDB
 	smu     sync.RWMutex       // guards subseq
 	subseq  *twsim.SubseqIndex // built on demand via /subseq/build
 	totals  queryTotals        // cumulative /search + /knn work since the server started
 	metrics *serverMetrics     // obs registry + per-endpoint instruments (/metrics)
 	mux     *http.ServeMux
+
+	// Admission control (see Limits). sem is nil when disabled; queued
+	// tracks the waiters so arrivals beyond the queue depth shed fast.
+	limits Limits
+	sem    chan struct{}
+	queued atomic.Int64
+	// Traffic-shaping outcome counters, exported on /metrics and /stats:
+	// queries shed at admission (429), abandoned because the client
+	// disconnected (499), and abandoned on the per-query deadline (503).
+	shed, cancelled, deadlineExceeded atomic.Int64
 }
 
 // queryTotals accumulates the work counters of every /search and /knn the
@@ -199,6 +244,40 @@ func (l *lockedDB) SearchBatchBand(queries [][]float64, epsilon float64, band, p
 	return l.db.SearchBatchBand(queries, epsilon, band, parallelism)
 }
 
+func (l *lockedDB) SearchCtx(ctx context.Context, query []float64, epsilon float64, band int) (*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.SearchCtx(ctx, query, epsilon, band)
+}
+
+func (l *lockedDB) NearestKCtx(ctx context.Context, query []float64, k, band int) (*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.NearestKCtx(ctx, query, k, band)
+}
+
+func (l *lockedDB) SearchBatchCtx(ctx context.Context, queries [][]float64, epsilon float64, band, parallelism int) ([]*twsim.Result, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.SearchBatchCtx(ctx, queries, epsilon, band, parallelism)
+}
+
+func (l *lockedDB) DefaultBand() int {
+	return l.db.DefaultBand()
+}
+
+func (l *lockedDB) ResultCacheStats() core.ResultCacheStats {
+	return l.db.ResultCacheStats()
+}
+
+// BuildSubseqIndex scans the heap, so writers are excluded for its
+// duration; concurrent searches may proceed (read lock).
+func (l *lockedDB) BuildSubseqIndex(windowLens []int, step int) (*twsim.SubseqIndex, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.BuildSubseqIndex(windowLens, step)
+}
+
 func (l *lockedDB) Len() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -269,12 +348,22 @@ func New(db *twsim.DB) *Server { return NewBackend(db) }
 // concurrent writers on its own); every other backend — notably
 // *twsim.ShardedDB, which locks per shard — is trusted to synchronize
 // itself, so concurrent writes flow through untouched.
-func NewBackend(b twsim.Backend) *Server {
-	s := &Server{backend: b, mux: http.NewServeMux()}
+func NewBackend(b twsim.Backend) *Server { return NewBackendLimits(b, Limits{}) }
+
+// NewBackendLimits is NewBackend with admission control: at most
+// limits.MaxInflight queries execute at once, up to limits.QueueDepth more
+// wait for a slot (abandoning the wait if the client disconnects), and any
+// further arrival is shed immediately with 429 + Retry-After. Mutation and
+// introspection endpoints are not throttled — only /search, /knn and
+// /subseq/search, the handlers that burn CPU on DTW work.
+func NewBackendLimits(b twsim.Backend, limits Limits) *Server {
+	s := &Server{backend: b, mux: http.NewServeMux(), limits: limits}
 	if db, ok := b.(*twsim.DB); ok {
-		s.db = db
 		s.locked = &lockedDB{db: db}
 		s.backend = s.locked
+	}
+	if limits.MaxInflight > 0 {
+		s.sem = make(chan struct{}, limits.MaxInflight)
 	}
 	s.metrics = newServerMetrics(s)
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealth))
@@ -331,11 +420,83 @@ type StatsJSON struct {
 
 // SearchResponse is the /search (and /knn) reply. RequestID is the
 // process-unique query identifier the slow-query log records; joining the
-// two attributes a logged slow query to the client that sent it.
+// two attributes a logged slow query to the client that sent it. CacheHit
+// reports the answer came from the result cache without touching the index
+// (the stats' work counters are all zero then).
 type SearchResponse struct {
 	Matches   []MatchJSON `json:"matches"`
 	Stats     StatsJSON   `json:"stats"`
 	RequestID uint64      `json:"request_id"`
+	CacheHit  bool        `json:"cache_hit,omitempty"`
+}
+
+// ---- admission control ----
+
+// admit gates a query behind the admission semaphore. It returns a release
+// func and true when the query may run; otherwise it has already written
+// the refusal (429 when shed, 499 when the client gave up while queued)
+// and returns false. With admission control disabled it is a no-op.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	// Fast path: a slot is free.
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	// All slots busy: queue if there is room, else shed. The counter is
+	// incremented optimistically so two racing arrivals cannot both sneak
+	// into the last queue slot.
+	if s.queued.Add(1) > int64(s.limits.QueueDepth) {
+		s.queued.Add(-1)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", s.limits.retryAfter())
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server overloaded (%d in flight, %d queued); retry later",
+				s.limits.MaxInflight, s.limits.QueueDepth))
+		return nil, false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-r.Context().Done():
+		s.cancelled.Add(1)
+		writeError(w, StatusClientClosedRequest, r.Context().Err())
+		return nil, false
+	}
+}
+
+// queryError maps a failed query to its status: 499 when the client
+// disconnected mid-query, 503 when the per-query deadline expired, 400 for
+// everything else (validation). The outcome counters feed /metrics and
+// /stats.
+func (s *Server) queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		writeError(w, StatusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineExceeded.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// readGuard excludes writers while the caller reads the heap outside the
+// Backend methods (the subsequence index keeps direct references into the
+// store). For a single-database backend it takes the read lock; a sharded
+// backend locks per shard inside its own fan-out, so no outer lock is
+// needed.
+func (s *Server) readGuard() (unguard func()) {
+	if s.locked == nil {
+		return func() {}
+	}
+	s.locked.mu.RLock()
+	return s.locked.mu.RUnlock
 }
 
 // ---- handlers ----
@@ -403,6 +564,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ies := s.backend.IndexEngineStats()
+	rcs := s.backend.ResultCacheStats()
 	out := map[string]any{
 		"sequences":    s.backend.Len(),
 		"data_bytes":   s.backend.DataBytes(),
@@ -416,6 +578,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"delta_entries":       ies.DeltaEntries,
 			"merges":              ies.Merges,
 			"slab_bytes":          ies.SlabBytes,
+		},
+		"result_cache": map[string]any{
+			"hits":          rcs.Hits,
+			"misses":        rcs.Misses,
+			"evictions":     rcs.Evictions,
+			"invalidations": rcs.Invalidations,
+			"bytes":         rcs.Bytes,
+			"entries":       rcs.Entries,
+			"hit_ratio":     rcs.HitRatio(),
+		},
+		"admission": map[string]any{
+			"max_inflight":      s.limits.MaxInflight,
+			"queue_depth":       s.limits.QueueDepth,
+			"queued":            s.queued.Load(),
+			"shed":              s.shed.Load(),
+			"cancelled":         s.cancelled.Load(),
+			"deadline_exceeded": s.deadlineExceeded.Load(),
 		},
 	}
 	// Sharded backends additionally report a per-shard breakdown so
@@ -535,19 +714,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	var res *twsim.Result
-	var err error
+	band := s.backend.DefaultBand()
 	if req.Band != nil {
 		if *req.Band < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("negative band half-width %d", *req.Band))
 			return
 		}
-		res, err = s.backend.SearchBand(req.Query, req.Epsilon, *req.Band)
-	} else {
-		res, err = s.backend.Search(req.Query, req.Epsilon)
+		band = *req.Band
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	res, err := s.backend.SearchCtx(r.Context(), req.Query, req.Epsilon, band)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.queryError(w, err)
 		return
 	}
 	s.totals.accumulate(res.Stats)
@@ -574,19 +756,22 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("k must be non-negative"))
 		return
 	}
-	var res *twsim.Result
-	var err error
+	band := s.backend.DefaultBand()
 	if req.Band != nil {
 		if *req.Band < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("negative band half-width %d", *req.Band))
 			return
 		}
-		res, err = s.backend.NearestKStatsBand(req.Query, req.K, *req.Band)
-	} else {
-		res, err = s.backend.NearestKStats(req.Query, req.K)
+		band = *req.Band
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	res, err := s.backend.NearestKCtx(r.Context(), req.Query, req.K, band)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.queryError(w, err)
 		return
 	}
 	s.totals.accumulate(res.Stats)
@@ -599,11 +784,6 @@ func (s *Server) handleSubseqBuild(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w)
 		return
 	}
-	if s.db == nil {
-		writeError(w, http.StatusNotImplemented,
-			errors.New("subsequence indexing requires a single-database backend"))
-		return
-	}
 	var req struct {
 		WindowLens []int `json:"window_lens"`
 		Step       int   `json:"step"`
@@ -611,11 +791,10 @@ func (s *Server) handleSubseqBuild(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	// The build scans the heap, so writers are excluded for its duration;
-	// concurrent searches may proceed.
-	s.locked.mu.RLock()
-	idx, err := s.db.BuildSubseqIndex(req.WindowLens, req.Step)
-	s.locked.mu.RUnlock()
+	// Single-database backends exclude writers inside
+	// lockedDB.BuildSubseqIndex; the sharded build locks per shard inside
+	// its own fan-out.
+	idx, err := s.backend.BuildSubseqIndex(req.WindowLens, req.Step)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -634,11 +813,6 @@ func (s *Server) handleSubseqSearch(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w)
 		return
 	}
-	if s.db == nil {
-		writeError(w, http.StatusNotImplemented,
-			errors.New("subsequence search requires a single-database backend"))
-		return
-	}
 	var req struct {
 		Query   []float64 `json:"query"`
 		Epsilon float64   `json:"epsilon"`
@@ -646,6 +820,11 @@ func (s *Server) handleSubseqSearch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	s.smu.RLock()
 	idx := s.subseq
 	if idx == nil {
@@ -656,9 +835,9 @@ func (s *Server) handleSubseqSearch(w http.ResponseWriter, r *http.Request) {
 	// The subsequence index reads the parent heap, so exclude writers
 	// while the query runs (and hold smu so a concurrent /subseq/build
 	// cannot close idx mid-search).
-	s.locked.mu.RLock()
+	unguard := s.readGuard()
 	res, err := idx.Search(req.Query, req.Epsilon)
-	s.locked.mu.RUnlock()
+	unguard()
 	s.smu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -688,6 +867,7 @@ func (s *Server) Close() error {
 func toSearchResponse(res *twsim.Result) SearchResponse {
 	out := SearchResponse{
 		RequestID: res.RequestID,
+		CacheHit:  res.CacheHit,
 		Matches:   make([]MatchJSON, len(res.Matches)),
 		Stats: StatsJSON{
 			Candidates:       res.Stats.Candidates,

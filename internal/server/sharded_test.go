@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -174,23 +175,102 @@ func TestShardedServerFlatStatsForSingleDB(t *testing.T) {
 	}
 }
 
-// TestShardedServerSubseqNotImplemented: the subsequence endpoints require
-// a single-database backend.
-func TestShardedServerSubseqNotImplemented(t *testing.T) {
-	_, c, ts := newShardedTestServer(t, 2)
-	if _, err := c.BuildSubseqIndex([]int{8}, 4); err == nil {
-		t.Fatal("subseq build succeeded on a sharded backend")
+// TestShardedServerSubseq: the subsequence endpoints work on a sharded
+// backend — per-shard window indexes fanned out and merged — and the
+// matches agree (same windows, same distances) with a single-DB server
+// built over the same logical contents. Searching before building still
+// answers 409.
+func TestShardedServerSubseq(t *testing.T) {
+	_, c, ts := newShardedTestServer(t, 3)
+	data := shardedWalks(23, 24, 16, 32)
+	ids, err := c.AddBatchIDs(data)
+	if err != nil {
+		t.Fatal(err)
 	}
-	resp, err := ts.Client().Post(ts.URL+"/subseq/build", "application/json",
-		strings.NewReader(`{"window_lens":[8],"step":4}`))
+	resp, err := ts.Client().Post(ts.URL+"/subseq/search", "application/json",
+		strings.NewReader(`{"query":[1,2,3],"epsilon":1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotImplemented {
-		t.Fatalf("subseq build returned %d, want %d", resp.StatusCode, http.StatusNotImplemented)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("subseq search before build returned %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+
+	windows, err := c.BuildSubseqIndex([]int{8}, 4)
+	if err != nil {
+		t.Fatalf("subseq build on sharded backend: %v", err)
+	}
+	if windows == 0 {
+		t.Fatal("sharded subseq index reports zero windows")
+	}
+
+	// Single-DB oracle over the same logical contents.
+	oracle, err := twsim.OpenMem(twsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	oracleIDs := make(map[uint32]uint32, len(ids)) // oracle ID -> sharded global ID
+	for i, v := range data {
+		oid, err := oracle.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleIDs[uint32(oid)] = ids[i]
+	}
+	oidx, err := oracle.BuildSubseqIndex([]int{8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oidx.Close()
+	if oidx.NumWindows() != windows {
+		t.Fatalf("window count: sharded %d, single-DB %d", windows, oidx.NumWindows())
+	}
+
+	q := data[5][:8]
+	got, err := c.SearchSubsequences(q, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := oidx.Search(q, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("sharded subseq search found nothing (query is an indexed window)")
+	}
+	if len(got) != len(wantRes.Matches) {
+		t.Fatalf("sharded subseq %d matches, single-DB %d", len(got), len(wantRes.Matches))
+	}
+	// Distances may tie across windows, and tied matches sort by ID — an
+	// ordering that differs across the two ID spaces. Compare as sets of
+	// (source sequence, offset, len, dist) after translating oracle IDs.
+	type key struct {
+		id       uint32
+		off, ln  int
+		distBits uint64
+	}
+	want := make(map[key]int, len(wantRes.Matches))
+	for _, m := range wantRes.Matches {
+		want[key{oracleIDs[uint32(m.ID)], m.Offset, m.Len, uint64FromFloat(m.Dist)}]++
+	}
+	for _, m := range got {
+		k := key{m.ID, m.Offset, m.Len, uint64FromFloat(m.Dist)}
+		if want[k] == 0 {
+			t.Fatalf("sharded match (%d, %d, %d, %g) absent from single-DB result", m.ID, m.Offset, m.Len, m.Dist)
+		}
+		want[k]--
+	}
+	// Non-decreasing distance order must hold on the merged result.
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatalf("merged matches out of distance order at %d: %g < %g", i, got[i].Dist, got[i-1].Dist)
+		}
 	}
 }
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
 
 // TestShardedServerConcurrentWrites: POSTs land on different shards and
 // proceed concurrently (under -race this exercises the per-shard locking

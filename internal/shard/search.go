@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,14 +19,22 @@ import (
 // wall time is the observed fan-out duration (≈ the slowest shard when the
 // pool runs all shards concurrently).
 func (e *Engine) Search(query []float64, epsilon float64) (*core.Result, error) {
-	return e.search(query, epsilon, 0, true)
+	return e.search(nil, query, epsilon, 0, true)
 }
 
 // SearchBand is Search under an explicit Sakoe–Chiba band half-width
 // (0 = unconstrained); every shard answers the same banded distance, so the
 // merged result equals the single-database banded answer.
 func (e *Engine) SearchBand(query []float64, epsilon float64, band int) (*core.Result, error) {
-	return e.search(query, epsilon, band, true)
+	return e.search(nil, query, epsilon, band, true)
+}
+
+// SearchBandCtx is SearchBand governed by a context: a done context abandons
+// every shard's work at its next candidate boundary and the fan-out returns
+// the context's error. A completed search is bit-identical to SearchBand —
+// cancellation can only abandon work, never skip a qualifying candidate.
+func (e *Engine) SearchBandCtx(ctx context.Context, query []float64, epsilon float64, band int) (*core.Result, error) {
+	return e.search(ctx, query, epsilon, band, true)
 }
 
 // perShardWorkers splits the engine's refine budget across the shards one
@@ -51,13 +60,13 @@ func (e *Engine) perShardWorkers(parallel bool) int {
 	return per
 }
 
-func (e *Engine) search(query []float64, epsilon float64, band int, parallel bool) (*core.Result, error) {
+func (e *Engine) search(ctx context.Context, query []float64, epsilon float64, band int, parallel bool) (*core.Result, error) {
 	start := time.Now()
 	workers := e.perShardWorkers(parallel)
 	results := make([]*core.Result, len(e.stores))
 	run := func(si int) error {
 		e.locks[si].RLock()
-		res, err := e.stores[si].SearchBandWorkers(query, epsilon, band, workers)
+		res, err := e.stores[si].SearchBandWorkersCtx(ctx, query, epsilon, band, workers)
 		e.locks[si].RUnlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)
@@ -118,6 +127,13 @@ func (e *Engine) NearestKStats(query []float64, k int) ([]core.Match, core.Query
 // interleave in the k-NN walk, so there is no separate filter phase to
 // report).
 func (e *Engine) NearestKStatsBand(query []float64, k, band int) ([]core.Match, core.QueryStats, error) {
+	return e.NearestKStatsBandCtx(nil, query, k, band)
+}
+
+// NearestKStatsBandCtx is NearestKStatsBand governed by a context: a done
+// context abandons every shard's walk at its next candidate boundary and the
+// fan-out returns the context's error.
+func (e *Engine) NearestKStatsBandCtx(ctx context.Context, query []float64, k, band int) ([]core.Match, core.QueryStats, error) {
 	var stats core.QueryStats
 	if k <= 0 {
 		return nil, stats, nil
@@ -129,7 +145,7 @@ func (e *Engine) NearestKStatsBand(query []float64, k, band int) ([]core.Match, 
 	perStats := make([]core.QueryStats, len(e.stores))
 	err := e.fanOut(func(si int) error {
 		e.locks[si].RLock()
-		ms, qs, err := e.stores[si].NearestKStatsBandWorkers(query, k, band, bound, workers)
+		ms, qs, err := e.stores[si].NearestKStatsBandWorkersCtx(ctx, query, k, band, bound, workers)
 		e.locks[si].RUnlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)
@@ -171,6 +187,13 @@ func (e *Engine) SearchBatch(queries [][]float64, epsilon float64, parallelism i
 // SearchBatchBand is SearchBatch under an explicit Sakoe–Chiba band
 // half-width (0 = unconstrained).
 func (e *Engine) SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*core.Result, error) {
+	return e.SearchBatchBandCtx(nil, queries, epsilon, band, parallelism)
+}
+
+// SearchBatchBandCtx is SearchBatchBand governed by a context: a done
+// context stops the dispatcher and abandons in-flight queries at their next
+// candidate boundary, returning the context's error for the whole batch.
+func (e *Engine) SearchBatchBandCtx(ctx context.Context, queries [][]float64, epsilon float64, band, parallelism int) ([]*core.Result, error) {
 	if epsilon < 0 {
 		return nil, fmt.Errorf("shard: negative tolerance %g", epsilon)
 	}
@@ -210,7 +233,7 @@ func (e *Engine) SearchBatchBand(queries [][]float64, epsilon float64, band, par
 				if failed() {
 					continue
 				}
-				res, err := e.search(queries[i], epsilon, band, false)
+				res, err := e.search(ctx, queries[i], epsilon, band, false)
 				if err != nil {
 					setErr(fmt.Errorf("shard: query %d: %w", i, err))
 					continue

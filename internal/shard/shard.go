@@ -19,6 +19,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -38,16 +39,18 @@ type Store interface {
 	AddAll(values [][]float64) (seq.ID, error)
 	Remove(id seq.ID) (bool, error)
 	Get(id seq.ID) ([]float64, error)
-	// SearchBandWorkers and NearestKStatsBandWorkers take the Sakoe–Chiba
-	// band half-width the query answers under (0 = unconstrained) and the
+	// SearchBandWorkersCtx and NearestKStatsBandWorkersCtx take the context
+	// governing the query (nil never cancels; a done context abandons the
+	// shard's work at the next candidate boundary), the Sakoe–Chiba band
+	// half-width the query answers under (0 = unconstrained), and the
 	// number of intra-query refinement workers the shard may use for this
 	// call; the engine computes the latter from its refine budget so
 	// fan-out × intra-query parallelism never oversubscribes (workers ≤ 1
-	// means serial). NearestKStatsBandWorkers reports the query work
+	// means serial). NearestKStatsBandWorkersCtx reports the query work
 	// alongside the matches so the engine can accumulate k-NN traffic into
 	// the per-shard counters.
-	SearchBandWorkers(query []float64, epsilon float64, band, workers int) (*core.Result, error)
-	NearestKStatsBandWorkers(query []float64, k, band int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error)
+	SearchBandWorkersCtx(ctx context.Context, query []float64, epsilon float64, band, workers int) (*core.Result, error)
+	NearestKStatsBandWorkersCtx(ctx context.Context, query []float64, k, band int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error)
 	StorageStats() core.StorageStats
 	IndexEngineStats() core.IndexEngineStats
 	OpenDiagnostics() []string
@@ -121,6 +124,15 @@ func (e *Engine) route(id seq.ID) (shard int, local seq.ID) {
 // globalID maps a shard-local ID back to the global ID space.
 func (e *Engine) globalID(local seq.ID, shard int) seq.ID {
 	return seq.ID(uint32(local)*uint32(len(e.stores)) + uint32(shard))
+}
+
+// GlobalID maps a shard-local ID back to the global ID space — the inverse
+// of the routing split (global = local*N + shard). Exported for composite
+// read paths built outside this package (the sharded subsequence index)
+// whose per-shard results carry local IDs that must be lifted before the
+// merge.
+func (e *Engine) GlobalID(local seq.ID, shard int) seq.ID {
+	return e.globalID(local, shard)
 }
 
 // Add stores one sequence in the next shard of the placement rotation,
@@ -336,6 +348,21 @@ func (e *Engine) Close() error {
 		}
 	}
 	return first
+}
+
+// FanOutRead runs fn(shard) for every shard on the engine's bounded worker
+// pool while holding that shard's read lock, returning the first error.
+// It is the building block for composite read paths assembled outside this
+// package (the sharded subsequence index builds and queries per-shard
+// indexes through it): fn observes a quiescent shard — no writer can
+// interleave — and fan-out parallelism matches every other read the engine
+// performs.
+func (e *Engine) FanOutRead(fn func(shard int) error) error {
+	return e.fanOut(func(si int) error {
+		e.locks[si].RLock()
+		defer e.locks[si].RUnlock()
+		return fn(si)
+	})
 }
 
 // fanOut runs fn(shard) for every shard on a worker pool bounded by the

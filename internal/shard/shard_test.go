@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -68,11 +69,11 @@ func (f *fakeStore) Get(id seq.ID) ([]float64, error) {
 	return v, nil
 }
 
-func (f *fakeStore) SearchBandWorkers(query []float64, epsilon float64, band, workers int) (*core.Result, error) {
+func (f *fakeStore) SearchBandWorkersCtx(ctx context.Context, query []float64, epsilon float64, band, workers int) (*core.Result, error) {
 	return &core.Result{}, nil
 }
 
-func (f *fakeStore) NearestKStatsBandWorkers(query []float64, k, band int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error) {
+func (f *fakeStore) NearestKStatsBandWorkersCtx(ctx context.Context, query []float64, k, band int, bound *core.SharedBound, workers int) ([]core.Match, core.QueryStats, error) {
 	return nil, core.QueryStats{}, nil
 }
 

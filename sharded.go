@@ -1,10 +1,12 @@
 package twsim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/seq"
@@ -32,6 +34,18 @@ func (o ShardedOptions) shardCount() int {
 	return o.Shards
 }
 
+// perShard derives each shard's Options from the sharded configuration:
+// the result cache and the query deadline act once, at the top level — a
+// per-shard cache would hold partial answers no top-level query can reuse,
+// and a per-shard deadline would restart the clock on every shard a query
+// fans out to — so both are zeroed for the shards.
+func (o ShardedOptions) perShard() Options {
+	po := o.Options
+	po.ResultCacheBytes = 0
+	po.QueryDeadline = 0
+	return po
+}
+
 // ShardStat is one shard's contribution to the database statistics.
 type ShardStat = shard.ShardStat
 
@@ -50,9 +64,14 @@ type QueryTotals = shard.QueryTotals
 // Close/Open. Unlike *DB, a ShardedDB is safe for fully concurrent use.
 type ShardedDB struct {
 	eng  *shard.Engine
+	dbs  []*DB // the shards, in shard-ID order (eng routes over the same slice)
 	base Base
 	dir  string  // empty when in-memory
-	opts Options // per-shard options; also carries the slow-query config
+	opts Options // top-level options; also carries the slow-query config
+	// rcache is the engine-level whole-query result cache (nil when
+	// disabled); entries are stamped with the summed per-shard write
+	// generations (see Generation).
+	rcache *core.ResultCache
 }
 
 const shardManifestName = "shards.json"
@@ -110,7 +129,8 @@ func newShardedDB(dbs []*DB, dir string, opts ShardedOptions) (*ShardedDB, error
 		closeAll(dbs)
 		return nil, err
 	}
-	return &ShardedDB{eng: eng, base: opts.Base, dir: dir, opts: opts.Options}, nil
+	return &ShardedDB{eng: eng, dbs: dbs, base: opts.Base, dir: dir, opts: opts.Options,
+		rcache: core.NewResultCache(opts.ResultCacheBytes)}, nil
 }
 
 func closeAll(dbs []*DB) {
@@ -126,7 +146,7 @@ func OpenMemSharded(opts ShardedOptions) (*ShardedDB, error) {
 	n := opts.shardCount()
 	dbs := make([]*DB, 0, n)
 	for i := 0; i < n; i++ {
-		db, err := OpenMem(opts.Options)
+		db, err := OpenMem(opts.perShard())
 		if err != nil {
 			closeAll(dbs)
 			return nil, err
@@ -149,7 +169,7 @@ func CreateSharded(dir string, opts ShardedOptions) (*ShardedDB, error) {
 	}
 	dbs := make([]*DB, 0, n)
 	for i := 0; i < n; i++ {
-		db, err := Create(filepath.Join(dir, shardDirName(i)), opts.Options)
+		db, err := Create(filepath.Join(dir, shardDirName(i)), opts.perShard())
 		if err != nil {
 			closeAll(dbs)
 			return nil, fmt.Errorf("twsim: creating shard %d: %w", i, err)
@@ -176,7 +196,7 @@ func OpenSharded(dir string, opts ShardedOptions) (*ShardedDB, error) {
 	}
 	dbs := make([]*DB, 0, m.Shards)
 	for i := 0; i < m.Shards; i++ {
-		db, err := Open(filepath.Join(dir, shardDirName(i)), opts.Options)
+		db, err := Open(filepath.Join(dir, shardDirName(i)), opts.perShard())
 		if err != nil {
 			closeAll(dbs)
 			return nil, fmt.Errorf("twsim: opening shard %d: %w", i, err)
@@ -222,6 +242,30 @@ func (s *ShardedDB) IndexEngineStats() core.IndexEngineStats { return s.eng.Inde
 // OpenDiagnostics concatenates every shard's open-time notes, prefixed with
 // the shard number.
 func (s *ShardedDB) OpenDiagnostics() []string { return s.eng.OpenDiagnostics() }
+
+// Generation is the sharded engine's write generation: the sum of every
+// shard's per-DB counter. Each shard bumps its own counter after mutating,
+// so the sum read before a fan-out query and re-read at cache-lookup time
+// brackets the query exactly as the single-DB counter does — any write
+// acknowledged in between strictly increases the sum (counters are
+// monotone), so a possibly-tainted cache entry's stamp is stale by
+// construction. A write whose bump lands between the two reads only
+// over-invalidates, never under-invalidates.
+func (s *ShardedDB) Generation() uint64 {
+	var g uint64
+	for _, db := range s.dbs {
+		g += db.gen.Load()
+	}
+	return g
+}
+
+// ResultCacheStats snapshots the engine-level result cache counters (all
+// zero when the cache is disabled).
+func (s *ShardedDB) ResultCacheStats() core.ResultCacheStats { return s.rcache.Stats() }
+
+// DefaultBand returns the band half-width queries run under when no
+// per-call override is given (Options.Band).
+func (s *ShardedDB) DefaultBand() int { return s.opts.Band }
 
 // Add stores one sequence, taking only the owning shard's write lock, and
 // returns its global ID. Sequences containing NaN or ±Inf are rejected with
@@ -270,6 +314,16 @@ func (s *ShardedDB) Search(query []float64, epsilon float64) (*Result, error) {
 // answers the same banded distance, so the merged result equals the
 // single-database banded answer.
 func (s *ShardedDB) SearchBand(query []float64, epsilon float64, band int) (*Result, error) {
+	return s.SearchCtx(nil, query, epsilon, band)
+}
+
+// SearchCtx is SearchBand governed by a context: once ctx is done every
+// shard abandons its work at the next candidate boundary and the fan-out
+// returns the context's error; Options.QueryDeadline, when set, caps the
+// execution time on top. The engine-level result cache, when enabled, is
+// consulted first under the summed write generation (see Generation), so a
+// hit skips the entire fan-out.
+func (s *ShardedDB) SearchCtx(ctx context.Context, query []float64, epsilon float64, band int) (*Result, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
@@ -282,9 +336,27 @@ func (s *ShardedDB) SearchBand(query []float64, epsilon float64, band int) (*Res
 	if err := validateBand(band); err != nil {
 		return nil, err
 	}
-	res, err := s.eng.SearchBand(query, epsilon, band)
+	start := time.Now()
+	var key string
+	var preGen uint64
+	if s.rcache != nil {
+		key = core.ResultCacheKey('r', s.base, "sharded", band, epsilon, 0, query)
+		preGen = s.Generation() // before any shard read of this query
+		if ms, ok := s.rcache.Get(key, preGen); ok {
+			res := cachedResult(ms, start)
+			res.RequestID = nextRequestID()
+			s.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g band=%d", epsilon, band), res.Stats)
+			return res, nil
+		}
+	}
+	ctx, cancel := s.opts.applyDeadline(ctx)
+	defer cancel()
+	res, err := s.eng.SearchBandCtx(ctx, query, epsilon, band)
 	if err != nil {
 		return nil, err
+	}
+	if s.rcache != nil {
+		s.rcache.Put(key, preGen, res.Matches)
 	}
 	res.RequestID = nextRequestID()
 	s.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g band=%d", epsilon, band), res.Stats)
@@ -321,6 +393,12 @@ func (s *ShardedDB) NearestKStats(query []float64, k int) (*Result, error) {
 // NearestKStatsBand is NearestKStats under an explicit band half-width for
 // this call, overriding Options.Band (0 = unconstrained).
 func (s *ShardedDB) NearestKStatsBand(query []float64, k, band int) (*Result, error) {
+	return s.NearestKCtx(nil, query, k, band)
+}
+
+// NearestKCtx is NearestKStatsBand governed by a context (see SearchCtx for
+// the cancellation and caching behavior).
+func (s *ShardedDB) NearestKCtx(ctx context.Context, query []float64, k, band int) (*Result, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
@@ -330,9 +408,27 @@ func (s *ShardedDB) NearestKStatsBand(query []float64, k, band int) (*Result, er
 	if err := validateBand(band); err != nil {
 		return nil, err
 	}
-	ms, stats, err := s.eng.NearestKStatsBand(query, k, band)
+	start := time.Now()
+	var key string
+	var preGen uint64
+	if s.rcache != nil {
+		key = core.ResultCacheKey('k', s.base, "sharded", band, 0, k, query)
+		preGen = s.Generation() // before any shard read of this query
+		if ms, ok := s.rcache.Get(key, preGen); ok {
+			res := cachedResult(ms, start)
+			res.RequestID = nextRequestID()
+			s.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d band=%d", k, band), res.Stats)
+			return res, nil
+		}
+	}
+	ctx, cancel := s.opts.applyDeadline(ctx)
+	defer cancel()
+	ms, stats, err := s.eng.NearestKStatsBandCtx(ctx, query, k, band)
 	if err != nil {
 		return nil, err
+	}
+	if s.rcache != nil {
+		s.rcache.Put(key, preGen, ms)
 	}
 	res := &Result{Matches: ms, Stats: stats, RequestID: nextRequestID()}
 	s.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d band=%d", k, band), res.Stats)
@@ -352,6 +448,14 @@ func (s *ShardedDB) SearchBatch(queries [][]float64, epsilon float64, parallelis
 // SearchBatchBand is SearchBatch under an explicit Sakoe–Chiba band
 // half-width for this call, overriding Options.Band (0 = unconstrained).
 func (s *ShardedDB) SearchBatchBand(queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error) {
+	return s.SearchBatchCtx(nil, queries, epsilon, band, parallelism)
+}
+
+// SearchBatchCtx is SearchBatchBand governed by a context: once ctx is done
+// the dispatcher stops feeding queries and in-flight fan-outs abandon,
+// failing the whole batch with the context's error. Options.QueryDeadline
+// bounds the whole batch (attached once, not per query).
+func (s *ShardedDB) SearchBatchCtx(ctx context.Context, queries [][]float64, epsilon float64, band, parallelism int) ([]*Result, error) {
 	for i, q := range queries {
 		if err := seq.CheckFinite(q); err != nil {
 			return nil, fmt.Errorf("twsim: query %d: %w", i, err)
@@ -360,7 +464,9 @@ func (s *ShardedDB) SearchBatchBand(queries [][]float64, epsilon float64, band, 
 	if err := validateBand(band); err != nil {
 		return nil, err
 	}
-	out, err := s.eng.SearchBatchBand(queries, epsilon, band, parallelism)
+	ctx, cancel := s.opts.applyDeadline(ctx)
+	defer cancel()
+	out, err := s.eng.SearchBatchBandCtx(ctx, queries, epsilon, band, parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,13 @@
 package twsim
 
 import (
+	"fmt"
+	"sort"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/seq"
+	"repro/internal/shard"
 )
 
 // SubMatch is one qualifying subsequence: a window of a stored sequence
@@ -12,12 +17,23 @@ type SubMatch = core.SubMatch
 // SubseqResult carries subsequence matches plus query statistics.
 type SubseqResult = core.SubseqResult
 
+// subseqSearcher is the engine behind a SubseqIndex: the single-database
+// window index (core.SubseqIndex) or the sharded composite that fans out
+// over per-shard window indexes and merges.
+type subseqSearcher interface {
+	Search(q seq.Sequence, epsilon float64) (*core.SubseqResult, error)
+	NumWindows() int
+	Close() error
+}
+
 // SubseqIndex supports subsequence matching, the paper's §6 extension: the
 // same 4-tuple feature index built over sliding windows of the stored
 // sequences instead of whole sequences, queried with the same algorithm.
 // The search is exact (no false dismissal) over the indexed window set.
+// Built by DB.BuildSubseqIndex or ShardedDB.BuildSubseqIndex; results are
+// bit-identical across the two (modulo the sharded global-ID space).
 type SubseqIndex struct {
-	inner *core.SubseqIndex
+	inner subseqSearcher
 }
 
 // BuildSubseqIndex indexes sliding windows of each length in windowLens
@@ -30,6 +46,97 @@ func (db *DB) BuildSubseqIndex(windowLens []int, step int) (*SubseqIndex, error)
 		return nil, err
 	}
 	return &SubseqIndex{inner: inner}, nil
+}
+
+// BuildSubseqIndex builds one window index per shard (fanned out on the
+// engine's worker pool, each under its shard's read lock) and composes them
+// behind one SubseqIndex: searches fan out the same way, per-shard matches
+// have their source IDs lifted to the global space, and the merged list is
+// re-sorted by (distance, ID, offset) — bit-identical to the single-DB
+// index over the same logical contents.
+func (s *ShardedDB) BuildSubseqIndex(windowLens []int, step int) (*SubseqIndex, error) {
+	inners := make([]*core.SubseqIndex, len(s.dbs))
+	err := s.eng.FanOutRead(func(si int) error {
+		inner, err := core.BuildSubseqIndex(s.dbs[si].store, s.dbs[si].base, windowLens, step)
+		if err != nil {
+			return fmt.Errorf("twsim: shard %d: %w", si, err)
+		}
+		inners[si] = inner
+		return nil
+	})
+	if err != nil {
+		for _, in := range inners {
+			if in != nil {
+				in.Close()
+			}
+		}
+		return nil, err
+	}
+	return &SubseqIndex{inner: &shardedSubseq{eng: s.eng, inners: inners}}, nil
+}
+
+// shardedSubseq fans a subsequence search out across per-shard window
+// indexes and merges the partial results into the global ID space.
+type shardedSubseq struct {
+	eng    *shard.Engine
+	inners []*core.SubseqIndex
+}
+
+func (ss *shardedSubseq) Search(q seq.Sequence, epsilon float64) (*core.SubseqResult, error) {
+	start := time.Now()
+	perShard := make([]*core.SubseqResult, len(ss.inners))
+	err := ss.eng.FanOutRead(func(si int) error {
+		r, err := ss.inners[si].Search(q, epsilon)
+		if err != nil {
+			return fmt.Errorf("twsim: shard %d: %w", si, err)
+		}
+		perShard[si] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &core.SubseqResult{}
+	for si, r := range perShard {
+		for _, m := range r.Matches {
+			m.ID = ss.eng.GlobalID(m.ID, si)
+			out.Matches = append(out.Matches, m)
+		}
+		out.Stats.Add(r.Stats)
+	}
+	// The same order the single-DB index produces: distance, then source
+	// ID, then window offset.
+	sort.Slice(out.Matches, func(i, j int) bool {
+		a, b := out.Matches[i], out.Matches[j]
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Offset < b.Offset
+	})
+	out.Stats.Results = len(out.Matches)
+	out.Stats.Wall = time.Since(start)
+	return out, nil
+}
+
+func (ss *shardedSubseq) NumWindows() int {
+	total := 0
+	for _, in := range ss.inners {
+		total += in.NumWindows()
+	}
+	return total
+}
+
+func (ss *shardedSubseq) Close() error {
+	var first error
+	for _, in := range ss.inners {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Search returns every indexed window whose time warping distance to query

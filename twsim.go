@@ -1,12 +1,14 @@
 package twsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -152,6 +154,22 @@ type Options struct {
 	// *log.Logger is safe for concurrent use, so one logger may serve many
 	// databases.
 	SlowQueryLogger *log.Logger
+	// ResultCacheBytes sizes the whole-query result cache: a byte-budgeted
+	// LRU of exact answers keyed by (query, kind, ε or k, band, base,
+	// engine). A hit returns the stored matches with zero index, heap, or
+	// DTW work and a fresh RequestID. Coherence is by write generation:
+	// every Add/AddAll/AddBatch/Remove/Repair bumps a per-database counter,
+	// and an entry whose generation stamp is stale is discarded on lookup —
+	// a cached answer is therefore always bit-identical to a recomputation
+	// (see internal/core.ResultCache). 0 disables the cache. On a sharded
+	// database the cache lives at the top level only (per-shard caches would
+	// double the memory for no extra hits).
+	ResultCacheBytes int64
+	// QueryDeadline, when positive, bounds every query's execution: a query
+	// exceeding it is abandoned at its next candidate boundary with
+	// context.DeadlineExceeded. It composes with caller contexts (SearchCtx
+	// et al.): whichever expires first cancels. 0 means no deadline.
+	QueryDeadline time.Duration
 }
 
 // refineWorkers resolves the intra-query parallelism default. The public
@@ -162,6 +180,20 @@ func (o Options) refineWorkers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.RefineWorkers
+}
+
+// applyDeadline attaches Options.QueryDeadline to the caller's context (nil
+// means no caller context). The returned cancel must always be called; with
+// no deadline configured it is a no-op and the context passes through
+// untouched.
+func (o Options) applyDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.QueryDeadline <= 0 {
+		return ctx, func() {}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, o.QueryDeadline)
 }
 
 // RepairStats summarizes the Open-time reconciliation between the sequence
@@ -182,6 +214,13 @@ type DB struct {
 	repair      RepairStats
 	envsRebuilt bool     // Open rebuilt the envelope sidecar; Flush persists it
 	openNotes   []string // one line per Open-time repair/rebuild (OpenDiagnostics)
+	// gen is the write generation: bumped after every mutation
+	// (Add/AddAll/Remove/Repair) and read by queries before their first
+	// index or heap access, it stamps result-cache entries so a cached
+	// answer is served only while the database is byte-for-byte the one
+	// that computed it.
+	gen    atomic.Uint64
+	rcache *core.ResultCache // nil when Options.ResultCacheBytes == 0
 }
 
 const (
@@ -258,7 +297,8 @@ func OpenMem(opts Options) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, opts: opts, engine: engine}, nil
+	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, opts: opts, engine: engine,
+		rcache: core.NewResultCache(opts.ResultCacheBytes)}, nil
 }
 
 // Create creates a new on-disk database in directory dir.
@@ -273,7 +313,8 @@ func Create(dir string, opts Options) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, dir: dir, opts: opts, engine: engine}, nil
+	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, dir: dir, opts: opts, engine: engine,
+		rcache: core.NewResultCache(opts.ResultCacheBytes)}, nil
 }
 
 // Open opens an existing on-disk database.
@@ -291,7 +332,8 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("twsim: %s does not contain a database: %w", dir, err)
 	}
 	engine := opts.resolveEngine(dir)
-	db := &DB{store: store, base: opts.Base, dir: dir, opts: opts, engine: engine}
+	db := &DB{store: store, base: opts.Base, dir: dir, opts: opts, engine: engine,
+		rcache: core.NewResultCache(opts.ResultCacheBytes)}
 	index, err := core.OpenIndex(filepath.Join(dir, indexFileFor(engine)), opts.indexOptions(engine, ""))
 	if err != nil {
 		// Unopenable (missing, truncated, corrupt CRC, wrong dimension):
@@ -402,6 +444,7 @@ func (db *DB) LastRepair() RepairStats { return db.repair }
 // always possible because the heap is the source of truth. It returns what
 // it had to change.
 func (db *DB) Repair() (RepairStats, error) {
+	defer db.gen.Add(1)
 	rs, err := db.repairIndex()
 	if err != nil {
 		return rs, err
@@ -455,6 +498,10 @@ func (db *DB) Add(values []float64) (ID, error) {
 	if err := seq.CheckFinite(values); err != nil {
 		return seq.InvalidID, err
 	}
+	// Bump the write generation after the mutation, before returning —
+	// including on a rolled-back failure (the rollback is best effort, so
+	// over-invalidating the result cache is the conservative side).
+	defer db.gen.Add(1)
 	s := seq.Sequence(values)
 	id, err := db.store.Append(s)
 	if err != nil {
@@ -484,6 +531,7 @@ func (db *DB) AddAll(values [][]float64) (ID, error) {
 	if len(values) == 0 {
 		return seq.InvalidID, errors.New("twsim: AddAll of empty batch")
 	}
+	defer db.gen.Add(1)
 	// Validate the whole batch before the first append: a non-finite
 	// sequence mid-batch would otherwise trigger the rollback machinery for
 	// an error that was knowable upfront.
@@ -589,6 +637,7 @@ func (db *DB) AddAll(values [][]float64) (ID, error) {
 // only by rebuilding the database). It reports whether the sequence was
 // present and live.
 func (db *DB) Remove(id ID) (bool, error) {
+	defer db.gen.Add(1)
 	s, err := db.store.Get(id)
 	if err != nil {
 		if errors.Is(err, seqdb.ErrDeleted) || errors.Is(err, seqdb.ErrNotFound) {
@@ -618,11 +667,36 @@ func (db *DB) Get(id ID) ([]float64, error) {
 }
 
 // searcher builds the query engine with the given intra-query worker count
-// and Sakoe–Chiba band half-width (0 = unconstrained).
-func (db *DB) searcher(workers, band int) *core.TWSimSearch {
+// and Sakoe–Chiba band half-width (0 = unconstrained). ctx, when non-nil,
+// cancels the query at its next candidate boundary.
+func (db *DB) searcher(ctx context.Context, workers, band int) *core.TWSimSearch {
 	return &core.TWSimSearch{DB: db.store, Index: db.index, Base: db.base,
 		NoCascade: db.opts.DisableCascade, NoEnvOrder: db.opts.DisableEnvOrdering,
-		Workers: workers, Band: band, Envs: db.envs}
+		Workers: workers, Band: band, Envs: db.envs, Ctx: ctx}
+}
+
+// Generation returns the database's current write generation — the counter
+// the result cache stamps entries with. It advances on every mutation, so
+// two equal readings bracket a window in which no write was acknowledged.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
+
+// ResultCacheStats snapshots the whole-query result cache counters (all
+// zero when the cache is disabled).
+func (db *DB) ResultCacheStats() core.ResultCacheStats { return db.rcache.Stats() }
+
+// DefaultBand returns the band half-width queries run under when no
+// per-call override is given (Options.Band).
+func (db *DB) DefaultBand() int { return db.opts.Band }
+
+// cachedResult assembles the Result a cache hit returns: the stored matches
+// (already a private copy), zero work counters — no index walk, fetch, or
+// DTW ran, so the conservation law holds trivially as 0 = 0 — and a fresh
+// RequestID stamped by the caller.
+func cachedResult(ms []Match, start time.Time) *Result {
+	res := &Result{Matches: ms, CacheHit: true}
+	res.Stats.Results = len(ms)
+	res.Stats.Wall = time.Since(start)
+	return res
 }
 
 // validateBand rejects invalid band half-widths at the API boundary. 0 is
@@ -666,10 +740,28 @@ func (db *DB) SearchWorkers(query []float64, epsilon float64, workers int) (*Res
 	return db.SearchBandWorkers(query, epsilon, db.opts.Band, workers)
 }
 
-// SearchBandWorkers is SearchBand with an explicit worker count — the most
-// general range-query entry point; every other Search variant delegates
-// here.
+// SearchBandWorkers is SearchBand with an explicit worker count.
 func (db *DB) SearchBandWorkers(query []float64, epsilon float64, band, workers int) (*Result, error) {
+	return db.SearchBandWorkersCtx(nil, query, epsilon, band, workers)
+}
+
+// SearchCtx is SearchBand governed by a context: the query is abandoned at
+// its next candidate boundary once ctx is done (the context's error is
+// returned), and Options.QueryDeadline, if set, caps the execution time on
+// top. A completed search is bit-identical to SearchBand — cancellation
+// only abandons work, it never skips a qualifying candidate.
+func (db *DB) SearchCtx(ctx context.Context, query []float64, epsilon float64, band int) (*Result, error) {
+	return db.SearchBandWorkersCtx(ctx, query, epsilon, band, db.opts.refineWorkers())
+}
+
+// SearchBandWorkersCtx is the most general range-query entry point —
+// explicit context, band, and worker count; every other Search variant
+// delegates here. The whole-query result cache, when enabled, is consulted
+// first: the write generation is loaded before any index or heap read, a
+// generation-stamped hit is returned with zero search work, and a computed
+// answer is stored under the pre-query generation so any overlapping write
+// invalidates it (see Options.ResultCacheBytes).
+func (db *DB) SearchBandWorkersCtx(ctx context.Context, query []float64, epsilon float64, band, workers int) (*Result, error) {
 	if len(query) == 0 {
 		return nil, seq.ErrEmpty
 	}
@@ -682,9 +774,27 @@ func (db *DB) SearchBandWorkers(query []float64, epsilon float64, band, workers 
 	if err := validateBand(band); err != nil {
 		return nil, err
 	}
-	res, err := db.searcher(workers, band).Search(seq.Sequence(query), epsilon)
+	start := time.Now()
+	var key string
+	var preGen uint64
+	if db.rcache != nil {
+		key = core.ResultCacheKey('r', db.base, db.engine, band, epsilon, 0, query)
+		preGen = db.gen.Load() // before any index/heap read of this query
+		if ms, ok := db.rcache.Get(key, preGen); ok {
+			res := cachedResult(ms, start)
+			res.RequestID = nextRequestID()
+			db.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g band=%d", epsilon, band), res.Stats)
+			return res, nil
+		}
+	}
+	ctx, cancel := db.opts.applyDeadline(ctx)
+	defer cancel()
+	res, err := db.searcher(ctx, workers, band).Search(seq.Sequence(query), epsilon)
 	if err != nil {
 		return nil, err
+	}
+	if db.rcache != nil {
+		db.rcache.Put(key, preGen, res.Matches)
 	}
 	res.RequestID = nextRequestID()
 	db.opts.logSlowQuery("search", res.RequestID, len(query), fmt.Sprintf("epsilon=%g band=%d", epsilon, band), res.Stats)
@@ -724,9 +834,46 @@ func (db *DB) NearestKStats(query []float64, k int) (*Result, error) {
 // NearestKStatsBand is NearestKStats under an explicit band half-width for
 // this call, overriding Options.Band (0 = unconstrained).
 func (db *DB) NearestKStatsBand(query []float64, k, band int) (*Result, error) {
-	ms, stats, err := db.NearestKStatsBandWorkers(query, k, band, nil, db.opts.refineWorkers())
+	return db.NearestKCtx(nil, query, k, band)
+}
+
+// NearestKCtx is NearestKStatsBand governed by a context: the walk is
+// abandoned at its next candidate boundary once ctx is done, and
+// Options.QueryDeadline, if set, caps the execution time on top. The
+// whole-query result cache, when enabled, serves repeated queries without
+// re-running the walk (see SearchBandWorkersCtx for the coherence
+// protocol).
+func (db *DB) NearestKCtx(ctx context.Context, query []float64, k, band int) (*Result, error) {
+	if len(query) == 0 {
+		return nil, seq.ErrEmpty
+	}
+	if err := seq.CheckFinite(query); err != nil {
+		return nil, err
+	}
+	if err := validateBand(band); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var key string
+	var preGen uint64
+	if db.rcache != nil {
+		key = core.ResultCacheKey('k', db.base, db.engine, band, 0, k, query)
+		preGen = db.gen.Load() // before any index/heap read of this query
+		if ms, ok := db.rcache.Get(key, preGen); ok {
+			res := cachedResult(ms, start)
+			res.RequestID = nextRequestID()
+			db.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d band=%d", k, band), res.Stats)
+			return res, nil
+		}
+	}
+	ctx, cancel := db.opts.applyDeadline(ctx)
+	defer cancel()
+	ms, stats, err := db.NearestKStatsBandWorkersCtx(ctx, query, k, band, nil, db.opts.refineWorkers())
 	if err != nil {
 		return nil, err
+	}
+	if db.rcache != nil {
+		db.rcache.Put(key, preGen, ms)
 	}
 	res := &Result{Matches: ms, Stats: stats, RequestID: nextRequestID()}
 	db.opts.logSlowQuery("knn", res.RequestID, len(query), fmt.Sprintf("k=%d band=%d", k, band), res.Stats)
