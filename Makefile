@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race test-no-mmap fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke bench-flat bench-flat-smoke bench-knn bench-knn-smoke bench-cache bench-cache-smoke
+.PHONY: ci fmt vet build test race test-no-mmap fuzz-smoke metrics-smoke bench-shards bench-shards-smoke bench-cascade bench-cascade-smoke bench-refine bench-refine-smoke bench-flat bench-flat-smoke bench-knn bench-knn-smoke bench-cache bench-cache-smoke bench-wal bench-wal-smoke crash-tests
 
 # Full gate: formatting, static checks, build, the whole test suite
 # (including the fault-injection recovery tests) under the race detector,
@@ -14,8 +14,11 @@ GO ?= go
 # walk), the envelope-ordered k-NN harness (ordering on/off bit-identity +
 # conservation law), and the result-cache/serving-under-load harness
 # (zero-work hit path, cached-vs-uncached bit-identity under interleaved
-# writes, real 429 shedding through an HTTP server).
-ci: fmt vet build race test-no-mmap fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke bench-flat-smoke bench-knn-smoke bench-cache-smoke
+# writes, real 429 shedding through an HTTP server), the WAL crash-simulation
+# suite (torn tail, corrupt middle record, duplicate replay — each recovered
+# state compared record-for-record against a never-crashed database), and the
+# WAL write-path smoke with its kill-and-reopen acked-loss check.
+ci: fmt vet build race test-no-mmap fuzz-smoke metrics-smoke bench-shards-smoke bench-cascade-smoke bench-refine-smoke bench-flat-smoke bench-knn-smoke bench-cache-smoke crash-tests bench-wal-smoke
 
 # The flat-engine packages once more with TWSIM_NO_MMAP=1: every snapshot
 # open goes through the eager read-and-checksum fallback instead of the
@@ -130,3 +133,24 @@ bench-cache:
 # latency fence (smoke sizes are noise-bound).
 bench-cache-smoke:
 	$(GO) run ./cmd/benchcache -smoke >/dev/null
+
+# Group-commit WAL write path: acknowledge p50/p99, throughput, and
+# fsyncs-per-op at 1/4/16 concurrent writers, WAL on vs off, plus a
+# copy-dir kill-and-reopen check that no acknowledged write is lost;
+# writes BENCH_wal.json. Full mode fails unless 16 writers amortize to
+# under one fsync per write and the 16-writer p99 stays within the flush
+# interval plus a calibrated fsync allowance.
+bench-wal:
+	$(GO) run ./cmd/benchwal
+
+# Tiny workload, no output file; keeps the kill-and-reopen acked-loss
+# check, skips the latency/fsync fences (smoke sizes are noise-bound).
+bench-wal-smoke:
+	$(GO) run ./cmd/benchwal -smoke >/dev/null
+
+# The WAL crash-simulation suite on its own: torn final record, CRC-corrupt
+# middle record, duplicate replay after a mid-checkpoint crash, plus the
+# injected directory-fsync failure — each recovered database compared
+# record-for-record and query-for-query against a never-crashed twin.
+crash-tests:
+	$(GO) test -run 'TestCrash|TestDirSync' .

@@ -89,6 +89,9 @@ type Backend interface {
 	// opening the database (rebuild-on-open, reconciliation, sidecar
 	// rebuilds). Empty for a clean open.
 	OpenDiagnostics() []string
+	// WALStats snapshots the write-ahead-log counters (summed over shards
+	// for a sharded backend; all zero when the WAL is disabled).
+	WALStats() WALStats
 	// Verify runs the full heap/index integrity check.
 	Verify() error
 	// Flush persists all state.

@@ -1,0 +1,364 @@
+// Command benchwal measures the write path with and without the
+// group-commit write-ahead log, writing the results as JSON.
+//
+// Usage:
+//
+//	go run ./cmd/benchwal                    # full run, writes BENCH_wal.json
+//	go run ./cmd/benchwal -smoke             # small CI smoke run (no file)
+//	go run ./cmd/benchwal -ops 2000 -len 128
+//
+// Two legs:
+//
+//   - Writes: p50/p99 acknowledge latency, throughput, and fsyncs-per-op
+//     for 1/4/16 concurrent writers, WAL on vs off, at GOMAXPROCS 1 and
+//     full width. Writers serialize the apply with one mutex and wait for
+//     the covering fsync outside it (the AddCommit/Commit split), so
+//     concurrent writers share flushes. Full mode fails unless 16 writers
+//     amortize to under one fsync per acknowledged write, and unless the
+//     16-writer p99 stays bounded by the flush interval plus a generous
+//     fsync allowance (group commit must cap the wait, not stack it).
+//
+//   - Crash check (also in smoke): acknowledged writes are issued against
+//     a WAL-enabled database, the directory is copied mid-flight — a
+//     simulated kill -9, nothing flushed — and the copy is reopened. The
+//     leg fails if a single acknowledged write is missing.
+//
+// Every row carries gomaxprocs, num_cpu, and cpu_model so a result file
+// is interpretable without knowing which machine produced it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	twsim "repro"
+	"repro/internal/hostinfo"
+	"repro/internal/synth"
+)
+
+const flushInterval = 2 * time.Millisecond
+
+type writeRow struct {
+	WAL         bool    `json:"wal"`
+	Writers     int     `json:"writers"`
+	Procs       int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	CPUModel    string  `json:"cpu_model"`
+	Ops         int     `json:"ops"`
+	P50us       float64 `json:"ack_p50_us"`
+	P99us       float64 `json:"ack_p99_us"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Fsyncs      int64   `json:"fsyncs"`
+	FsyncsPerOp float64 `json:"fsyncs_per_op"`
+}
+
+type crashRow struct {
+	Acked     int  `json:"acked_writes"`
+	Recovered int  `json:"recovered"`
+	LostAcked int  `json:"lost_acked"`
+	Replayed  bool `json:"wal_replayed"`
+}
+
+type report struct {
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	NumCPU      int        `json:"num_cpu"`
+	CPUModel    string     `json:"cpu_model"`
+	SeqLen      int        `json:"seq_len"`
+	FlushMs     float64    `json:"wal_flush_ms"`
+	Smoke       bool       `json:"smoke"`
+	Writes      []writeRow `json:"writes"`
+	Crash       crashRow   `json:"crash_check"`
+	BaselineP50 float64    `json:"single_fsync_p50_us"`
+}
+
+func percentile(d []time.Duration, p float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p * float64(len(s)-1))
+	return float64(s[i].Nanoseconds()) / 1e3 // microseconds
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_wal.json", "result file (empty = stdout only)")
+		smoke  = flag.Bool("smoke", false, "small fast run for CI; implies -out \"\" and skips the latency/fsync fences")
+		ops    = flag.Int("ops", 4000, "acknowledged writes per writer-count leg")
+		seqLen = flag.Int("len", 64, "sequence length")
+	)
+	flag.Parse()
+	if *smoke {
+		*out = ""
+		*ops = 200
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     hostinfo.NumCPU(),
+		CPUModel:   hostinfo.CPUModel(),
+		SeqLen:     *seqLen,
+		FlushMs:    float64(flushInterval) / 1e6,
+		Smoke:      *smoke,
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	data := synth.RandomWalkSet(rng, *ops, *seqLen)
+	values := make([][]float64, len(data))
+	for i, s := range data {
+		values[i] = s
+	}
+
+	// Baseline: single-writer immediate-fsync appends — one fsync per op by
+	// construction — so the p99 fence below has a machine-calibrated notion
+	// of "one fsync".
+	rep.BaselineP50 = baselineFsyncP50(values)
+	log.Printf("single-fsync baseline p50 %.0fus", rep.BaselineP50)
+
+	for _, procs := range procsList() {
+		for _, walOn := range []bool{false, true} {
+			for _, writers := range writerCounts(*smoke) {
+				r := runWriteLeg(values, walOn, writers, procs)
+				rep.Writes = append(rep.Writes, r)
+				log.Printf("wal=%-5v writers=%-2d procs=%-2d: p50 %.0fus p99 %.0fus, %.0f ops/s, %.3f fsyncs/op",
+					r.WAL, r.Writers, r.Procs, r.P50us, r.P99us, r.OpsPerSec, r.FsyncsPerOp)
+				if !*smoke && walOn && writers >= 16 {
+					if r.FsyncsPerOp >= 1 {
+						log.Fatalf("benchwal: %.3f fsyncs/op at %d writers — group commit is not batching", r.FsyncsPerOp, writers)
+					}
+					// p99 must be bounded by the flush linger plus a
+					// generous multiple of one fsync (absorbs scheduler
+					// noise without letting fsyncs stack serially).
+					budget := float64(flushInterval)/1e3 + 20*math.Max(rep.BaselineP50, 100)
+					if r.P99us > budget {
+						log.Fatalf("benchwal: 16-writer p99 %.0fus exceeds flush-interval+fsync budget %.0fus", r.P99us, budget)
+					}
+				}
+			}
+		}
+	}
+
+	rep.Crash = runCrashCheck(values)
+	log.Printf("crash check: %d acked, %d recovered, %d lost", rep.Crash.Acked, rep.Crash.Recovered, rep.Crash.LostAcked)
+	if rep.Crash.LostAcked != 0 {
+		log.Fatalf("benchwal: crash check lost %d acknowledged writes", rep.Crash.LostAcked)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(blob))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatalf("benchwal: writing %s: %v", *out, err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}
+
+func procsList() []int {
+	n := runtime.NumCPU()
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+func writerCounts(smoke bool) []int {
+	if smoke {
+		return []int{1, 16}
+	}
+	return []int{1, 4, 16}
+}
+
+func tempDB(opts twsim.Options) (*twsim.DB, string, func()) {
+	dir, err := os.MkdirTemp("", "benchwal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := twsim.Create(filepath.Join(dir, "db"), opts)
+	if err != nil {
+		log.Fatalf("benchwal: create: %v", err)
+	}
+	return db, filepath.Join(dir, "db"), func() {
+		db.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// baselineFsyncP50 times single-writer appends in immediate-flush mode:
+// every acknowledge is exactly one fsync.
+func baselineFsyncP50(values [][]float64) float64 {
+	db, _, cleanup := tempDB(twsim.Options{WAL: true, WALFlushInterval: -1})
+	defer cleanup()
+	n := len(values)
+	if n > 200 {
+		n = 200
+	}
+	lat := make([]time.Duration, 0, n)
+	for _, v := range values[:n] {
+		start := time.Now()
+		if _, err := db.Add(v); err != nil {
+			log.Fatalf("benchwal: baseline add: %v", err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	return percentile(lat, 0.50)
+}
+
+// runWriteLeg drives ops acknowledged writes through `writers` goroutines
+// sharing one apply mutex, committing outside it — the serving layer's
+// exact write shape.
+func runWriteLeg(values [][]float64, walOn bool, writers, procs int) writeRow {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	opts := twsim.Options{}
+	if walOn {
+		opts = twsim.Options{WAL: true, WALFlushInterval: flushInterval}
+	}
+	db, _, cleanup := tempDB(opts)
+	defer cleanup()
+
+	var (
+		mu   sync.Mutex // the external writer serialization the library requires
+		next int
+		wg   sync.WaitGroup
+		lmu  sync.Mutex
+		lats = make([]time.Duration, 0, len(values))
+	)
+	startFsyncs := db.WALStats().Fsyncs
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(values) {
+					mu.Unlock()
+					return
+				}
+				v := values[next]
+				next++
+				opStart := time.Now()
+				_, commit, err := db.AddCommit(v)
+				mu.Unlock()
+				if err != nil {
+					log.Fatalf("benchwal: add: %v", err)
+				}
+				if err := commit(); err != nil {
+					log.Fatalf("benchwal: commit: %v", err)
+				}
+				d := time.Since(opStart)
+				lmu.Lock()
+				lats = append(lats, d)
+				lmu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := db.WALStats()
+
+	row := writeRow{
+		WAL:       walOn,
+		Writers:   writers,
+		Procs:     procs,
+		NumCPU:    hostinfo.NumCPU(),
+		CPUModel:  hostinfo.CPUModel(),
+		Ops:       len(values),
+		P50us:     percentile(lats, 0.50),
+		P99us:     percentile(lats, 0.99),
+		OpsPerSec: float64(len(values)) / elapsed.Seconds(),
+		Fsyncs:    st.Fsyncs - startFsyncs,
+	}
+	if row.Ops > 0 {
+		row.FsyncsPerOp = float64(row.Fsyncs) / float64(row.Ops)
+	}
+	return row
+}
+
+// runCrashCheck acknowledges writes, copies the directory with no flush or
+// close — the crash image — and reopens it, counting survivors.
+func runCrashCheck(values [][]float64) crashRow {
+	n := len(values)
+	if n > 500 {
+		n = 500
+	}
+	db, dir, cleanup := tempDB(twsim.Options{WAL: true, WALFlushInterval: flushInterval})
+	defer cleanup()
+	for _, v := range values[:n] {
+		if _, err := db.Add(v); err != nil {
+			log.Fatalf("benchwal: crash-leg add: %v", err)
+		}
+	}
+
+	crash, err := os.MkdirTemp("", "benchwal-crash-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(crash)
+	image := filepath.Join(crash, "db")
+	if err := copyTree(dir, image); err != nil {
+		log.Fatalf("benchwal: copying crash image: %v", err)
+	}
+
+	re, err := twsim.Open(image, twsim.Options{WAL: true})
+	if err != nil {
+		log.Fatalf("benchwal: reopening crash image: %v", err)
+	}
+	defer re.Close()
+
+	row := crashRow{Acked: n, Recovered: re.Len()}
+	row.LostAcked = row.Acked - row.Recovered
+	for _, note := range re.OpenDiagnostics() {
+		if len(note) >= 4 && note[:4] == "wal:" {
+			row.Replayed = true
+		}
+	}
+	return row
+}
+
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+}

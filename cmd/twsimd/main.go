@@ -61,6 +61,25 @@
 //     -retry-after-s). Outcome counters:
 //     twsim_queries_{shed,cancelled,deadline_exceeded}_total.
 //
+// Durability and replication:
+//
+//   - -wal runs a group-commit write-ahead log: a write is acknowledged
+//     only after the fsync covering its log record, so acknowledged writes
+//     survive a crash (the log is replayed on the next open). Concurrent
+//     writers share fsyncs — -wal-flush-ms bounds how long a write waits
+//     for its batch (default 2ms) — and -wal-checkpoint-mb bounds replay
+//     length by checkpointing when the log outgrows the limit. Counters:
+//     twsim_wal_* on /metrics, "wal" on /stats. Sharded databases run one
+//     log per shard.
+//   - -replica-of URL runs this process as a read-only replica of the
+//     single-database WAL-enabled primary at URL: it bootstraps from
+//     GET /repl/snapshot, then streams the WAL tail (GET /repl/wal) every
+//     -replica-poll-ms and applies it locally, answering queries
+//     bit-identically to the primary at the same sequence number. Writes
+//     answer 403. Lag is exported as twsim_replica_lag_seconds /
+//     twsim_replica_generation_delta on /metrics and "replica" on /stats.
+//     The replica keeps no disk state; every start re-syncs.
+//
 // Observability:
 //
 //   - GET /metrics serves the Prometheus text exposition (per-endpoint
@@ -118,6 +137,13 @@ func main() {
 		queueDepth    = flag.Int("queue-depth", 64, "queries allowed to wait for an execution slot when -max-inflight is set; arrivals beyond it shed immediately")
 		retryAfterS   = flag.Int("retry-after-s", 0, "Retry-After seconds advertised on shed (429) responses (0 = 1s)")
 
+		walOn           = flag.Bool("wal", false, "run a group-commit write-ahead log: acknowledged writes survive a crash (on-disk databases; per shard when sharded)")
+		walFlushMS      = flag.Int("wal-flush-ms", 2, "WAL group-commit flush interval in milliseconds (writes wait at most this plus one fsync; 0 = fsync every batch immediately)")
+		walCheckpointMB = flag.Int("wal-checkpoint-mb", 64, "checkpoint (full flush + log truncation) when the WAL file reaches this many MiB (0 = never on size)")
+
+		replicaOf     = flag.String("replica-of", "", "run as a read-only replica of the primary twsimd at this base URL (e.g. http://primary:7474): bootstrap from its snapshot, stream its WAL tail, answer queries locally and writes with 403")
+		replicaPollMS = flag.Int("replica-poll-ms", 500, "replica WAL tail polling interval in milliseconds")
+
 		slowMS    = flag.Int("slow-query-ms", 0, "log queries at or above this wall time in milliseconds (0 = disabled)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 
@@ -140,12 +166,35 @@ func main() {
 		ResultCacheBytes:   int64(*resultCacheMB) << 20,
 		QueryDeadline:      time.Duration(*deadlineMS) * time.Millisecond,
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+		WAL:                *walOn,
+	}
+	if *walOn {
+		if *mem || *replicaOf != "" {
+			fmt.Fprintln(os.Stderr, "twsimd: -wal requires an on-disk database (not -mem / -replica-of)")
+			os.Exit(2)
+		}
+		opts.WALFlushInterval = time.Duration(*walFlushMS) * time.Millisecond
+		if *walFlushMS == 0 {
+			opts.WALFlushInterval = -1 // fsync every batch immediately
+		}
+		opts.WALCheckpointBytes = int64(*walCheckpointMB) << 20
+		if *walCheckpointMB == 0 {
+			opts.WALCheckpointBytes = -1
+		}
+	}
+	if *replicaOf != "" && (*shards > 0 || *create) {
+		fmt.Fprintln(os.Stderr, "twsimd: -replica-of serves an in-memory single-database replica (no -shards/-create)")
+		os.Exit(2)
 	}
 	var db twsim.Backend
 	var single *twsim.DB // non-nil when serving an unsharded database
 	var err error
 	sharded := twsim.ShardedOptions{Options: opts, Shards: *shards}
 	switch {
+	case *replicaOf != "":
+		// A replica is an in-memory mirror rebuilt from the primary's
+		// snapshot + WAL stream on every start; it persists nothing.
+		single, err = twsim.OpenMem(opts)
 	case *mem && *shards > 0:
 		db, err = twsim.OpenMemSharded(sharded)
 	case *mem:
@@ -188,6 +237,18 @@ func main() {
 		QueueDepth:        *queueDepth,
 		RetryAfterSeconds: *retryAfterS,
 	})
+	var replica *server.Replica
+	if *replicaOf != "" {
+		replica, err = server.NewReplica(srv, *replicaOf, server.ReplicaOptions{
+			PollInterval: time.Duration(*replicaPollMS) * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatalf("twsimd: %v", err)
+		}
+		replica.Start()
+		lag := replica.Lag()
+		log.Printf("twsimd: replica of %s bootstrapped at seq %d (%d sequences), read-only", *replicaOf, lag.AppliedSeq, db.Len())
+	}
 	httpSrv := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -253,6 +314,9 @@ func main() {
 	}
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("twsimd: %v", err)
+	}
+	if replica != nil {
+		replica.Stop()
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("twsimd: closing server state: %v", err)

@@ -1,0 +1,299 @@
+package twsim
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/seq"
+	"repro/internal/seqdb"
+	"repro/internal/wal"
+)
+
+// walFileName is the group-commit log's file inside the database dir.
+const walFileName = "wal.log"
+
+// WALStats snapshots the write-ahead log counters (see internal/wal
+// Stats). Fsyncs / Records is the group-commit batching factor.
+type WALStats = wal.Stats
+
+// Commit is the durability handle a *Commit write variant returns: it
+// blocks until the fsync covering the write completes (or returns the
+// flush error — the write is applied in memory but its durability is
+// unknown). Without a WAL every Commit is an already-satisfied no-op.
+//
+// The point of the split is group commit under concurrency: a caller that
+// serializes writers with a lock should apply under the lock and invoke
+// Commit after releasing it, so other writers enter the batch while this
+// one waits for the shared fsync.
+type Commit = wal.Commit
+
+var noopCommit Commit = func() error { return nil }
+
+// walOptions maps the public knobs onto the log's options.
+func (o Options) walOptions() wal.Options {
+	return wal.Options{FlushInterval: o.WALFlushInterval, FlushBytes: o.WALFlushBytes}
+}
+
+// walCheckpointBytes resolves the auto-checkpoint threshold (<= 0 when
+// disabled).
+func (o Options) walCheckpointBytes() int64 {
+	if o.WALCheckpointBytes == 0 {
+		return 64 << 20
+	}
+	if o.WALCheckpointBytes < 0 {
+		return 0
+	}
+	return o.WALCheckpointBytes
+}
+
+// Add stores a sequence and indexes its feature vector, returning its ID.
+// Empty sequences are rejected, as are sequences containing NaN or ±Inf
+// (ErrNonFinite): a non-finite element would make the index entry
+// unreachable while scans still see the record, silently breaking the
+// no-false-dismissal guarantee.
+//
+// Add is atomic: when indexing fails after the heap append succeeded, the
+// append is rolled back before the error is returned, so the store and
+// the index never diverge and the failed Add can simply be retried.
+//
+// With Options.WAL set, Add returns only after the fsync covering its log
+// record completes — an acknowledged Add survives a crash. A non-nil
+// error alongside a valid ID means the write was applied in memory but
+// its durability is unknown (the fsync failed).
+func (db *DB) Add(values []float64) (ID, error) {
+	id, commit, err := db.AddCommit(values)
+	if err != nil {
+		return id, err
+	}
+	return id, commit()
+}
+
+// AddCommit is Add split at the durability boundary: the mutation is
+// applied (and logged) before it returns, and the returned Commit blocks
+// until the covering fsync completes. See Commit for why callers holding
+// a writer lock should invoke it after unlocking.
+func (db *DB) AddCommit(values []float64) (ID, Commit, error) {
+	id, err := db.applyAdd(values)
+	if err != nil {
+		return id, nil, err
+	}
+	if db.wal == nil {
+		return id, noopCommit, nil
+	}
+	s := seq.Sequence(values)
+	commit, werr := db.wal.Begin(wal.NewAdd(id, s))
+	if werr != nil {
+		// Applied but unloggable: undo so no acknowledged state ever
+		// lacks WAL coverage.
+		db.undoAppends([]ID{id}, []seq.Sequence{s})
+		return seq.InvalidID, nil, fmt.Errorf("twsim: wal append (rolled back): %w", werr)
+	}
+	if err := db.maybeCheckpoint(); err != nil {
+		return id, commit, err
+	}
+	return id, commit, nil
+}
+
+// AddAll stores a batch of sequences; when the database is empty the
+// index is STR bulk-loaded, which is substantially faster than repeated
+// Add (§4.3.1). Returns the ID of the first added sequence; IDs are
+// consecutive.
+//
+// AddAll is all-or-nothing: on a mid-batch failure every sequence of the
+// batch that was already appended is rolled back (and its index entry, if
+// any, removed) before the error is returned. With Options.WAL set the
+// whole batch is one log record and AddAll returns after its fsync.
+func (db *DB) AddAll(values [][]float64) (ID, error) {
+	first, commit, err := db.AddAllCommit(values)
+	if err != nil {
+		return first, err
+	}
+	return first, commit()
+}
+
+// AddAllCommit is AddAll split at the durability boundary (see Commit).
+func (db *DB) AddAllCommit(values [][]float64) (ID, Commit, error) {
+	first, err := db.applyAddAll(values)
+	if err != nil {
+		return first, nil, err
+	}
+	if db.wal == nil {
+		return first, noopCommit, nil
+	}
+	ss := make([]seq.Sequence, len(values))
+	for i, v := range values {
+		ss[i] = seq.Sequence(v)
+	}
+	commit, werr := db.wal.Begin(wal.NewAddBatch(first, ss))
+	if werr != nil {
+		ids := make([]ID, len(ss))
+		for i := range ids {
+			ids[i] = first + ID(i)
+		}
+		db.undoAppends(ids, ss)
+		return seq.InvalidID, nil, fmt.Errorf("twsim: wal append (batch rolled back): %w", werr)
+	}
+	if err := db.maybeCheckpoint(); err != nil {
+		return first, commit, err
+	}
+	return first, commit, nil
+}
+
+// Remove deletes a stored sequence: its index entry is removed and the
+// heap record tombstoned (IDs are never reused; heap space is reclaimed
+// only by rebuilding the database). It reports whether the sequence was
+// present and live. With Options.WAL set, Remove returns after the fsync
+// covering its log record.
+func (db *DB) Remove(id ID) (bool, error) {
+	ok, commit, err := db.RemoveCommit(id)
+	if err != nil {
+		return ok, err
+	}
+	return ok, commit()
+}
+
+// RemoveCommit is Remove split at the durability boundary (see Commit).
+func (db *DB) RemoveCommit(id ID) (bool, Commit, error) {
+	ok, err := db.applyRemove(id)
+	if err != nil || !ok || db.wal == nil {
+		return ok, noopCommit, err
+	}
+	commit, werr := db.wal.Begin(wal.NewRemove(id))
+	if werr != nil {
+		// A tombstone cannot be un-set; make it durable through a full
+		// checkpoint instead, which also leaves the log consistent.
+		if ferr := db.Flush(); ferr != nil {
+			return ok, nil, fmt.Errorf("twsim: wal append failed (%v) and checkpoint failed: %w", werr, ferr)
+		}
+		return ok, noopCommit, nil
+	}
+	if err := db.maybeCheckpoint(); err != nil {
+		return ok, commit, err
+	}
+	return ok, commit, nil
+}
+
+// undoAppends rolls back freshly-applied appends (reverse order) after a
+// WAL enqueue failure. If a rollback can only tombstone (not truncate)
+// the heap slot, the slot is burned with no covering log record — a gap a
+// later replay would refuse — so the state is forced durable through a
+// checkpoint, leaving an empty, consistent log.
+func (db *DB) undoAppends(ids []ID, ss []seq.Sequence) {
+	defer db.gen.Add(1)
+	for i := len(ids) - 1; i >= 0; i-- {
+		_, _ = db.index.Delete(ids[i], ss[i])
+		db.envs.Remove(ids[i])
+		_ = db.store.RollbackLast(ids[i])
+	}
+	if db.index.Len() != db.store.Len() {
+		_, _ = db.Repair()
+	}
+	if len(ids) > 0 && db.store.NumRecords() > int(ids[0]) {
+		_ = db.Flush()
+	}
+}
+
+// maybeCheckpoint runs a full Flush (which resets the log) when the log
+// file outgrows Options.WALCheckpointBytes, bounding replay length and
+// amortizing the index/sidecar saves over tens of megabytes of records.
+func (db *DB) maybeCheckpoint() error {
+	limit := db.opts.walCheckpointBytes()
+	if limit <= 0 || db.wal.FileBytes() < limit {
+		return nil
+	}
+	return db.Flush()
+}
+
+// openWAL opens (or creates) the log inside db.dir, truncates any torn
+// tail, and replays the valid records over the heap. Replay is
+// idempotent: IDs are dense and never reused, so an add record applies
+// only when its ID is exactly the next heap slot (an already-present ID
+// was applied before the crash and is skipped), and a remove applies only
+// to a live record. Index and envelope divergence introduced by replay is
+// healed by the same Repair/reconcile pass every Open runs.
+func (db *DB) openWAL() error {
+	wlog, recs, note, err := wal.Open(filepath.Join(db.dir, walFileName), db.opts.walOptions())
+	if err != nil {
+		return err
+	}
+	if note != "" {
+		db.note("%s", note)
+	}
+	applied, rerr := replayWAL(db.store, recs)
+	if applied > 0 {
+		db.note("wal: replayed %d mutations (%d records) over the heap", applied, len(recs))
+		db.walReplayed = true
+	}
+	if rerr != nil {
+		// A replay stop (gap, storage fault) is diagnosable, not fatal:
+		// the heap stays the source of truth and the reconcile pass runs
+		// regardless. The unapplied tail is dropped at the checkpoint
+		// that follows a replayed open.
+		db.note("wal: replay stopped early: %v", rerr)
+		db.walReplayed = true
+	}
+	db.wal = wlog
+	return nil
+}
+
+// replayWAL applies logged mutations to the heap, skipping records whose
+// effects are already present (see openWAL). It returns the number of
+// mutations actually applied.
+func replayWAL(store *seqdb.DB, recs []wal.Record) (applied int, err error) {
+	for _, r := range recs {
+		switch r.Type {
+		case wal.TypeAdd, wal.TypeAddBatch:
+			id := r.ID
+			for _, s := range r.Data {
+				next := seq.ID(store.NumRecords())
+				switch {
+				case id < next:
+					// Already applied before the crash (or by an earlier
+					// duplicate record): skip.
+				case id == next:
+					got, aerr := store.Append(s)
+					if aerr != nil {
+						return applied, aerr
+					}
+					if got != id {
+						return applied, fmt.Errorf("wal: replay misalignment: appended at %d, record says %d", got, id)
+					}
+					applied++
+				default:
+					return applied, fmt.Errorf("wal: record gap: next heap slot is %d, record claims %d", next, id)
+				}
+				id++
+			}
+		case wal.TypeRemove:
+			if int(r.ID) >= store.NumRecords() {
+				return applied, fmt.Errorf("wal: remove of unknown record %d", r.ID)
+			}
+			if !store.Deleted(r.ID) {
+				if _, derr := store.Delete(r.ID); derr != nil {
+					return applied, derr
+				}
+				applied++
+			}
+		default:
+			return applied, fmt.Errorf("wal: unknown record type %d", r.Type)
+		}
+	}
+	return applied, nil
+}
+
+// WALStats snapshots the write-ahead log counters (zero when the WAL is
+// disabled).
+func (db *DB) WALStats() WALStats {
+	if db.wal == nil {
+		return WALStats{}
+	}
+	return db.wal.Stats()
+}
+
+// WALEnabled reports whether this database runs with a write-ahead log.
+func (db *DB) WALEnabled() bool { return db.wal != nil }
+
+// NumRecords returns the number of heap record slots including
+// tombstones — the dense ID space (the next Add gets ID NumRecords()).
+// Replication uses it to align a primary's record stream with a replica.
+func (db *DB) NumRecords() int { return db.store.NumRecords() }

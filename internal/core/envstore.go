@@ -8,8 +8,8 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
+	"repro/internal/fsx"
 	"repro/internal/seq"
 	"repro/internal/seqdb"
 )
@@ -164,10 +164,7 @@ func (es *EnvStore) Save(path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	return syncDir(filepath.Dir(path))
+	return fsx.RenameAndSyncDir(tmp, path)
 }
 
 // LoadEnvStore reads a sidecar written by Save, verifying magic, version,
@@ -247,15 +244,3 @@ func BuildEnvStore(db *seqdb.DB) (*EnvStore, error) {
 
 func binFloat(v float64) uint64 { return math.Float64bits(v) }
 func floatBin(b uint64) float64 { return math.Float64frombits(b) }
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}

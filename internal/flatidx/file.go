@@ -8,6 +8,7 @@ import (
 	"runtime"
 
 	"repro/internal/flatidx/mapfile"
+	"repro/internal/fsx"
 )
 
 // Snapshot file format: the slab bytes (already self-describing, see the
@@ -23,8 +24,9 @@ import (
 // full structural validation (Decode) run eagerly, exactly as before.
 
 // Save merges any pending delta and writes the resulting snapshot slab to
-// path via a temp file + rename, so a crash mid-write never corrupts an
-// existing snapshot. Renaming over a currently-mapped snapshot file is safe:
+// path via a temp file + rename + parent-directory fsync, so a crash
+// mid-write never corrupts an existing snapshot and a completed Save
+// survives power loss. Renaming over a currently-mapped snapshot file is safe:
 // the mapping references the old inode, not the path.
 func (x *Index) Save(path string) error {
 	x.mu.Lock()
@@ -65,7 +67,11 @@ func (x *Index) Save(path string) error {
 		os.Remove(tmpName)
 		return err
 	}
-	return os.Rename(tmpName, path)
+	if err := fsx.RenameAndSyncDir(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
 }
 
 // Load opens a snapshot file and returns an Index seeded with it. On the

@@ -1,0 +1,77 @@
+package fsx
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileSyncRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.bin")
+	if err := WriteFileSync(path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("WriteFileSync: %v", err)
+	}
+	if err := WriteFileSync(path, []byte("v2"), 0o644); err != nil {
+		t.Fatalf("WriteFileSync overwrite: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("got %q, %v; want v2", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %d entries", len(ents))
+	}
+}
+
+func TestRenameAndSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenameAndSyncDir(src, dst); err != nil {
+		t.Fatalf("RenameAndSyncDir: %v", err)
+	}
+	if _, err := os.Stat(src); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("source still exists: %v", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("dst = %q, %v", got, err)
+	}
+}
+
+// The fault hook must make a failed directory sync visible to the caller:
+// both SyncDir itself and the rename wrapper return the injected error.
+func TestSyncDirHookSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("injected dir-sync failure")
+	SyncDirHook = func(d string) error {
+		if d == dir {
+			return boom
+		}
+		return nil
+	}
+	defer func() { SyncDirHook = nil }()
+
+	if err := SyncDir(dir); !errors.Is(err, boom) {
+		t.Fatalf("SyncDir error = %v, want injected fault", err)
+	}
+	src := filepath.Join(dir, "a")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenameAndSyncDir(src, filepath.Join(dir, "b")); !errors.Is(err, boom) {
+		t.Fatalf("RenameAndSyncDir error = %v, want injected fault", err)
+	}
+	if err := WriteFileSync(filepath.Join(dir, "c"), []byte("y"), 0o644); !errors.Is(err, boom) {
+		t.Fatalf("WriteFileSync error = %v, want injected fault", err)
+	}
+}

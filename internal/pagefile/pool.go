@@ -331,6 +331,17 @@ func (p *Pool) FlushAll() error {
 	return nil
 }
 
+// Sync asks the backend to push previously-written pages to stable
+// storage (fsync for file backends; a no-op for memory backends and for
+// wrappers that don't expose one). FlushAll alone only hands dirty frames
+// to the OS — Sync is what makes them survive a power failure.
+func (p *Pool) Sync() error {
+	if s, ok := p.backend.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
 // Close flushes all dirty pages and closes the backend.
 func (p *Pool) Close() error {
 	if err := p.FlushAll(); err != nil {

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/fsx"
 	"repro/internal/pagefile"
 	"repro/internal/seq"
 )
@@ -352,14 +353,51 @@ func (db *DB) readAt(off int64, buf []byte) error {
 }
 
 // Flush persists data pages and the directory (no-op for memory databases'
-// directory).
+// directory). On file-backed databases the data file is fsynced before the
+// directory is swapped in, so a manifest that names an offset always has
+// durable bytes behind it.
 func (db *DB) Flush() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
+	if err := db.pool.Sync(); err != nil {
+		return err
+	}
 	return db.saveDirectory()
+}
+
+// ScanAll calls fn for every record slot in ID order, including
+// tombstoned ones — the full dense ID space a replica must mirror for its
+// IDs to line up with the primary's. Tombstoned records whose bytes no
+// longer decode (best-effort rollback leftovers) are reported with a nil
+// sequence rather than an error.
+func (db *DB) ScanAll(fn func(id seq.ID, s seq.Sequence, deleted bool) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for i, start := range db.offsets {
+		end := db.total
+		if i+1 < len(db.offsets) {
+			end = db.offsets[i+1]
+		}
+		buf := make([]byte, end-start)
+		if err := db.readAt(start, buf); err != nil {
+			return err
+		}
+		deleted := db.tombstones[seq.ID(i)]
+		s, _, err := seq.Decode(buf)
+		if err != nil {
+			if !deleted {
+				return fmt.Errorf("seqdb: record %d: %w", i, err)
+			}
+			s = nil
+		}
+		if err := fn(seq.ID(i), s, deleted); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close flushes and releases the database.
@@ -390,11 +428,12 @@ func (db *DB) saveDirectory() error {
 	for id := range db.tombstones {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
 	}
-	tmp := db.dirPath + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, db.dirPath)
+	// WriteFileSync fsyncs the temp file before the rename and the parent
+	// directory after it: the manifest swap used to be atomic but not
+	// durable — a power failure right after Flush could roll the rename
+	// back (or leave a zero-length manifest), silently dropping appends
+	// the caller was told were persisted.
+	return fsx.WriteFileSync(db.dirPath, buf, 0o644)
 }
 
 func (db *DB) loadDirectory() error {

@@ -30,6 +30,12 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// DefaultRetryAfter is the backoff ErrOverloaded carries when the server
+// sent a Retry-After header the client could not interpret: backing off a
+// conservative second beats hammering a server that explicitly asked for
+// a pause. A missing header still yields RetryAfter 0 (no advice given).
+const DefaultRetryAfter = time.Second
+
 // ErrOverloaded is returned when the server shed the request at admission
 // control (429). RetryAfter carries the server's suggested backoff, when
 // given. Detect it with errors.As and respect RetryAfter before resending.
@@ -82,11 +88,7 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) 
 			ae.Error = resp.Status
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
-			oe := &ErrOverloaded{Message: ae.Error}
-			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-				oe.RetryAfter = time.Duration(secs) * time.Second
-			}
-			return oe
+			return &ErrOverloaded{Message: ae.Error, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 		}
 		if ae.Error == resp.Status {
 			return fmt.Errorf("twsimd: %s", resp.Status)
@@ -97,6 +99,29 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) 
 		return nil
 	}
 	return dec.Decode(out)
+}
+
+// parseRetryAfter interprets a Retry-After header per RFC 9110 §10.2.3:
+// either delay-seconds or an HTTP-date. An absent header means no advice
+// (0); a header that is present but unusable — unparseable, or a date
+// already in the past — yields DefaultRetryAfter, since the server did ask
+// for a pause even if we cannot tell how long.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return DefaultRetryAfter
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return DefaultRetryAfter
 }
 
 // Health checks the server's liveness endpoint.

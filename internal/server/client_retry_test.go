@@ -1,0 +1,59 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfterForms(t *testing.T) {
+	cases := []struct {
+		name, header string
+		min, max     time.Duration
+	}{
+		{"absent", "", 0, 0},
+		{"seconds", "7", 7 * time.Second, 7 * time.Second},
+		{"zero-seconds", "0", DefaultRetryAfter, DefaultRetryAfter},
+		{"http-date", time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat), 25 * time.Second, 30 * time.Second},
+		{"past-date", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), DefaultRetryAfter, DefaultRetryAfter},
+		{"garbage", "soon", DefaultRetryAfter, DefaultRetryAfter},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseRetryAfter(tc.header)
+			if got < tc.min || got > tc.max {
+				t.Fatalf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.header, got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+func TestClientRetryAfterBothWireForms(t *testing.T) {
+	for _, tc := range []struct {
+		name, header string
+		min, max     time.Duration
+	}{
+		{"delay-seconds", "3", 3 * time.Second, 3 * time.Second},
+		{"http-date", time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat), 5 * time.Second, 10 * time.Second},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Retry-After", tc.header)
+				w.WriteHeader(http.StatusTooManyRequests)
+				_, _ = w.Write([]byte(`{"error":"overloaded"}`))
+			}))
+			defer ts.Close()
+			c := NewClient(ts.URL, ts.Client())
+			_, err := c.Search([]float64{1, 2, 3}, 1)
+			var oe *ErrOverloaded
+			if !errors.As(err, &oe) {
+				t.Fatalf("error = %v, want *ErrOverloaded", err)
+			}
+			if oe.RetryAfter < tc.min || oe.RetryAfter > tc.max {
+				t.Fatalf("RetryAfter = %v, want in [%v, %v]", oe.RetryAfter, tc.min, tc.max)
+			}
+		})
+	}
+}

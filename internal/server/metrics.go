@@ -19,6 +19,7 @@ var endpointNames = []string{
 	"sequences", "sequence_by_id", "batch",
 	"search", "knn",
 	"subseq_build", "subseq_search",
+	"repl_status", "repl_snapshot", "repl_wal",
 }
 
 // endpointMetrics are one endpoint's pre-registered instruments: request
@@ -153,6 +154,43 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.CounterFunc("twsim_queries_cancelled_total", "", "Queries abandoned because the client disconnected (499).", counterOf(&s.cancelled))
 	reg.CounterFunc("twsim_queries_deadline_exceeded_total", "", "Queries abandoned on the per-query deadline (503).", counterOf(&s.deadlineExceeded))
 	reg.GaugeFunc("twsim_queries_queued", "", "Queries currently waiting for an admission slot.", counterOf(&s.queued))
+
+	// Write-ahead-log counters: scrape-time snapshots of the log's own
+	// accounting (all zero with the WAL disabled; summed over shards for a
+	// sharded backend). records/fsyncs is the group-commit batching factor.
+	wal := func(sel func(twsim.WALStats) float64) func() float64 {
+		return func() float64 { return sel(s.backend.WALStats()) }
+	}
+	reg.CounterFunc("twsim_wal_records_total", "", "Mutations appended to the write-ahead log.",
+		wal(func(st twsim.WALStats) float64 { return float64(st.Records) }))
+	reg.CounterFunc("twsim_wal_fsyncs_total", "", "WAL fsync batches (group commit makes this grow slower than records under concurrency).",
+		wal(func(st twsim.WALStats) float64 { return float64(st.Fsyncs) }))
+	reg.CounterFunc("twsim_wal_bytes_total", "", "Bytes appended to the write-ahead log.",
+		wal(func(st twsim.WALStats) float64 { return float64(st.Bytes) }))
+	reg.CounterFunc("twsim_wal_checkpoints_total", "", "WAL checkpoints (log truncations riding a full flush).",
+		wal(func(st twsim.WALStats) float64 { return float64(st.Checkpoints) }))
+	reg.GaugeFunc("twsim_wal_file_bytes", "", "Current WAL file size (replay length bound).",
+		wal(func(st twsim.WALStats) float64 { return float64(st.FileBytes) }))
+
+	// Replication lag, exported only while the server runs as a replica
+	// (the gauges read 0 on a primary or standalone server).
+	repl := func(sel func(ReplicaLag) float64) func() float64 {
+		return func() float64 {
+			rep := s.replica.Load()
+			if rep == nil {
+				return 0
+			}
+			return sel(rep.Lag())
+		}
+	}
+	reg.GaugeFunc("twsim_replica_lag_seconds", "", "Seconds since this replica was last fully caught up with the primary (0 when caught up).",
+		repl(func(l ReplicaLag) float64 { return l.Seconds }))
+	reg.GaugeFunc("twsim_replica_generation_delta", "", "Durable primary mutations not yet applied on this replica.",
+		repl(func(l ReplicaLag) float64 { return float64(l.GenerationDelta) }))
+	reg.GaugeFunc("twsim_replica_applied_seq", "", "Last primary WAL sequence number applied on this replica.",
+		repl(func(l ReplicaLag) float64 { return float64(l.AppliedSeq) }))
+	reg.CounterFunc("twsim_replica_resyncs_total", "", "Snapshot re-syncs forced by primary WAL compaction.",
+		repl(func(l ReplicaLag) float64 { return float64(l.Resyncs) }))
 
 	return m
 }

@@ -104,6 +104,14 @@ type Server struct {
 	metrics *serverMetrics     // obs registry + per-endpoint instruments (/metrics)
 	mux     *http.ServeMux
 
+	// Replication (see repl.go). primary is the raw single database when
+	// the backend is one — the only engine shape that serves /repl/* in
+	// v1. readOnly switches every mutating endpoint to 403 (replica mode);
+	// replica carries the lag the status endpoints export.
+	primary  *twsim.DB
+	readOnly atomic.Bool
+	replica  atomic.Pointer[Replica]
+
 	// Admission control (see Limits). sem is nil when disabled; queued
 	// tracks the waiters so arrivals beyond the queue depth shed fast.
 	limits Limits
@@ -172,22 +180,44 @@ type lockedDB struct {
 	db *twsim.DB
 }
 
+// Writes use the commit-split API: the mutation is applied (and its WAL
+// record enqueued) under the exclusive lock, but the fsync wait happens
+// after the lock is released — so N concurrent HTTP writers fall into the
+// same group-commit batch and share one fsync instead of serializing
+// fsyncs behind the lock.
+
 func (l *lockedDB) Add(values []float64) (twsim.ID, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.db.Add(values)
+	id, commit, err := l.db.AddCommit(values)
+	l.mu.Unlock()
+	if err != nil {
+		return id, err
+	}
+	return id, commit()
 }
 
 func (l *lockedDB) AddBatch(values [][]float64) ([]twsim.ID, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.db.AddBatch(values)
+	first, commit, err := l.db.AddAllCommit(values)
+	l.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]twsim.ID, len(values))
+	for i := range ids {
+		ids[i] = first + twsim.ID(i)
+	}
+	return ids, commit()
 }
 
 func (l *lockedDB) Remove(id twsim.ID) (bool, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.db.Remove(id)
+	ok, commit, err := l.db.RemoveCommit(id)
+	l.mu.Unlock()
+	if err != nil {
+		return ok, err
+	}
+	return ok, commit()
 }
 
 func (l *lockedDB) Get(id twsim.ID) ([]float64, error) {
@@ -320,6 +350,12 @@ func (l *lockedDB) OpenDiagnostics() []string {
 	return l.db.OpenDiagnostics()
 }
 
+func (l *lockedDB) WALStats() twsim.WALStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.WALStats()
+}
+
 func (l *lockedDB) Verify() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -361,6 +397,7 @@ func NewBackendLimits(b twsim.Backend, limits Limits) *Server {
 	if db, ok := b.(*twsim.DB); ok {
 		s.locked = &lockedDB{db: db}
 		s.backend = s.locked
+		s.primary = db
 	}
 	if limits.MaxInflight > 0 {
 		s.sem = make(chan struct{}, limits.MaxInflight)
@@ -376,6 +413,9 @@ func NewBackendLimits(b twsim.Backend, limits Limits) *Server {
 	s.mux.HandleFunc("/knn", s.instrument("knn", s.handleKNN))
 	s.mux.HandleFunc("/subseq/build", s.instrument("subseq_build", s.handleSubseqBuild))
 	s.mux.HandleFunc("/subseq/search", s.instrument("subseq_search", s.handleSubseqSearch))
+	s.mux.HandleFunc("/repl/status", s.instrument("repl_status", s.handleReplStatus))
+	s.mux.HandleFunc("/repl/snapshot", s.instrument("repl_snapshot", s.handleReplSnapshot))
+	s.mux.HandleFunc("/repl/wal", s.instrument("repl_wal", s.handleReplWAL))
 	return s
 }
 
@@ -597,6 +637,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"deadline_exceeded": s.deadlineExceeded.Load(),
 		},
 	}
+	walEnabled := s.primary != nil && s.primary.WALEnabled()
+	if ws := s.backend.WALStats(); walEnabled || ws.Records > 0 || ws.Seq > 0 || ws.Checkpoints > 0 {
+		out["wal"] = map[string]any{
+			"records":     ws.Records,
+			"batches":     ws.Batches,
+			"fsyncs":      ws.Fsyncs,
+			"bytes":       ws.Bytes,
+			"checkpoints": ws.Checkpoints,
+			"seq":         ws.Seq,
+			"durable_seq": ws.Durable,
+			"file_bytes":  ws.FileBytes,
+		}
+	}
+	if rep := s.replica.Load(); rep != nil {
+		lag := rep.Lag()
+		out["replica"] = map[string]any{
+			"primary":          rep.PrimaryURL(),
+			"applied_seq":      lag.AppliedSeq,
+			"primary_seq":      lag.PrimarySeq,
+			"generation_delta": lag.GenerationDelta,
+			"lag_seconds":      lag.Seconds,
+			"resyncs":          lag.Resyncs,
+			"last_error":       rep.LastError(),
+		}
+	}
 	// Sharded backends additionally report a per-shard breakdown so
 	// operators can spot skew — in storage (sequences, pages) and in query
 	// work (the engine's own cumulative counters, which also cover
@@ -625,6 +690,9 @@ func (s *Server) handleSequences(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w)
 		return
 	}
+	if s.denyWrites(w) {
+		return
+	}
 	var req struct {
 		Values []float64 `json:"values"`
 	}
@@ -642,6 +710,9 @@ func (s *Server) handleSequences(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodNotAllowed(w)
+		return
+	}
+	if s.denyWrites(w) {
 		return
 	}
 	var req struct {
@@ -687,6 +758,9 @@ func (s *Server) handleSequenceByID(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"id": uint32(id), "values": values})
 	case http.MethodDelete:
+		if s.denyWrites(w) {
+			return
+		}
 		removed, err := s.backend.Remove(id)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fsx"
 	"repro/internal/seq"
 	"repro/internal/shard"
 )
@@ -112,11 +113,7 @@ func writeShardManifest(dir string, m shardManifest) error {
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, shardManifestName+".tmp")
-	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(dir, shardManifestName))
+	return fsx.WriteFileSync(filepath.Join(dir, shardManifestName), append(raw, '\n'), 0o644)
 }
 
 func newShardedDB(dbs []*DB, dir string, opts ShardedOptions) (*ShardedDB, error) {
@@ -238,6 +235,16 @@ func (s *ShardedDB) StorageStats() StorageStats { return s.eng.StorageStats() }
 
 // IndexEngineStats aggregates the per-shard feature-index engine counters.
 func (s *ShardedDB) IndexEngineStats() core.IndexEngineStats { return s.eng.IndexEngineStats() }
+
+// WALStats sums the per-shard write-ahead-log counters (each shard runs
+// its own group-commit log; all zero when the WAL is disabled).
+func (s *ShardedDB) WALStats() WALStats {
+	var total WALStats
+	for _, db := range s.dbs {
+		total.Add(db.WALStats())
+	}
+	return total
+}
 
 // OpenDiagnostics concatenates every shard's open-time notes, prefixed with
 // the shard number.

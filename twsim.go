@@ -15,6 +15,7 @@ import (
 	"repro/internal/rtree"
 	"repro/internal/seq"
 	"repro/internal/seqdb"
+	"repro/internal/wal"
 )
 
 // Base selects the per-element base distance inside the time warping
@@ -170,6 +171,26 @@ type Options struct {
 	// context.DeadlineExceeded. It composes with caller contexts (SearchCtx
 	// et al.): whichever expires first cancels. 0 means no deadline.
 	QueryDeadline time.Duration
+	// WAL enables the group-commit write-ahead log on on-disk databases:
+	// every acknowledged Add/AddBatch/Remove survives a crash (Open
+	// replays the log tail over the heap), and concurrent writers share
+	// fsyncs instead of paying one each. Ignored by in-memory databases,
+	// which have nothing durable to protect. See internal/wal and
+	// DESIGN.md §14.
+	WAL bool
+	// WALFlushInterval is how long the WAL committer lingers after the
+	// first record of a batch before fsyncing, bounding write latency to
+	// roughly the interval plus one fsync (0 = wal.DefaultFlushInterval,
+	// 2ms; negative = fsync as soon as the committer wakes).
+	WALFlushInterval time.Duration
+	// WALFlushBytes flushes a WAL batch early once its pending bytes
+	// exceed it (0 = wal.DefaultFlushBytes, 256 KiB).
+	WALFlushBytes int
+	// WALCheckpointBytes auto-checkpoints (full Flush + log reset) when
+	// the log file grows past it, bounding replay time and the window a
+	// replica can lag before needing a snapshot re-bootstrap
+	// (0 = 64 MiB; negative disables auto-checkpointing).
+	WALCheckpointBytes int64
 }
 
 // refineWorkers resolves the intra-query parallelism default. The public
@@ -221,6 +242,11 @@ type DB struct {
 	// that computed it.
 	gen    atomic.Uint64
 	rcache *core.ResultCache // nil when Options.ResultCacheBytes == 0
+	// wal is the group-commit write-ahead log (nil unless Options.WAL on
+	// an on-disk database); walReplayed records that Open applied logged
+	// mutations, forcing a reconcile + checkpoint before Open returns.
+	wal         *wal.Log
+	walReplayed bool
 }
 
 const (
@@ -313,8 +339,18 @@ func Create(dir string, opts Options) (*DB, error) {
 		store.Close()
 		return nil, err
 	}
-	return &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, dir: dir, opts: opts, engine: engine,
-		rcache: core.NewResultCache(opts.ResultCacheBytes)}, nil
+	db := &DB{store: store, index: index, envs: core.NewEnvStore(), base: opts.Base, dir: dir, opts: opts, engine: engine,
+		rcache: core.NewResultCache(opts.ResultCacheBytes)}
+	if opts.WAL {
+		wlog, err := wal.Create(filepath.Join(dir, walFileName), 1, opts.walOptions())
+		if err != nil {
+			store.Close()
+			index.Close()
+			return nil, err
+		}
+		db.wal = wlog
+	}
+	return db, nil
 }
 
 // Open opens an existing on-disk database.
@@ -334,6 +370,16 @@ func Open(dir string, opts Options) (*DB, error) {
 	engine := opts.resolveEngine(dir)
 	db := &DB{store: store, base: opts.Base, dir: dir, opts: opts, engine: engine,
 		rcache: core.NewResultCache(opts.ResultCacheBytes)}
+	if opts.WAL {
+		// Replay the WAL tail over the heap before the index opens: the
+		// index layers below reconcile against whatever the heap holds, so
+		// recovered appends and tombstones are re-indexed (or dropped) by
+		// the exact same LastRepair machinery an unlogged crash uses.
+		if err := db.openWAL(); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("twsim: write-ahead log: %w", err)
+		}
+	}
 	index, err := core.OpenIndex(filepath.Join(dir, indexFileFor(engine)), opts.indexOptions(engine, ""))
 	if err != nil {
 		// Unopenable (missing, truncated, corrupt CRC, wrong dimension):
@@ -358,7 +404,10 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db.index = index
 	dirty := false
-	if index.Len() != store.Len() {
+	if index.Len() != store.Len() || db.walReplayed {
+		// Replayed mutations can leave the live count unchanged (an add
+		// plus a remove) while contents diverge, so any replay forces the
+		// reconcile rather than trusting the count check alone.
 		db.note("index engine=%s reconciled-on-open: indexed=%d live=%d", engine, index.Len(), store.Len())
 		if _, err := db.Repair(); err != nil {
 			db.Close()
@@ -485,16 +534,10 @@ func (db *DB) Base() Base { return db.base }
 // Len returns the number of stored sequences.
 func (db *DB) Len() int { return db.store.Len() }
 
-// Add stores a sequence and indexes its feature vector, returning its ID.
-// Empty sequences are rejected, as are sequences containing NaN or ±Inf
-// (ErrNonFinite): a non-finite element would make the index entry
-// unreachable while scans still see the record, silently breaking the
-// no-false-dismissal guarantee.
-//
-// Add is atomic: when indexing fails after the heap append succeeded, the
-// append is rolled back before the error is returned, so the store and the
-// index never diverge and the failed Add can simply be retried.
-func (db *DB) Add(values []float64) (ID, error) {
+// applyAdd performs the in-memory/in-heap half of Add: validate, append,
+// index, envelope. The public Add/AddCommit wrappers in durability.go own
+// WAL logging and the durability acknowledgment.
+func (db *DB) applyAdd(values []float64) (ID, error) {
 	if err := seq.CheckFinite(values); err != nil {
 		return seq.InvalidID, err
 	}
@@ -519,15 +562,9 @@ func (db *DB) Add(values []float64) (ID, error) {
 	return id, nil
 }
 
-// AddAll stores a batch of sequences; when the database is empty the index
-// is STR bulk-loaded, which is substantially faster than repeated Add
-// (§4.3.1). Returns the ID of the first added sequence.
-//
-// AddAll is all-or-nothing: on a mid-batch failure every sequence of the
-// batch that was already appended is rolled back (and its index entry, if
-// any, removed) before the error is returned. Either the whole batch is
-// stored and indexed or the database is left as it was.
-func (db *DB) AddAll(values [][]float64) (ID, error) {
+// applyAddAll performs the in-memory/in-heap half of AddAll (see the
+// public wrapper in durability.go for the contract).
+func (db *DB) applyAddAll(values [][]float64) (ID, error) {
 	if len(values) == 0 {
 		return seq.InvalidID, errors.New("twsim: AddAll of empty batch")
 	}
@@ -632,11 +669,9 @@ func (db *DB) AddAll(values [][]float64) (ID, error) {
 	return appended[0], nil
 }
 
-// Remove deletes a stored sequence: its index entry is removed and the
-// heap record tombstoned (IDs are never reused; heap space is reclaimed
-// only by rebuilding the database). It reports whether the sequence was
-// present and live.
-func (db *DB) Remove(id ID) (bool, error) {
+// applyRemove performs the in-memory/in-heap half of Remove (see the
+// public wrapper in durability.go).
+func (db *DB) applyRemove(id ID) (bool, error) {
 	defer db.gen.Add(1)
 	s, err := db.store.Get(id)
 	if err != nil {
@@ -906,7 +941,12 @@ func (db *DB) DataBytes() int64 { return db.store.Bytes() }
 // CheckInvariants validates the index structure (tests and repair tooling).
 func (db *DB) CheckInvariants() error { return db.index.CheckInvariants() }
 
-// Flush persists all state to disk (no-op for in-memory databases).
+// Flush persists all state to disk (no-op for in-memory databases). With
+// the WAL enabled a successful Flush is also a checkpoint: once the heap
+// pages are fsynced, the manifest renamed and dir-synced, and the index
+// and envelope sidecar saved, every logged mutation is durable by other
+// means, so the log resets to an empty file with a higher base sequence
+// number (pending waiters are released — their records are durable too).
 func (db *DB) Flush() error {
 	if err := db.store.Flush(); err != nil {
 		return err
@@ -920,10 +960,17 @@ func (db *DB) Flush() error {
 		}
 		db.envsRebuilt = false
 	}
+	if db.wal != nil {
+		if err := db.wal.Checkpoint(); err != nil {
+			return fmt.Errorf("twsim: wal checkpoint: %w", err)
+		}
+	}
 	return nil
 }
 
-// Close flushes and releases the database.
+// Close flushes and releases the database. With the WAL enabled the log
+// is checkpointed (emptied) on a clean close, so the next Open has
+// nothing to replay.
 func (db *DB) Close() error {
 	var envErr error
 	if db.dir != "" && db.envs != nil {
@@ -933,11 +980,28 @@ func (db *DB) Close() error {
 	}
 	err1 := db.store.Close()
 	err2 := db.index.Close()
+	var walErr error
+	if db.wal != nil {
+		// The store Close above flushed and fsynced the heap + manifest,
+		// so the checkpoint's precondition holds; a checkpoint failure
+		// just leaves the tail to be replayed (idempotently) at next Open.
+		if envErr == nil && err1 == nil && err2 == nil {
+			if err := db.wal.Checkpoint(); err != nil && !errors.Is(err, wal.ErrClosed) {
+				walErr = fmt.Errorf("twsim: wal checkpoint: %w", err)
+			}
+		}
+		if err := db.wal.Close(); err != nil && walErr == nil {
+			walErr = fmt.Errorf("twsim: wal close: %w", err)
+		}
+	}
 	if err1 != nil {
 		return err1
 	}
 	if err2 != nil {
 		return err2
 	}
-	return envErr
+	if envErr != nil {
+		return envErr
+	}
+	return walErr
 }
